@@ -1,0 +1,164 @@
+//! Centralization metrics.
+//!
+//! Section V-A of the paper quantifies how much more centralized the Bitcoin
+//! network became between 2017 and 2018: the number of ASes hosting 50 % of
+//! nodes fell from 50 to 24 (a 52 % change) and hosting 30 % fell from 13 to
+//! 8 (38 %), using the metric `C = (N1 − N2) · 100 / N1` (Table III).
+//!
+//! This module implements that metric plus the supporting concentration
+//! measures (top-k share, smallest cover, Gini coefficient and HHI) used by
+//! the spatial-attack analysis.
+
+use crate::ecdf::{cumulative_share, entities_to_cover};
+
+/// The paper's centralization-change metric `C = (N1 − N2) · 100 / N1`
+/// (Table III), where `N1` entities covered a fixed share in the earlier
+/// measurement and `N2` in the later one.
+///
+/// Positive values mean the network *centralized* (fewer entities needed).
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::centralization_change;
+///
+/// // 50 ASes hosted 50% of nodes in 2017; 24 in 2018 → 52% centralization.
+/// assert_eq!(centralization_change(50, 24), 52.0);
+/// // 13 → 8 for the 30% cover → 38.46…%, which the paper rounds to 38%.
+/// assert!((centralization_change(13, 8) - 38.46).abs() < 0.01);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n1` is zero.
+pub fn centralization_change(n1: usize, n2: usize) -> f64 {
+    assert!(n1 > 0, "earlier count must be positive");
+    (n1 as f64 - n2 as f64) * 100.0 / n1 as f64
+}
+
+/// Fraction of total weight held by the `k` largest entities.
+///
+/// # Panics
+///
+/// Panics if weights are empty, negative, non-finite, or all zero.
+pub fn top_k_share(weights: &[f64], k: usize) -> f64 {
+    let shares = cumulative_share(weights);
+    if k == 0 {
+        return 0.0;
+    }
+    shares[(k - 1).min(shares.len() - 1)]
+}
+
+/// Smallest number of top-ranked entities covering at least `fraction` of
+/// the total weight — "`smallest_cover(nodes_per_as, 0.30)` ASes host 30 % of
+/// Bitcoin nodes".
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`top_k_share`], or if `fraction` is
+/// outside `(0, 1]`.
+pub fn smallest_cover(weights: &[f64], fraction: f64) -> usize {
+    entities_to_cover(weights, fraction)
+}
+
+/// Gini coefficient of a weight vector (0 = perfectly equal, → 1 = one
+/// entity holds everything).
+///
+/// # Panics
+///
+/// Panics if weights are empty, negative, non-finite, or all zero.
+pub fn gini(weights: &[f64]) -> f64 {
+    assert!(!weights.is_empty(), "gini of empty weights");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let mut sorted = weights.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    assert!(total > 0.0, "gini of zero total weight");
+    let weighted_rank_sum: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i as f64 + 1.0) * w)
+        .sum();
+    (2.0 * weighted_rank_sum) / (n * total) - (n + 1.0) / n
+}
+
+/// Herfindahl–Hirschman index: the sum of squared shares, a standard market
+/// concentration measure (1/n for a uniform market, 1.0 for a monopoly).
+///
+/// # Panics
+///
+/// Panics if weights are empty, negative, non-finite, or all zero.
+pub fn hhi(weights: &[f64]) -> f64 {
+    assert!(!weights.is_empty(), "hhi of empty weights");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "hhi of zero total weight");
+    weights.iter().map(|w| (w / total).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values() {
+        assert_eq!(centralization_change(50, 24), 52.0);
+        let c = centralization_change(13, 8);
+        assert!((c - 38.4615).abs() < 1e-3);
+    }
+
+    #[test]
+    fn change_can_be_negative_for_decentralization() {
+        assert_eq!(centralization_change(10, 20), -100.0);
+    }
+
+    #[test]
+    fn top_k_share_monotone_in_k() {
+        let w = [5.0, 1.0, 3.0, 1.0];
+        assert_eq!(top_k_share(&w, 0), 0.0);
+        assert_eq!(top_k_share(&w, 1), 0.5);
+        assert_eq!(top_k_share(&w, 2), 0.8);
+        assert_eq!(top_k_share(&w, 10), 1.0);
+    }
+
+    #[test]
+    fn smallest_cover_inverse_of_top_k() {
+        let w = [5.0, 1.0, 3.0, 1.0];
+        assert_eq!(smallest_cover(&w, 0.5), 1);
+        assert_eq!(smallest_cover(&w, 0.8), 2);
+        assert_eq!(smallest_cover(&w, 0.81), 3);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).abs() < 1e-12);
+        // One entity holds everything among n=4: gini = (n-1)/n = 0.75.
+        assert!((gini(&[0.0, 0.0, 0.0, 8.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1.0, 2.0, 3.0]);
+        let b = gini(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hhi_extremes() {
+        assert!((hhi(&[1.0, 1.0, 1.0, 1.0]) - 0.25).abs() < 1e-12);
+        assert!((hhi(&[0.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn change_rejects_zero_baseline() {
+        let _ = centralization_change(0, 5);
+    }
+}

@@ -1,0 +1,311 @@
+//! ASCII charts for rendering the paper's figures in a terminal.
+//!
+//! The `repro` harness regenerates each figure as data (CSV) plus an ASCII
+//! rendering: [`LineChart`] covers Figures 3, 4 and 8; [`StackedAreaChart`]
+//! covers the consensus stacks of Figure 6; the grid snapshots of Figure 7
+//! are rendered by `bp-attacks::grid` using per-cell glyphs.
+
+use std::fmt::Write as _;
+
+/// A named data series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points; x values need not be uniform.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A multi-series ASCII line chart on a character raster.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+impl LineChart {
+    /// Creates an empty chart with the given raster size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width >= 10` and `height >= 4`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 10 && height >= 4, "chart raster too small");
+        Self {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series to the chart.
+    pub fn series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// Returns a placeholder string if no series has any points.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &all {
+            xmin = xmin.min(*x);
+            xmax = xmax.max(*x);
+            ymin = ymin.min(*y);
+            ymax = ymax.max(*y);
+        }
+        if (xmax - xmin).abs() < f64::EPSILON {
+            xmax = xmin + 1.0;
+        }
+        if (ymax - ymin).abs() < f64::EPSILON {
+            ymax = ymin + 1.0;
+        }
+
+        let mut raster = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - ymin) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                raster[row][cx.min(self.width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "y: [{ymin:.3}, {ymax:.3}]  x: [{xmin:.3}, {xmax:.3}]");
+        for row in &raster {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.width));
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+        }
+        out
+    }
+}
+
+/// A stacked area chart over uniform time steps, rendered as ASCII.
+///
+/// Used for Figure 6: each band is a lag class ("synced", "1 behind",
+/// "2–4 behind", …) and each column is one crawler sample.
+#[derive(Debug, Clone)]
+pub struct StackedAreaChart {
+    title: String,
+    height: usize,
+    band_labels: Vec<String>,
+    /// `columns[t][b]` = value of band `b` at time step `t`.
+    columns: Vec<Vec<f64>>,
+}
+
+impl StackedAreaChart {
+    /// Creates a stacked chart with the given band labels (bottom first).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least one band label is given and `height >= 4`.
+    pub fn new(title: impl Into<String>, band_labels: Vec<String>, height: usize) -> Self {
+        assert!(!band_labels.is_empty(), "need at least one band");
+        assert!(height >= 4, "chart raster too small");
+        Self {
+            title: title.into(),
+            height,
+            band_labels,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Appends one time-step column of per-band values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column width differs from the number of bands or any
+    /// value is negative/non-finite.
+    pub fn push_column(&mut self, values: Vec<f64>) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.band_labels.len(),
+            "column width must match band count"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "band values must be finite and non-negative"
+        );
+        self.columns.push(values);
+        self
+    }
+
+    /// Number of time-step columns pushed so far.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns `true` if no columns have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Renders the chart; bands use the glyph palette bottom-up. Series
+    /// longer than 120 columns are downsampled by averaging buckets so
+    /// the raster stays terminal-sized.
+    pub fn render(&self) -> String {
+        if self.columns.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        const MAX_WIDTH: usize = 120;
+        let columns: Vec<Vec<f64>> = if self.columns.len() <= MAX_WIDTH {
+            self.columns.clone()
+        } else {
+            let bands = self.band_labels.len();
+            let n = self.columns.len();
+            (0..MAX_WIDTH)
+                .map(|b| {
+                    let lo = b * n / MAX_WIDTH;
+                    let hi = ((b + 1) * n / MAX_WIDTH).max(lo + 1);
+                    let mut acc = vec![0.0; bands];
+                    for col in &self.columns[lo..hi] {
+                        for (a, v) in acc.iter_mut().zip(col) {
+                            *a += v;
+                        }
+                    }
+                    let count = (hi - lo) as f64;
+                    acc.into_iter().map(|v| v / count).collect()
+                })
+                .collect()
+        };
+        let max_total = columns
+            .iter()
+            .map(|c| c.iter().sum::<f64>())
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+
+        let width = columns.len();
+        let mut raster = vec![vec![' '; width]; self.height];
+        for (t, col) in columns.iter().enumerate() {
+            let mut acc = 0.0;
+            for (b, &v) in col.iter().enumerate() {
+                let lo = (acc / max_total * self.height as f64).round() as usize;
+                acc += v;
+                let hi = (acc / max_total * self.height as f64).round() as usize;
+                let glyph = GLYPHS[b % GLYPHS.len()];
+                for level in lo..hi.min(self.height) {
+                    let row = self.height - 1 - level;
+                    raster[row][t] = glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "max column total: {max_total:.1}");
+        for row in &raster {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', width));
+        out.push('\n');
+        for (b, label) in self.band_labels.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[b % GLYPHS.len()], label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let mut c = LineChart::new("Fig 3", 40, 10);
+        c.series(Series::new("orgs", vec![(0.0, 0.0), (10.0, 1.0)]));
+        c.series(Series::new("ases", vec![(0.0, 0.0), (20.0, 1.0)]));
+        let s = c.render();
+        assert!(s.contains("Fig 3"));
+        assert!(s.contains("orgs"));
+        assert!(s.contains("ases"));
+        assert!(s.contains('*') && s.contains('+'));
+    }
+
+    #[test]
+    fn line_chart_empty_is_placeholder() {
+        let c = LineChart::new("empty", 20, 5);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn line_chart_handles_constant_series() {
+        let mut c = LineChart::new("const", 20, 5);
+        c.series(Series::new("flat", vec![(1.0, 2.0), (1.0, 2.0)]));
+        // Degenerate ranges must not divide by zero.
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn stacked_chart_column_mismatch_panics() {
+        let mut c = StackedAreaChart::new("t", vec!["a".into(), "b".into()], 6);
+        c.push_column(vec![1.0, 2.0]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.push_column(vec![1.0]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stacked_chart_renders_bands() {
+        let mut c = StackedAreaChart::new("Fig 6", vec!["synced".into(), "behind".into()], 8);
+        for t in 0..20 {
+            let synced = 10.0 - (t % 5) as f64;
+            let behind = (t % 5) as f64;
+            c.push_column(vec![synced, behind]);
+        }
+        let s = c.render();
+        assert!(s.contains("synced"));
+        assert!(s.contains("behind"));
+        assert_eq!(c.len(), 20);
+    }
+
+    #[test]
+    fn stacked_chart_empty_is_placeholder() {
+        let c = StackedAreaChart::new("none", vec!["x".into()], 5);
+        assert!(c.is_empty());
+        assert!(c.render().contains("(no data)"));
+    }
+}

@@ -1,0 +1,213 @@
+//! A minimal CSV writer/reader.
+//!
+//! The benchmark harness exports every figure's data series as CSV so the
+//! plots can be regenerated with external tooling. The format implemented
+//! here is the RFC-4180 subset the workspace needs: comma separation,
+//! double-quote escaping, `\n` record ends.
+
+use std::fmt;
+
+/// Error returned by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    line: usize,
+    message: String,
+}
+
+impl ParseCsvError {
+    /// 1-based line on which the error occurred.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Escapes a single field per RFC 4180 (quotes only when needed).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises rows of string fields to CSV text.
+///
+/// # Examples
+///
+/// ```
+/// let text = bp_analysis::csv::write(&[
+///     vec!["x".to_string(), "y".to_string()],
+///     vec!["1".to_string(), "a,b".to_string()],
+/// ]);
+/// assert_eq!(text, "x,y\n1,\"a,b\"\n");
+/// ```
+pub fn write(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| escape(f)).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: serialises `(x, y)` pairs under the given header names.
+pub fn write_xy(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> String {
+    let mut rows = Vec::with_capacity(points.len() + 1);
+    rows.push(vec![x_name.to_string(), y_name.to_string()]);
+    for &(x, y) in points {
+        rows.push(vec![format!("{x}"), format!("{y}")]);
+    }
+    write(&rows)
+}
+
+/// Parses CSV text into rows of fields.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on an unterminated quoted field or a stray
+/// quote inside an unquoted field.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, ParseCsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(ParseCsvError {
+                            line,
+                            message: "stray quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ParseCsvError {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string(), "2".to_string()],
+        ];
+        let text = write(&rows);
+        assert_eq!(parse(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn round_trip_escapes() {
+        let rows = vec![vec![
+            "needs,comma".to_string(),
+            "has\"quote".to_string(),
+            "multi\nline".to_string(),
+        ]];
+        let text = write(&rows);
+        assert_eq!(parse(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn parse_without_trailing_newline() {
+        let rows = parse("a,b\nc,d").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let rows = parse("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn parse_empty_text() {
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let err = parse("\"oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_quote_errors_with_line() {
+        let err = parse("ok\nbad\"field").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn write_xy_has_header() {
+        let text = write_xy("t", "nodes", &[(0.0, 10.0), (1.0, 12.0)]);
+        assert!(text.starts_with("t,nodes\n"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper uses CDFs twice: Figure 3 plots the CDF of full nodes over ASes
+//! and organizations (how many hosting entities cover a given fraction of the
+//! network), and Figure 4 plots the fraction of an AS's nodes hijacked as a
+//! function of the number of BGP prefixes hijacked. Both are *cumulative
+//! share* curves over a ranked list of weights; [`Ecdf`] covers the
+//! sample-CDF case and [`cumulative_share`] covers the ranked-weight case.
+
+/// An empirical CDF over a sample of `f64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::Ecdf;
+///
+/// let ecdf = Ecdf::from_iter([1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(ecdf.eval(0.0), 0.0);
+/// assert_eq!(ecdf.eval(2.0), 0.75);
+/// assert_eq!(ecdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from an iterator of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observation is not finite.
+    #[allow(clippy::should_implement_trait)] // the FromIterator impl delegates here
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut sorted: Vec<f64> = iter.into_iter().collect();
+        assert!(
+            sorted.iter().all(|x| x.is_finite()),
+            "ECDF requires finite observations"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        Self { sorted }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `F(x)` — the fraction of observations `≤ x`; `0.0` for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest `x` with `F(x) ≥ q` (generalised inverse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ECDF is empty or `q` is outside `(0, 1]`.
+    pub fn inverse(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "inverse requires q in (0, 1]");
+        assert!(!self.sorted.is_empty(), "inverse of empty ECDF");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Step points `(x, F(x))` suitable for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::from_iter(iter)
+    }
+}
+
+/// Cumulative share of a descending-ranked weight list.
+///
+/// Given per-entity weights (e.g. nodes hosted per AS), returns the running
+/// fraction of the total covered by the top `k` entities, for `k = 1..=n`.
+/// This is exactly the curve of the paper's Figure 3 (x = number of
+/// ASes/organizations, y = fraction of full nodes) and, applied to per-prefix
+/// node counts, of Figure 4.
+///
+/// Weights are sorted in descending order internally; the caller does not
+/// need to pre-sort.
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::ecdf::cumulative_share;
+///
+/// // Three ASes hosting 50, 30 and 20 nodes.
+/// let shares = cumulative_share(&[30.0, 50.0, 20.0]);
+/// assert_eq!(shares, vec![0.5, 0.8, 1.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any weight is negative or non-finite, or if the total is zero.
+pub fn cumulative_share(weights: &[f64]) -> Vec<f64> {
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "cumulative share of zero total weight");
+    let mut sorted = weights.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values are comparable"));
+    let mut acc = 0.0;
+    sorted
+        .iter()
+        .map(|w| {
+            acc += w;
+            acc / total
+        })
+        .collect()
+}
+
+/// The number of top-ranked entities needed to cover at least `fraction` of
+/// the total weight (e.g. "8 ASes host 30% of Bitcoin nodes").
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`cumulative_share`], or if
+/// `fraction` is outside `(0, 1]`.
+pub fn entities_to_cover(weights: &[f64], fraction: f64) -> usize {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must lie in (0, 1]"
+    );
+    let shares = cumulative_share(weights);
+    // Guard against floating point: the last share is within epsilon of 1.
+    shares
+        .iter()
+        .position(|&s| s + 1e-12 >= fraction)
+        .map(|i| i + 1)
+        .unwrap_or(shares.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval_steps() {
+        let e = Ecdf::from_iter([1.0, 3.0, 3.0, 5.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.9), 0.25);
+        assert_eq!(e.eval(3.0), 0.75);
+        assert_eq!(e.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_empty_evals_to_zero() {
+        let e = Ecdf::from_iter(std::iter::empty());
+        assert_eq!(e.eval(100.0), 0.0);
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn ecdf_inverse_round_trip() {
+        let e = Ecdf::from_iter([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.inverse(0.25), 10.0);
+        assert_eq!(e.inverse(0.26), 20.0);
+        assert_eq!(e.inverse(1.0), 40.0);
+    }
+
+    #[test]
+    fn ecdf_points_are_monotone() {
+        let e = Ecdf::from_iter([5.0, 1.0, 9.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cumulative_share_sorts_descending() {
+        let shares = cumulative_share(&[1.0, 4.0, 3.0, 2.0]);
+        assert_eq!(shares, vec![0.4, 0.7, 0.9, 1.0]);
+    }
+
+    #[test]
+    fn entities_to_cover_matches_paper_shape() {
+        // A toy network: one dominant AS, a medium AS, a long tail.
+        let mut weights = vec![300.0, 200.0];
+        weights.extend(std::iter::repeat_n(10.0, 50));
+        // 300+200 = 500 of 1000 total → top-2 cover 50 %.
+        assert_eq!(entities_to_cover(&weights, 0.5), 2);
+        assert_eq!(entities_to_cover(&weights, 0.3), 1);
+        assert_eq!(entities_to_cover(&weights, 1.0), 52);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total")]
+    fn cumulative_share_rejects_zero_total() {
+        let _ = cumulative_share(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn cumulative_share_rejects_negative() {
+        let _ = cumulative_share(&[1.0, -2.0]);
+    }
+}

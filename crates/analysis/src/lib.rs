@@ -1,0 +1,51 @@
+//! Statistics and analysis substrate for the `btcpart` workspace.
+//!
+//! The paper *Partitioning Attacks on Bitcoin: Colliding Space, Time, and
+//! Logic* (ICDCS 2019) is a data-driven study: every table and figure is a
+//! statistical summary of a crawled dataset or of simulation output. This
+//! crate provides the analysis primitives that the rest of the workspace
+//! builds on:
+//!
+//! * [`stats`] — summary statistics (mean, standard deviation, quantiles)
+//!   matching the μ/σ columns of the paper's Table I.
+//! * [`ecdf`] — empirical CDFs used for Figure 3 (nodes over ASes and
+//!   organizations) and Figure 4 (nodes hijacked vs. BGP prefixes).
+//! * [`dist`] — seedable sampling distributions (exponential, log-normal,
+//!   Pareto/Zipf, discrete weighted) implemented directly on top of
+//!   [`rand`] so the workspace needs no extra dependency crates.
+//! * [`centralization`] — the paper's centralization-change metric
+//!   `C = (N1 − N2) · 100 / N1` (Table III), top-k shares, and
+//!   smallest-cover counts ("how many ASes host p% of nodes").
+//! * [`table`] — fixed-width text tables used to render every paper table.
+//! * [`chart`] — ASCII line/stacked-area charts used to render every paper
+//!   figure in a terminal.
+//! * [`csv`] — a minimal CSV writer/reader for exporting figure series.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_analysis::stats::Summary;
+//!
+//! let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(s.mean(), 2.5);
+//! assert_eq!(s.count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralization;
+pub mod chart;
+pub mod csv;
+pub mod dist;
+pub mod ecdf;
+pub mod histogram;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use centralization::{centralization_change, smallest_cover, top_k_share};
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use stats::Summary;
+pub use table::TextTable;

@@ -1,0 +1,236 @@
+//! Fixed-width text tables.
+//!
+//! Every table in the paper (Tables I–VIII) is rendered by the `repro`
+//! harness through [`TextTable`]: a small column-aligned renderer with no
+//! external dependencies.
+
+use std::fmt;
+
+/// Column alignment for [`TextTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-aligned (default, for labels).
+    #[default]
+    Left,
+    /// Right-aligned (for numbers).
+    Right,
+}
+
+/// A fixed-width text table built row by row.
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::table::{Align, TextTable};
+///
+/// let mut t = TextTable::new(vec!["AS".into(), "Nodes".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["AS24940".into(), "1030".into()]);
+/// let s = t.render();
+/// assert!(s.contains("AS24940"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        let aligns = vec![Align::Left; headers.len()];
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets an optional title printed above the table.
+    pub fn title(&mut self, title: impl Into<String>) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        assert!(col < self.aligns.len(), "column {col} out of range");
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a `String` with a header separator line.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        line.extend(std::iter::repeat_n(' ', pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            // Trailing spaces on left-aligned last columns are noise.
+            line.trim_end().to_string()
+        };
+
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `7.54%`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a float with `digits` decimals.
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats an integer with thousands separators, e.g. `13,635`.
+pub fn thousands(value: u64) -> String {
+    let s = value.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    let offset = s.len() % 3;
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (i + 3 - offset).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "n".into()]);
+        t.align(1, Align::Right);
+        t.row(vec!["alpha".into(), "5".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[2].starts_with("alpha"));
+        assert!(lines[3].ends_with("12345"));
+        // Right alignment: "5" appears at the end of its column.
+        assert!(lines[2].ends_with("    5"));
+    }
+
+    #[test]
+    fn title_is_prepended() {
+        let mut t = TextTable::new(vec!["x".into()]);
+        t.title("Table I");
+        t.row(vec!["1".into()]);
+        assert!(t.render().starts_with("Table I\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = TextTable::new(vec![]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.0754), "7.54%");
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(thousands(13_635), "13,635");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000_000), "1,000,000");
+        assert_eq!(thousands(0), "0");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new(vec!["h".into()]);
+        t.row(vec!["v".into()]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

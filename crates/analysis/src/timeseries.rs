@@ -1,0 +1,179 @@
+//! Time-series utilities for the crawler's consensus series.
+//!
+//! The spatio-temporal planner (§V-C) looks for *sustained* weak spots
+//! rather than single-sample noise: "the width of nodes that are behind
+//! show the attack time window while the height represents the number of
+//! vulnerable nodes". These helpers smooth a series and locate its
+//! widest/deepest troughs.
+
+/// Simple moving average with a centred window of `2k + 1` samples
+/// (shrinking at the edges).
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::timeseries::moving_average;
+///
+/// let smoothed = moving_average(&[0.0, 10.0, 0.0], 1);
+/// assert_eq!(smoothed[1], 10.0 / 3.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is not finite.
+pub fn moving_average(values: &[f64], k: usize) -> Vec<f64> {
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "moving average requires finite values"
+    );
+    (0..values.len())
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// A contiguous stretch where the (smoothed) series stays below a
+/// threshold — an attack window in the §V-C sense.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trough {
+    /// First sample index of the stretch.
+    pub start: usize,
+    /// Number of samples in the stretch (the window *width*).
+    pub len: usize,
+    /// Minimum value inside the stretch (the window *depth*).
+    pub min_value: f64,
+    /// Sample index of the minimum.
+    pub min_at: usize,
+}
+
+impl Trough {
+    /// A width × depth score: wider and deeper troughs are better attack
+    /// windows. Depth is measured from the threshold.
+    pub fn score(&self, threshold: f64) -> f64 {
+        self.len as f64 * (threshold - self.min_value).max(0.0)
+    }
+}
+
+/// Finds all maximal below-`threshold` stretches of `values`.
+///
+/// # Panics
+///
+/// Panics if any value is not finite.
+pub fn troughs(values: &[f64], threshold: f64) -> Vec<Trough> {
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "trough detection requires finite values"
+    );
+    let mut out = Vec::new();
+    let mut open: Option<Trough> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v < threshold {
+            match open.as_mut() {
+                None => {
+                    open = Some(Trough {
+                        start: i,
+                        len: 1,
+                        min_value: v,
+                        min_at: i,
+                    });
+                }
+                Some(t) => {
+                    t.len += 1;
+                    if v < t.min_value {
+                        t.min_value = v;
+                        t.min_at = i;
+                    }
+                }
+            }
+        } else if let Some(t) = open.take() {
+            out.push(t);
+        }
+    }
+    if let Some(t) = open {
+        out.push(t);
+    }
+    out
+}
+
+/// The best attack window: the trough with the highest width × depth
+/// score below `threshold`, after smoothing with window `2k + 1`.
+///
+/// Returns `None` when the series never dips below the threshold.
+pub fn best_window(values: &[f64], threshold: f64, k: usize) -> Option<Trough> {
+    let smoothed = moving_average(values, k);
+    troughs(&smoothed, threshold).into_iter().max_by(|a, b| {
+        a.score(threshold)
+            .partial_cmp(&b.score(threshold))
+            .expect("finite scores")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flat_is_identity() {
+        let v = vec![2.0; 10];
+        assert_eq!(moving_average(&v, 3), v);
+    }
+
+    #[test]
+    fn moving_average_window_shrinks_at_edges() {
+        let v = [0.0, 10.0, 0.0, 10.0];
+        let s = moving_average(&v, 1);
+        assert_eq!(s[0], 5.0); // (0+10)/2
+        assert_eq!(s[3], 5.0); // (0+10)/2
+    }
+
+    #[test]
+    fn troughs_found_with_bounds() {
+        let v = [5.0, 1.0, 2.0, 5.0, 0.5, 5.0];
+        let t = troughs(&v, 3.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].start, 1);
+        assert_eq!(t[0].len, 2);
+        assert_eq!(t[0].min_value, 1.0);
+        assert_eq!(t[1].start, 4);
+        assert_eq!(t[1].min_at, 4);
+    }
+
+    #[test]
+    fn trough_open_at_series_end_is_closed() {
+        let v = [5.0, 1.0, 1.0];
+        let t = troughs(&v, 3.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].len, 2);
+    }
+
+    #[test]
+    fn best_window_prefers_wide_deep_troughs() {
+        // One narrow deep dip, one wide moderately deep dip.
+        let mut v = vec![10.0; 30];
+        v[5] = 0.0; // narrow
+        for x in v.iter_mut().take(25).skip(15) {
+            *x = 4.0; // wide
+        }
+        let best = best_window(&v, 8.0, 0).unwrap();
+        assert_eq!(best.start, 15);
+        assert_eq!(best.len, 10);
+    }
+
+    #[test]
+    fn no_window_above_threshold() {
+        assert!(best_window(&[5.0, 6.0], 3.0, 1).is_none());
+    }
+
+    #[test]
+    fn smoothing_suppresses_single_sample_noise() {
+        let mut v = vec![10.0; 20];
+        v[10] = 0.0; // one-sample glitch
+                     // With smoothing the glitch's dip is shallower than the raw dip.
+        let best_raw = best_window(&v, 9.0, 0).unwrap();
+        let best_smooth = best_window(&v, 9.0, 2).unwrap();
+        assert!(best_smooth.min_value > best_raw.min_value);
+    }
+}

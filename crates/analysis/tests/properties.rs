@@ -1,0 +1,174 @@
+//! Property-based tests for the statistics substrate.
+
+use bp_analysis::centralization::{gini, hhi, smallest_cover, top_k_share};
+use bp_analysis::csv;
+use bp_analysis::dist::{zipf_weights, Exponential, WeightedIndex};
+use bp_analysis::ecdf::{cumulative_share, Ecdf};
+use bp_analysis::stats::{Accumulator, Summary};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+fn weight_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..1e4, 1..max_len)
+}
+
+proptest! {
+    /// Summary mean is bounded by min/max; std-dev is non-negative and
+    /// zero for constant samples.
+    #[test]
+    fn summary_invariants(data in finite_vec(200)) {
+        let s = Summary::from_iter(data.clone());
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.std_dev() >= 0.0);
+        prop_assert!(s.quantile(0.0) == s.min());
+        prop_assert!(s.quantile(1.0) == s.max());
+        // Quantiles are monotone.
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Streaming accumulator agrees with the batch summary.
+    #[test]
+    fn accumulator_matches_summary(data in finite_vec(200)) {
+        let mut acc = Accumulator::new();
+        for &x in &data {
+            acc.add(x);
+        }
+        let s = Summary::from_iter(data);
+        prop_assert!((acc.mean() - s.mean()).abs() < 1e-6);
+        prop_assert!((acc.std_dev() - s.std_dev()).abs() < 1e-6);
+    }
+
+    /// Merging accumulators in any split equals sequential accumulation.
+    #[test]
+    fn accumulator_merge_associative(
+        data in finite_vec(100),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let k = cut.index(data.len());
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        data[..k].iter().for_each(|&x| left.add(x));
+        data[k..].iter().for_each(|&x| right.add(x));
+        left.merge(&right);
+        let mut whole = Accumulator::new();
+        data.iter().for_each(|&x| whole.add(x));
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.std_dev() - whole.std_dev()).abs() < 1e-6);
+    }
+
+    /// ECDF is a valid CDF: monotone, 0 below min, 1 at max.
+    #[test]
+    fn ecdf_is_monotone(data in finite_vec(100)) {
+        let e = Ecdf::from_iter(data.clone());
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(e.eval(hi), 1.0);
+        let mut prev = 0.0;
+        for pt in e.points() {
+            prop_assert!(pt.1 >= prev);
+            prev = pt.1;
+        }
+    }
+
+    /// Cumulative share ends at exactly 1.0 and is monotone; the smallest
+    /// cover is consistent with top-k shares.
+    #[test]
+    fn cover_and_share_are_inverse(weights in weight_vec(100), frac in 0.01f64..1.0) {
+        let shares = cumulative_share(&weights);
+        prop_assert!((shares.last().unwrap() - 1.0).abs() < 1e-9);
+        for w in shares.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        let k = smallest_cover(&weights, frac);
+        prop_assert!(top_k_share(&weights, k) + 1e-9 >= frac);
+        if k > 1 {
+            prop_assert!(top_k_share(&weights, k - 1) < frac + 1e-9);
+        }
+    }
+
+    /// Gini and HHI are scale-invariant and bounded.
+    #[test]
+    fn concentration_metrics_bounded(weights in weight_vec(60), scale in 0.1f64..100.0) {
+        let g = gini(&weights);
+        prop_assert!((-1e-9..=1.0).contains(&g), "gini {g}");
+        let h = hhi(&weights);
+        prop_assert!(h > 0.0 && h <= 1.0 + 1e-12, "hhi {h}");
+        let scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        prop_assert!((gini(&scaled) - g).abs() < 1e-9);
+        prop_assert!((hhi(&scaled) - h).abs() < 1e-9);
+    }
+
+    /// Zipf weights sum to the requested total and are non-increasing.
+    #[test]
+    fn zipf_weights_valid(n in 1usize..500, s in 0.0f64..3.0, total in 1.0f64..1e6) {
+        let w = zipf_weights(n, s, total);
+        prop_assert_eq!(w.len(), n);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - total).abs() / total < 1e-9);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    /// Exponential samples are positive and the CDF is in [0, 1].
+    #[test]
+    fn exponential_sane(lambda in 0.001f64..100.0, t in -10.0f64..1e5, seed in any::<u64>()) {
+        let exp = Exponential::new(lambda);
+        let cdf = exp.cdf(t);
+        prop_assert!((0.0..=1.0).contains(&cdf));
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        prop_assert!(exp.sample(&mut rng) >= 0.0);
+    }
+
+    /// Weighted sampling never returns a zero-weight category.
+    #[test]
+    fn weighted_index_respects_zeros(
+        mask in proptest::collection::vec(any::<bool>(), 2..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(mask.iter().any(|&m| m));
+        let weights: Vec<f64> = mask.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect();
+        let wi = WeightedIndex::new(&weights);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let idx = wi.sample(&mut rng);
+            prop_assert!(mask[idx], "sampled zero-weight index {idx}");
+        }
+    }
+
+    /// CSV write/parse round-trips arbitrary printable content.
+    #[test]
+    fn csv_round_trip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,20}", 1..5),
+            1..10,
+        )
+    ) {
+        // Normalise row widths (ragged rows are legal CSV but our writer
+        // emits rectangular data).
+        let width = rows[0].len();
+        let rect: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(width, String::new());
+                r
+            })
+            .collect();
+        let text = csv::write(&rect);
+        let parsed = csv::parse(&text).unwrap();
+        prop_assert_eq!(parsed, rect);
+    }
+}

@@ -1,0 +1,226 @@
+//! Spatio-temporal partitioning (paper §V-C).
+//!
+//! The combined attack keys on a moment when the synced population is
+//! small: the attacker hijacks the few ASes hosting most *synced* nodes
+//! (spatial arm — synced nodes would reject counterfeit blocks anyway)
+//! and feeds counterfeit chains to the lagging remainder (temporal arm).
+//! "The key aspect of spatio-temporal attack is that it is adjustable to
+//! the capabilities of an attacker."
+
+use crate::temporal::attack::{run_temporal_attack, TemporalAttackConfig};
+use bp_analysis::timeseries::best_window;
+use bp_crawler::{CrawlResult, LagClass};
+use bp_mining::PoolCensus;
+use bp_net::Simulation;
+use bp_topology::{Asn, Snapshot};
+use std::collections::HashSet;
+
+/// A planned spatio-temporal attack derived from crawl data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatioTemporalPlan {
+    /// Crawl sample index with the fewest synced nodes — the paper's
+    /// "ideal attack opportunity".
+    pub attack_sample: usize,
+    /// Synced nodes at that instant.
+    pub synced_count: usize,
+    /// Nodes ≥1 block behind at that instant (temporal targets).
+    pub behind_count: usize,
+    /// Width of the sustained weak window around the attack sample, in
+    /// samples ("the width of nodes that are behind show the attack time
+    /// window", §V-C). Zero when the weak spot is a single-sample blip.
+    pub window_samples: usize,
+    /// Top ASes hosting synced nodes, with their average synced presence
+    /// (Table VII).
+    pub spatial_targets: Vec<(Asn, f64)>,
+    /// Fraction of synced nodes covered by the spatial targets.
+    pub spatial_coverage: f64,
+}
+
+/// Plans the attack from a crawl: finds the weakest instant and the
+/// Table VII target ASes.
+///
+/// # Panics
+///
+/// Panics if the crawl is empty or `k` is zero.
+pub fn plan(crawl: &CrawlResult, k: usize) -> SpatioTemporalPlan {
+    assert!(k > 0, "need at least one spatial target");
+    assert!(!crawl.series.is_empty(), "cannot plan from an empty crawl");
+
+    // Prefer a *sustained* weak window (smoothed, width × depth scored)
+    // over a single-sample minimum; fall back to the raw minimum when
+    // the series never dips below its own median.
+    let synced_series: Vec<f64> = crawl
+        .series
+        .samples()
+        .iter()
+        .map(|s| s.count(LagClass::Synced) as f64)
+        .collect();
+    let mean_synced_level = synced_series.iter().sum::<f64>() / synced_series.len() as f64;
+    let window = best_window(&synced_series, 0.8 * mean_synced_level, 1);
+    let (attack_sample, window_samples) = match &window {
+        Some(t) => (t.min_at, t.len),
+        None => (
+            synced_series
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite counts"))
+                .map(|(i, _)| i)
+                .expect("non-empty series"),
+            0,
+        ),
+    };
+    let weakest = &crawl.series.samples()[attack_sample];
+    let synced_count = weakest.count(LagClass::Synced);
+    let behind_count = weakest.total() - synced_count;
+
+    let spatial_targets = crawl.top_synced_ases(k);
+    let covered: f64 = spatial_targets.iter().map(|(_, avg)| avg).sum();
+    let mean_synced: f64 = crawl
+        .series
+        .samples()
+        .iter()
+        .map(|s| s.count(LagClass::Synced) as f64)
+        .sum::<f64>()
+        / crawl.series.len() as f64;
+
+    SpatioTemporalPlan {
+        attack_sample,
+        synced_count,
+        behind_count,
+        window_samples,
+        spatial_coverage: if mean_synced > 0.0 {
+            (covered / mean_synced).min(1.0)
+        } else {
+            0.0
+        },
+        spatial_targets,
+    }
+}
+
+/// Outcome of an executed spatio-temporal attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedReport {
+    /// Nodes isolated by the spatial arm (hijacked ASes).
+    pub spatially_isolated: usize,
+    /// Victims captured by the temporal arm at its peak.
+    pub temporally_captured: usize,
+    /// Total fraction of the network disrupted at peak.
+    pub disrupted_fraction: f64,
+    /// The temporal arm's detail report.
+    pub temporal: crate::temporal::attack::TemporalAttackReport,
+}
+
+/// Executes the combined attack on a live simulation: partitions the
+/// nodes of `spatial_targets` away from the network, then runs the
+/// temporal attack against the lagging remainder.
+pub fn execute(
+    sim: &mut Simulation,
+    snapshot: &Snapshot,
+    _census: &PoolCensus,
+    spatial_targets: &[Asn],
+    temporal: TemporalAttackConfig,
+) -> CombinedReport {
+    let target_set: HashSet<Asn> = spatial_targets.iter().copied().collect();
+    let spatial_victims: HashSet<u32> = (0..sim.node_count() as u32)
+        .filter(|&i| target_set.contains(&snapshot.node(sim.topology_id(i)).asn))
+        .collect();
+    let spatially_isolated = spatial_victims.len();
+
+    // Spatial arm: cut the hijacked ASes off (group 2). The temporal arm
+    // will overlay its own eclipse of its victims — run it without
+    // eclipse here and keep the spatial groups instead, to avoid the two
+    // partitions overwriting each other.
+    let victims_clone = spatial_victims.clone();
+    sim.set_partition(move |i| if victims_clone.contains(&i) { 2 } else { 0 });
+
+    let temporal_report = run_temporal_attack(
+        sim,
+        TemporalAttackConfig {
+            eclipse_victims: false,
+            ..temporal
+        },
+    );
+
+    sim.clear_partition();
+    let temporally_captured = temporal_report.captured_peak;
+    let disrupted = spatially_isolated + temporally_captured;
+
+    CombinedReport {
+        spatially_isolated,
+        temporally_captured,
+        disrupted_fraction: disrupted as f64 / sim.node_count().max(1) as f64,
+        temporal: temporal_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_crawler::Crawler;
+    use bp_net::NetConfig;
+    use bp_topology::SnapshotConfig;
+
+    fn setup() -> (Snapshot, Simulation) {
+        let snap = Snapshot::generate(SnapshotConfig {
+            scale: 0.04,
+            tail_as_count: 50,
+            version_tail: 10,
+            up_fraction: 1.0,
+            ..SnapshotConfig::paper()
+        });
+        let config = NetConfig {
+            seed: 9,
+            diffusion_mean_ms: 40_000.0,
+            failure_rate: 0.12,
+            zombie_fraction: 0.05,
+            ..NetConfig::paper()
+        };
+        let sim = Simulation::new(&snap, &PoolCensus::paper_table_iv(), config);
+        (snap, sim)
+    }
+
+    #[test]
+    fn plan_finds_weakest_moment_and_targets() {
+        let (snap, mut sim) = setup();
+        let crawl = Crawler::new(60).crawl(&mut sim, &snap, 3600);
+        let plan = plan(&crawl, 5);
+        assert_eq!(plan.spatial_targets.len(), 5);
+        assert!(plan.attack_sample < crawl.series.len());
+        assert!(plan.behind_count > 0, "{plan:?}");
+        assert!(plan.spatial_coverage > 0.1, "{plan:?}");
+        // Top synced hosts should be big anchors (Table VII names
+        // AS4134, AS24940, AS16276, AS16509, AS14061).
+        let anchors = [24940u32, 16276, 37963, 16509, 14061, 7922, 4134];
+        assert!(anchors.contains(&plan.spatial_targets[0].0 .0));
+    }
+
+    #[test]
+    fn combined_attack_disrupts_more_than_either_arm() {
+        let (snap, mut sim) = setup();
+        let census = PoolCensus::paper_table_iv();
+        sim.run_for_secs(4 * 600);
+        let report = execute(
+            &mut sim,
+            &snap,
+            &census,
+            &[Asn(24940), Asn(4134)],
+            TemporalAttackConfig {
+                duration_secs: 2 * 600,
+                max_targets: 100,
+                ..TemporalAttackConfig::paper()
+            },
+        );
+        assert!(report.spatially_isolated > 0);
+        assert!(
+            report.disrupted_fraction > report.spatially_isolated as f64 / sim.node_count() as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty crawl")]
+    fn planning_needs_data() {
+        let (snap, mut sim) = setup();
+        let crawl = Crawler::new(600).crawl(&mut sim, &snap, 0);
+        let _ = plan(&crawl, 3);
+    }
+}

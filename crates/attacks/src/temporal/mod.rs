@@ -1,0 +1,14 @@
+//! Temporal partitioning (paper §V-B): the analytic isolation model
+//! (Table VI), the empirical vulnerable-node optimizer (Table V), the
+//! grid fork simulator (Figure 7) and the executed attack on the
+//! event-driven network simulation.
+
+pub mod attack;
+pub mod grid;
+pub mod model;
+pub mod optimizer;
+
+pub use attack::{run_temporal_attack, TemporalAttackConfig, TemporalAttackReport};
+pub use grid::{span_ratio_delay, GridConfig, GridSim, GridSnapshot};
+pub use model::TemporalModel;
+pub use optimizer::{table_v, TableVRow, PAPER_TIMING_CONSTRAINTS};

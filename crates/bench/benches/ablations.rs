@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * peer out-degree (4 / 8 / 16 / 24) — more peers shrink the temporal
+//!   attack surface at the cost of more gossip;
+//! * diffusion delay (fast vs. the paper's slow profile) — the knob that
+//!   controls how much lag exists to exploit;
+//! * span ratio in the grid simulator (0.5–4.0) — the paper's network
+//!   synchronization criterion;
+//! * grid size — the paper scales its simulation from 25² to 100².
+//!
+//! Each bench times one simulated hour (or one grid run) under the
+//! parameter so throughput regressions across the sweep are visible; the
+//! *behavioural* ablation numbers are printed by `repro` and recorded in
+//! EXPERIMENTS.md.
+
+use btcpart::attacks::temporal::grid::{GridConfig, GridSim};
+use btcpart::mining::PoolCensus;
+use btcpart::net::{NetConfig, Simulation};
+use btcpart::topology::{Snapshot, SnapshotConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn snapshot() -> Snapshot {
+    Snapshot::generate(SnapshotConfig {
+        scale: 0.05,
+        tail_as_count: 90,
+        version_tail: 20,
+        ..SnapshotConfig::paper()
+    })
+}
+
+fn peer_degree(c: &mut Criterion) {
+    let snapshot = snapshot();
+    let census = PoolCensus::paper_table_iv();
+    let mut group = c.benchmark_group("ablation_out_degree");
+    group.sample_size(10);
+    for degree in [4usize, 8, 16, 24] {
+        group.bench_function(format!("degree_{degree}"), |b| {
+            b.iter(|| {
+                let config = NetConfig {
+                    out_degree: degree,
+                    ..NetConfig::paper()
+                };
+                let mut sim = Simulation::new(&snapshot, &census, config);
+                sim.run_for_secs(3600);
+                // The behavioural output: lag tail after an hour.
+                let lags = sim.lags();
+                let behind = lags.iter().filter(|&&l| l >= 1).count();
+                black_box(behind)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn diffusion_delay(c: &mut Criterion) {
+    let snapshot = snapshot();
+    let census = PoolCensus::paper_table_iv();
+    let mut group = c.benchmark_group("ablation_diffusion");
+    group.sample_size(10);
+    for mean_ms in [2_000.0f64, 10_000.0, 25_000.0, 60_000.0] {
+        group.bench_function(format!("mean_{}s", mean_ms / 1000.0), |b| {
+            b.iter(|| {
+                let config = NetConfig {
+                    diffusion_mean_ms: mean_ms,
+                    ..NetConfig::paper()
+                };
+                let mut sim = Simulation::new(&snapshot, &census, config);
+                sim.run_for_secs(3600);
+                black_box(sim.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn span_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_span_ratio");
+    group.sample_size(10);
+    for r in [0.5f64, 1.0, 2.0, 4.0] {
+        group.bench_function(format!("rspan_{r}"), |b| {
+            b.iter(|| {
+                let mut sim = GridSim::new(GridConfig {
+                    span_ratio: r,
+                    ..GridConfig::figure7()
+                });
+                sim.run_to(500);
+                black_box(sim.attacker_fraction())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn grid_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grid_size");
+    group.sample_size(10);
+    for size in [25usize, 50, 100] {
+        group.bench_function(format!("grid_{size}x{size}"), |b| {
+            b.iter(|| {
+                let mut sim = GridSim::new(GridConfig {
+                    size,
+                    attacker_cell: (size / 3, size / 3),
+                    ..GridConfig::figure7()
+                });
+                sim.run_to(300);
+                black_box(sim.attacker_fraction())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, peer_degree, diffusion_delay, span_ratio, grid_size);
+criterion_main!(benches);

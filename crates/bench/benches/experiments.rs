@@ -1,0 +1,103 @@
+//! One Criterion bench per paper table/figure: times the full regeneration
+//! of each artifact at reduced (5 %) scale. `cargo bench -p bp-bench`.
+
+use bp_bench::{day_crawl, general_crawl, ReproConfig};
+use btcpart::experiments::{combined, defense, logical, spatial, temporal};
+use btcpart::Scenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config() -> ReproConfig {
+    ReproConfig {
+        day_hours: 1,
+        general_hours: 1,
+        ..ReproConfig::quick()
+    }
+}
+
+fn static_experiments(c: &mut Criterion) {
+    let cfg = config();
+    let (snapshot, census) = Scenario::new()
+        .scale(cfg.scale)
+        .seed(cfg.seed)
+        .build_static();
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(spatial::table1(&snapshot)))
+    });
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(spatial::table2(&snapshot)))
+    });
+    group.bench_function("table3", |b| {
+        b.iter(|| black_box(spatial::table3(&snapshot)))
+    });
+    group.bench_function("table4", |b| {
+        b.iter(|| black_box(spatial::table4(&snapshot, &census)))
+    });
+    group.bench_function("fig3", |b| b.iter(|| black_box(spatial::fig3(&snapshot))));
+    group.bench_function("fig4", |b| b.iter(|| black_box(spatial::fig4(&snapshot))));
+    group.bench_function("table6", |b| b.iter(|| black_box(temporal::table6())));
+    group.bench_function("table8", |b| {
+        b.iter(|| black_box(logical::table8(&snapshot)))
+    });
+    group.bench_function("cve_exposure", |b| {
+        b.iter(|| black_box(logical::cve_exposure(&snapshot)))
+    });
+    group.bench_function("implications", |b| {
+        b.iter(|| black_box(combined::implications(&snapshot, &census)))
+    });
+    group.bench_function("countermeasure_sweeps", |b| {
+        b.iter(|| {
+            black_box(defense::blockaware_sweep());
+            black_box(defense::stratum_diversification())
+        })
+    });
+    group.finish();
+}
+
+fn grid_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig7", |b| b.iter(|| black_box(temporal::fig7())));
+    group.finish();
+}
+
+fn crawl_experiments(c: &mut Criterion) {
+    let cfg = config();
+    // The crawl itself is the expensive part and is shared — bench it
+    // once, then the artifact builders over a precomputed crawl.
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.bench_function("day_crawl_1h", |b| b.iter(|| black_box(day_crawl(&cfg))));
+    group.bench_function("general_crawl_1h", |b| {
+        b.iter(|| black_box(general_crawl(&cfg)))
+    });
+    group.finish();
+
+    let (crawl, lab) = day_crawl(&cfg);
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("fig6", |b| {
+        b.iter(|| black_box(temporal::fig6(&crawl, "bench")))
+    });
+    group.bench_function("table5", |b| {
+        b.iter(|| black_box(temporal::table5(&crawl, 60)))
+    });
+    group.bench_function("table7", |b| {
+        b.iter(|| black_box(combined::table7(&crawl, &lab.snapshot)))
+    });
+    group.bench_function("fig8", |b| {
+        b.iter(|| black_box(combined::fig8(&crawl, &lab.snapshot)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    static_experiments,
+    grid_experiment,
+    crawl_experiments
+);
+criterion_main!(benches);

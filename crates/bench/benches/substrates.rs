@@ -1,0 +1,213 @@
+//! Microbenchmarks of the substrates the attacks run on: hashing, chain
+//! store, UTXO, routing, hijack planning and the event-driven simulator.
+
+use btcpart::bgp::{origin_hijack, AsGraph, HijackEngine, RouteMap};
+use btcpart::chain::{
+    AccountId, Amount, Block, ChainStore, Hash256, Height, Mempool, Transaction, TxOut, UtxoSet,
+};
+use btcpart::mining::PoolCensus;
+use btcpart::net::{NetConfig, Simulation};
+use btcpart::topology::{Asn, Snapshot, SnapshotConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(Hash256::digest(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn chain_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain");
+    group.sample_size(20);
+    group.bench_function("connect_100_blocks", |b| {
+        b.iter(|| {
+            let genesis = Block::genesis(AccountId(0), Amount::COIN);
+            let mut store = ChainStore::new(genesis.clone());
+            let mut prev = genesis.id();
+            let mut height = Height::GENESIS;
+            for i in 0..100u64 {
+                height = height.next();
+                let block = Block::build(
+                    prev,
+                    height,
+                    (i + 1) * 600,
+                    AccountId(1),
+                    Amount::COIN,
+                    vec![],
+                    i,
+                );
+                prev = block.id();
+                store.connect(block).expect("valid extension");
+            }
+            black_box(store.best_height())
+        })
+    });
+
+    group.bench_function("utxo_apply_block_500tx", |b| {
+        // Pre-build a funding chain with 500 outputs, then a block that
+        // spends them all.
+        let genesis = Block::genesis(AccountId(0), Amount::COIN);
+        let mut utxo = UtxoSet::new();
+        utxo.apply_block(&genesis).unwrap();
+        let fund_block = Block::build(
+            genesis.id(),
+            Height(1),
+            600,
+            AccountId(0),
+            Amount::COIN,
+            vec![],
+            0,
+        );
+        utxo.apply_block(&fund_block).unwrap();
+        // Fan the genesis coinbase out into 500 spendable outputs.
+        let fan: Vec<TxOut> = (0..500)
+            .map(|i| TxOut {
+                value: Amount(100),
+                owner: AccountId(i + 10),
+            })
+            .collect();
+        let fanout = Transaction::new(vec![genesis.coinbase().outpoint(0)], fan, 0);
+        let spend_block = Block::build(
+            fund_block.id(),
+            Height(2),
+            1200,
+            AccountId(0),
+            Amount::COIN,
+            vec![fanout],
+            0,
+        );
+        b.iter(|| {
+            let mut u = utxo.clone();
+            let undo = u.apply_block(&spend_block).expect("valid block");
+            black_box(undo);
+        })
+    });
+
+    group.bench_function("mempool_insert_1000", |b| {
+        let genesis = Block::genesis(AccountId(0), Amount::COIN);
+        let mut utxo = UtxoSet::new();
+        utxo.apply_block(&genesis).unwrap();
+        let fan: Vec<TxOut> = (0..1000)
+            .map(|i| TxOut {
+                value: Amount(100),
+                owner: AccountId(i + 10),
+            })
+            .collect();
+        let fanout = Transaction::new(vec![genesis.coinbase().outpoint(0)], fan, 0);
+        let block = Block::build(
+            genesis.id(),
+            Height(1),
+            600,
+            AccountId(0),
+            Amount::COIN,
+            vec![fanout.clone()],
+            0,
+        );
+        utxo.apply_block(&block).unwrap();
+        let spends: Vec<Transaction> = (0..1000u32)
+            .map(|i| {
+                Transaction::new(
+                    vec![fanout.outpoint(i)],
+                    vec![TxOut {
+                        value: Amount(50),
+                        owner: AccountId(1),
+                    }],
+                    i as u64,
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut pool = Mempool::new();
+            for tx in &spends {
+                pool.insert(tx.clone(), &utxo).expect("valid spend");
+            }
+            black_box(pool.len())
+        })
+    });
+    group.finish();
+}
+
+fn snapshot_config() -> SnapshotConfig {
+    SnapshotConfig {
+        scale: 0.05,
+        tail_as_count: 90,
+        version_tail: 20,
+        ..SnapshotConfig::paper()
+    }
+}
+
+fn topology_and_bgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(20);
+    group.bench_function("snapshot_generate_5pct", |b| {
+        b.iter(|| black_box(Snapshot::generate(snapshot_config())))
+    });
+    group.finish();
+
+    let snapshot = Snapshot::generate(snapshot_config());
+    let graph = AsGraph::synthetic(&snapshot.registry, 7);
+    let mut group = c.benchmark_group("bgp");
+    group.sample_size(20);
+    group.bench_function("route_map_compute", |b| {
+        b.iter(|| black_box(RouteMap::compute(&graph, Asn(24940))))
+    });
+    group.bench_function("origin_hijack", |b| {
+        b.iter(|| black_box(origin_hijack(&graph, Asn(24940), Asn(16509))))
+    });
+    group.bench_function("isolation_curve", |b| {
+        let engine = HijackEngine::new(&snapshot);
+        b.iter(|| black_box(engine.isolation_curve(Asn(16509))))
+    });
+    group.finish();
+}
+
+fn simulation(c: &mut Criterion) {
+    let snapshot = Snapshot::generate(snapshot_config());
+    let census = PoolCensus::paper_table_iv();
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("one_hour_5pct_paper_profile", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&snapshot, &census, NetConfig::paper());
+            sim.run_for_secs(3600);
+            black_box(sim.network_best())
+        })
+    });
+    group.bench_function("tx_flood_100", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&snapshot, &census, NetConfig::fast_test());
+            sim.run_for_secs(60);
+            for g in 0..100u64 {
+                sim.submit_tx((g % 50) as u32, g);
+            }
+            sim.run_for_secs(300);
+            black_box(sim.traffic().txs)
+        })
+    });
+    group.bench_function("fifty_one_scenario", |b| {
+        use btcpart::attacks::fifty_one::{run_fifty_one, FiftyOneConfig};
+        b.iter(|| {
+            let mut sim = Simulation::new(&snapshot, &census, NetConfig::fast_test());
+            sim.run_for_secs(1200);
+            black_box(run_fifty_one(
+                &mut sim,
+                &census,
+                FiftyOneConfig {
+                    duration_secs: 4 * 600,
+                    ..FiftyOneConfig::paper()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sha256, chain_store, topology_and_bgp, simulation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! repro                # everything at paper scale
+//! repro --quick        # everything at 5% scale (seconds)
+//! repro table5 fig4    # selected artifacts
+//! repro --scale 0.25 --out out/ all
+//! ```
+//!
+//! CSV exports land in the `--out` directory (default `repro_out/`).
+
+use bp_bench::{generate, ReproConfig, ARTIFACT_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let mut config = ReproConfig::paper();
+    let mut out_dir = PathBuf::from("repro_out");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config = ReproConfig::quick(),
+            "--scale" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+                config.scale = v;
+            }
+            "--hours" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| die("--hours needs an integer"));
+                config.day_hours = v;
+                config.general_hours = v * 2;
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+    for id in &ids {
+        if id != "all" && !ARTIFACT_IDS.contains(&id.as_str()) {
+            die(&format!(
+                "unknown artifact '{id}'; known: {}",
+                ARTIFACT_IDS.join(", ")
+            ));
+        }
+    }
+
+    eprintln!(
+        "# generating {:?} at scale {} (day crawl: {} h)",
+        ids, config.scale, config.day_hours
+    );
+    let artifacts = generate(&config, &ids);
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for artifact in &artifacts {
+        println!("{artifact}");
+        for (name, contents) in &artifact.csv {
+            let path = out_dir.join(format!("{name}.csv"));
+            std::fs::write(&path, contents).expect("write CSV export");
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+    eprintln!("# {} artifacts generated", artifacts.len());
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro [--quick] [--scale F] [--hours H] [--seed S] [--out DIR] [IDS…]\n\n\
+         artifacts: {}",
+        ARTIFACT_IDS.join(", ")
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,294 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+//!
+//! Every paper artifact is regenerated through [`generate`]; the
+//! Criterion benches time the same code paths at reduced scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use btcpart::attacks::temporal::TemporalAttackConfig;
+use btcpart::crawler::CrawlResult;
+use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
+use btcpart::net::NetConfig;
+use btcpart::{Lab, Scenario};
+
+/// Reproduction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReproConfig {
+    /// Population scale (1.0 = the paper's 13,635 nodes).
+    pub scale: f64,
+    /// Snapshot seed.
+    pub seed: u64,
+    /// Simulated hours behind the Figure 6(a) "general trend" crawl.
+    pub general_hours: u64,
+    /// Simulated hours behind the one-day crawls (Figure 6(b), Figure 8,
+    /// Tables V and VII).
+    pub day_hours: u64,
+}
+
+impl ReproConfig {
+    /// Paper-scale reproduction (minutes of wall time).
+    pub fn paper() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 20_180_228,
+            general_hours: 48,
+            day_hours: 24,
+        }
+    }
+
+    /// A fast configuration for CI and benches (seconds of wall time).
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.05,
+            seed: 20_180_228,
+            general_hours: 4,
+            day_hours: 2,
+        }
+    }
+}
+
+/// The lossy "paper" network profile used for the measurement crawls.
+pub fn measurement_net_config(seed: u64) -> NetConfig {
+    NetConfig {
+        seed,
+        ..NetConfig::paper()
+    }
+}
+
+/// Builds a lab with the measurement network profile.
+pub fn measurement_lab(config: &ReproConfig) -> Lab {
+    Scenario::new()
+        .scale(config.scale)
+        .seed(config.seed)
+        .net_config(measurement_net_config(config.seed.wrapping_add(1)))
+        .build()
+}
+
+/// Runs the one-day, 1-minute-sampled crawl shared by Figure 6(b,c),
+/// Table V, Table VII and Figure 8.
+pub fn day_crawl(config: &ReproConfig) -> (CrawlResult, Lab) {
+    let mut lab = measurement_lab(config);
+    let crawl = temporal::run_crawl(
+        &mut lab.sim,
+        &lab.snapshot,
+        2 * 600,
+        config.day_hours * 3600,
+        60,
+    );
+    (crawl, lab)
+}
+
+/// Runs the long, 10-minute-sampled crawl of Figure 6(a).
+pub fn general_crawl(config: &ReproConfig) -> (CrawlResult, Lab) {
+    let mut lab = measurement_lab(config);
+    let crawl = temporal::run_crawl(
+        &mut lab.sim,
+        &lab.snapshot,
+        2 * 600,
+        config.general_hours * 3600,
+        600,
+    );
+    (crawl, lab)
+}
+
+/// All artifact ids, in presentation order.
+pub const ARTIFACT_IDS: [&str; 21] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig6_general",
+    "fig6_day",
+    "fig6_minute",
+    "table5",
+    "table6",
+    "fig7",
+    "table7",
+    "fig8",
+    "table8",
+    "implications",
+    "cascade",
+    "fifty_one",
+    "propagation",
+    "countermeasures",
+    "ablations",
+];
+
+/// Generates the artifacts selected by `ids` (every known id if the
+/// selection contains `"all"`). Crawl-backed artifacts share one crawl.
+pub fn generate(config: &ReproConfig, ids: &[String]) -> Vec<Artifact> {
+    let want = |id: &str| -> bool { ids.iter().any(|x| x == id || x == "all") };
+    let mut artifacts = Vec::new();
+
+    // Static artifacts need the snapshot only.
+    let (snapshot, census) = Scenario::new()
+        .scale(config.scale)
+        .seed(config.seed)
+        .build_static();
+    if want("table1") {
+        artifacts.push(spatial::table1(&snapshot));
+    }
+    if want("table2") {
+        artifacts.push(spatial::table2(&snapshot));
+    }
+    if want("table3") {
+        artifacts.push(spatial::table3(&snapshot));
+    }
+    if want("table4") {
+        artifacts.push(spatial::table4(&snapshot, &census));
+    }
+    if want("fig3") {
+        artifacts.push(spatial::fig3(&snapshot));
+    }
+    if want("fig4") {
+        artifacts.push(spatial::fig4(&snapshot));
+    }
+    if want("implications") {
+        artifacts.push(combined::implications(&snapshot, &census));
+    }
+    if want("table8") {
+        artifacts.push(logical::table8(&snapshot));
+        artifacts.push(logical::cve_exposure(&snapshot));
+    }
+    if want("table6") {
+        artifacts.push(temporal::table6());
+    }
+    if want("fig7") {
+        artifacts.push(temporal::fig7());
+    }
+
+    // Crawl-backed artifacts.
+    let need_day = ["fig6_day", "fig6_minute", "table5", "table7", "fig8"]
+        .iter()
+        .any(|id| want(id));
+    if need_day {
+        let (crawl, lab) = day_crawl(config);
+        if want("fig6_day") {
+            artifacts.push(temporal::fig6(&crawl, "day"));
+        }
+        if want("fig6_minute") {
+            // Figure 6(c) zooms into the consensus pruning between two
+            // successive blocks: a ~30-minute window of the 1-minute
+            // samples.
+            let len = crawl.series.len();
+            let window = len.saturating_sub(30)..len;
+            artifacts.push(temporal::fig6_windowed(&crawl, "minute", Some(window)));
+        }
+        if want("table5") {
+            artifacts.push(temporal::table5(&crawl, 60));
+        }
+        if want("table7") {
+            artifacts.push(combined::table7(&crawl, &lab.snapshot));
+        }
+        if want("fig8") {
+            artifacts.push(combined::fig8(&crawl, &lab.snapshot));
+        }
+    }
+    if want("fig6_general") {
+        let (crawl, _) = general_crawl(config);
+        artifacts.push(temporal::fig6(&crawl, "general"));
+    }
+    if want("propagation") {
+        let mut lab = measurement_lab(config);
+        lab.sim.run_for_secs(2 * 600);
+        artifacts.push(temporal::propagation(
+            &mut lab.sim,
+            &lab.snapshot,
+            config.day_hours.clamp(1, 4),
+        ));
+    }
+
+    if want("ablations") {
+        artifacts.push(ablation::relay_mode(config.seed));
+        artifacts.push(ablation::out_degree(config.seed));
+        artifacts.push(ablation::span_ratio(config.seed));
+    }
+    if want("cascade") {
+        let lab = measurement_lab(config);
+        artifacts.push(combined::cascade(&lab.sim, &lab.snapshot));
+    }
+    if want("fifty_one") {
+        let mut lab = measurement_lab(config);
+        lab.sim.run_for_secs(2 * 600);
+        artifacts.push(combined::fifty_one(&mut lab.sim, &lab.census));
+    }
+    if want("countermeasures") {
+        artifacts.push(defense::blockaware_sweep());
+        artifacts.push(defense::stratum_diversification());
+        let (def_snapshot, _) = Scenario::new()
+            .scale(config.scale)
+            .seed(config.seed)
+            .build_static();
+        artifacts.push(defense::route_purging(&def_snapshot));
+        let mut unprotected = measurement_lab(config);
+        unprotected.sim.run_for_secs(4 * 600);
+        let mut protected = measurement_lab(config);
+        protected.sim.run_for_secs(4 * 600);
+        // A long enough window that (a) post-capture staleness alarms
+        // fire — at 30 % hash the counterfeit inter-block gap averages
+        // 2,000 s, well past the 600 s threshold — and (b) the honest
+        // majority's hash advantage dominates short lucky streaks by the
+        // attacker.
+        artifacts.push(defense::blockaware_defense(
+            &mut unprotected.sim,
+            &mut protected.sim,
+            TemporalAttackConfig {
+                duration_secs: 12 * 600,
+                max_targets: (200.0 * config.scale).max(30.0) as usize,
+                ..TemporalAttackConfig::paper()
+            },
+        ));
+    }
+
+    artifacts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_static_artifacts_generate() {
+        let config = ReproConfig::quick();
+        let artifacts = generate(
+            &config,
+            [
+                "table1", "table2", "fig3", "fig4", "table6", "fig7", "table8",
+            ]
+            .map(String::from)
+            .as_ref(),
+        );
+        // table8 adds cve_exposure.
+        assert_eq!(artifacts.len(), 8);
+        for a in &artifacts {
+            assert!(!a.body.is_empty(), "{} is empty", a.id);
+        }
+    }
+
+    #[test]
+    fn crawl_backed_artifacts_share_one_crawl() {
+        let config = ReproConfig {
+            scale: 0.02,
+            day_hours: 1,
+            ..ReproConfig::quick()
+        };
+        let artifacts = generate(
+            &config,
+            ["fig6_day", "table5", "table7", "fig8"]
+                .map(String::from)
+                .as_ref(),
+        );
+        assert_eq!(artifacts.len(), 4);
+    }
+
+    #[test]
+    fn artifact_id_list_is_unique() {
+        let mut ids = ARTIFACT_IDS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ARTIFACT_IDS.len());
+    }
+}

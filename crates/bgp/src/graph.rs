@@ -1,0 +1,241 @@
+//! The AS-level relationship graph.
+//!
+//! BGP route selection and export depend on the commercial relationship of
+//! each link (Gao–Rexford model): an AS exports routes learned from a
+//! *customer* to everyone, but routes learned from a *peer* or *provider*
+//! only to its customers. The paper's spatial attack rides on exactly this
+//! machinery ("the malicious AS announces prefixes that belong to the
+//! victim AS", §V-A), so the substrate models it faithfully.
+
+use bp_topology::{Asn, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The relationship a neighbor has *to this AS*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// The neighbor buys transit from us.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+    /// We buy transit from the neighbor.
+    Provider,
+}
+
+impl Relationship {
+    /// The same edge, seen from the other side.
+    pub fn inverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Provider => Relationship::Customer,
+        }
+    }
+}
+
+/// An AS-level topology annotated with business relationships.
+#[derive(Debug, Clone, Default)]
+pub struct AsGraph {
+    /// `neighbors[a]` = list of `(neighbor, relationship-of-neighbor-to-a)`.
+    neighbors: HashMap<Asn, Vec<(Asn, Relationship)>>,
+}
+
+impl AsGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an edge where `provider` sells transit to `customer`.
+    ///
+    /// Duplicate edges are ignored.
+    pub fn add_transit(&mut self, provider: Asn, customer: Asn) {
+        self.add_edge(customer, provider, Relationship::Provider);
+    }
+
+    /// Adds a settlement-free peering edge.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        self.add_edge(a, b, Relationship::Peer);
+    }
+
+    fn add_edge(&mut self, from: Asn, to: Asn, rel: Relationship) {
+        if from == to {
+            return;
+        }
+        let fwd = self.neighbors.entry(from).or_default();
+        if fwd.iter().any(|(n, _)| *n == to) {
+            return;
+        }
+        fwd.push((to, rel));
+        self.neighbors
+            .entry(to)
+            .or_default()
+            .push((from, rel.inverse()));
+    }
+
+    /// Neighbors of `asn` with their relationship to it.
+    pub fn neighbors(&self, asn: Asn) -> &[(Asn, Relationship)] {
+        self.neighbors.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All ASes present in the graph.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors.keys().copied()
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Providers of `asn`.
+    pub fn providers(&self, asn: Asn) -> Vec<Asn> {
+        self.related(asn, Relationship::Provider)
+    }
+
+    /// Customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
+        self.related(asn, Relationship::Customer)
+    }
+
+    /// Peers of `asn`.
+    pub fn peers(&self, asn: Asn) -> Vec<Asn> {
+        self.related(asn, Relationship::Peer)
+    }
+
+    fn related(&self, asn: Asn, rel: Relationship) -> Vec<Asn> {
+        self.neighbors(asn)
+            .iter()
+            .filter(|(_, r)| *r == rel)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Builds a synthetic Internet-like hierarchy over all ASes in a
+    /// registry:
+    ///
+    /// * a fully-meshed clique of tier-1 backbones (private ASNs);
+    /// * every registry AS multi-homes to 2–3 tier-1s (big hosting
+    ///   providers really are richly connected);
+    /// * tail ASes additionally buy transit from one of the large anchor
+    ///   ASes, plus sparse peering edges.
+    ///
+    /// The result is connected and valley-free-routable from everywhere.
+    pub fn synthetic(registry: &Registry, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = AsGraph::new();
+
+        let tier1: Vec<Asn> = (0..8).map(|i| Asn(65_000 + i)).collect();
+        for (i, a) in tier1.iter().enumerate() {
+            for b in tier1.iter().skip(i + 1) {
+                g.add_peering(*a, *b);
+            }
+        }
+
+        let all: Vec<Asn> = registry.ases().map(|r| r.asn).collect();
+        // The ten largest registered ASes act as regional transit too.
+        let regionals: Vec<Asn> = all.iter().take(10).copied().collect();
+        for (idx, asn) in all.iter().enumerate() {
+            let homes = 2 + (rng.random::<u32>() % 2) as usize;
+            let mut chosen = std::collections::BTreeSet::new();
+            while chosen.len() < homes {
+                chosen.insert(tier1[rng.random_range(0..tier1.len())]);
+            }
+            for t in chosen {
+                g.add_transit(t, *asn);
+            }
+            // Tail ASes also buy regional transit.
+            if idx >= 10 && rng.random::<f64>() < 0.5 {
+                let r = regionals[rng.random_range(0..regionals.len())];
+                g.add_transit(r, *asn);
+            }
+            // Sparse peering among consecutive registrations.
+            if idx > 0 && rng.random::<f64>() < 0.15 {
+                g.add_peering(*asn, all[rng.random_range(0..idx)]);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_topology::{Snapshot, SnapshotConfig};
+
+    #[test]
+    fn edges_are_symmetric_with_inverse_relationship() {
+        let mut g = AsGraph::new();
+        g.add_transit(Asn(1), Asn(2)); // 1 provides to 2
+        assert_eq!(g.providers(Asn(2)), vec![Asn(1)]);
+        assert_eq!(g.customers(Asn(1)), vec![Asn(2)]);
+        g.add_peering(Asn(2), Asn(3));
+        assert_eq!(g.peers(Asn(2)), vec![Asn(3)]);
+        assert_eq!(g.peers(Asn(3)), vec![Asn(2)]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = AsGraph::new();
+        g.add_transit(Asn(1), Asn(2));
+        g.add_transit(Asn(1), Asn(2));
+        g.add_peering(Asn(1), Asn(1));
+        assert_eq!(g.neighbors(Asn(1)).len(), 1);
+        assert_eq!(g.neighbors(Asn(2)).len(), 1);
+    }
+
+    #[test]
+    fn relationship_inverse_round_trips() {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
+            assert_eq!(rel.inverse().inverse(), rel);
+        }
+    }
+
+    #[test]
+    fn synthetic_graph_covers_registry_and_is_connected() {
+        let snap = Snapshot::generate(SnapshotConfig::test_small());
+        let g = AsGraph::synthetic(&snap.registry, 7);
+        // Every registered AS is present with at least one provider.
+        for rec in snap.registry.ases() {
+            assert!(
+                !g.providers(rec.asn).is_empty(),
+                "{} has no providers",
+                rec.asn
+            );
+        }
+        // Connectivity via undirected BFS.
+        let start = snap.registry.ases().next().unwrap().asn;
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(a) = queue.pop_front() {
+            for (n, _) in g.neighbors(a) {
+                if seen.insert(*n) {
+                    queue.push_back(*n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), g.len(), "graph is disconnected");
+    }
+
+    #[test]
+    fn synthetic_graph_is_deterministic() {
+        let snap = Snapshot::generate(SnapshotConfig::test_small());
+        let a = AsGraph::synthetic(&snap.registry, 7);
+        let b = AsGraph::synthetic(&snap.registry, 7);
+        let count_edges =
+            |g: &AsGraph| -> usize { g.ases().map(|asn| g.neighbors(asn).len()).sum() };
+        assert_eq!(count_edges(&a), count_edges(&b));
+        assert_eq!(a.providers(Asn(24940)), b.providers(Asn(24940)));
+    }
+}

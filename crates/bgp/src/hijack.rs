@@ -1,0 +1,279 @@
+//! The BGP hijack engine.
+//!
+//! Two attack flavours from the paper (§V-A):
+//!
+//! * **More-specific prefix hijack** — the attacker announces a longer
+//!   prefix than the victim's; longest-prefix-match means *every* AS
+//!   forwards the covered traffic to the attacker, so each hijacked
+//!   prefix cleanly isolates all Bitcoin nodes inside it. Figure 4 counts
+//!   how many such announcements are needed per victim AS.
+//! * **Same-length origin hijack** — the attacker announces the victim's
+//!   exact prefix; the Internet splits according to BGP preference, and
+//!   only part of it (the *capture set*) routes to the attacker.
+//!
+//! The engine also produces the paper's cost/advantage accounting: "taking
+//! the number of isolated nodes as an advantage and the number of prefixes
+//! to be hijacked as an effort".
+
+use crate::graph::AsGraph;
+use crate::routing::RouteMap;
+use bp_topology::{Asn, NodeId, Snapshot};
+
+/// Result of hijacking a set of prefixes inside one victim AS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HijackOutcome {
+    /// The victim AS.
+    pub victim: Asn,
+    /// Number of prefixes announced (the attacker's effort).
+    pub prefixes_hijacked: usize,
+    /// Nodes whose traffic the attacker now intercepts (the advantage).
+    pub isolated_nodes: Vec<NodeId>,
+    /// Fraction of the victim AS's nodes isolated.
+    pub fraction_of_as: f64,
+}
+
+impl HijackOutcome {
+    /// The paper's cost/advantage ratio: prefixes per isolated node
+    /// (lower = more efficient attack). `f64::INFINITY` when nothing was
+    /// isolated.
+    pub fn cost_per_node(&self) -> f64 {
+        if self.isolated_nodes.is_empty() {
+            f64::INFINITY
+        } else {
+            self.prefixes_hijacked as f64 / self.isolated_nodes.len() as f64
+        }
+    }
+}
+
+/// Plans and evaluates more-specific prefix hijacks against a snapshot.
+#[derive(Debug, Clone)]
+pub struct HijackEngine<'a> {
+    snapshot: &'a Snapshot,
+}
+
+impl<'a> HijackEngine<'a> {
+    /// Creates an engine over a snapshot.
+    pub fn new(snapshot: &'a Snapshot) -> Self {
+        Self { snapshot }
+    }
+
+    /// The cumulative isolation curve of Figure 4: element `k-1` is the
+    /// fraction of the AS's nodes isolated after hijacking its `k` most
+    /// populated prefixes.
+    ///
+    /// Nodes without a covering IPv4 prefix (IPv6 carve-outs) cannot be
+    /// isolated this way and cap the curve below 1.0, mirroring the
+    /// paper's observation that a handful of nodes per AS resist prefix
+    /// hijacks.
+    pub fn isolation_curve(&self, victim: Asn) -> Vec<f64> {
+        let total = self.snapshot.nodes_in_as(victim).len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let counts = self.snapshot.prefix_node_counts(victim);
+        let mut acc = 0usize;
+        counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc as f64 / total as f64
+            })
+            .collect()
+    }
+
+    /// Minimum number of prefixes to isolate at least `fraction` of the
+    /// victim's nodes, or `None` if the curve never reaches it.
+    pub fn prefixes_for_fraction(&self, victim: Asn, fraction: f64) -> Option<usize> {
+        self.isolation_curve(victim)
+            .iter()
+            .position(|f| *f + 1e-12 >= fraction)
+            .map(|i| i + 1)
+    }
+
+    /// Executes a greedy hijack of the victim's `k` most populated
+    /// prefixes and reports the outcome.
+    pub fn hijack_top_prefixes(&self, victim: Asn, k: usize) -> HijackOutcome {
+        // Rank prefixes by node population.
+        let record = self.snapshot.registry.as_record(victim);
+        let prefix_count = record.map(|r| r.prefixes.len()).unwrap_or(0);
+        let mut per_prefix: Vec<(u32, Vec<NodeId>)> = (0..prefix_count as u32)
+            .map(|pi| (pi, Vec::new()))
+            .collect();
+        let members = self.snapshot.nodes_in_as(victim);
+        for id in &members {
+            let n = self.snapshot.node(*id);
+            if let Some(pi) = n.prefix_idx {
+                per_prefix[pi as usize].1.push(*id);
+            }
+        }
+        per_prefix.sort_by_key(|(_, nodes)| std::cmp::Reverse(nodes.len()));
+
+        let k = k.min(per_prefix.len());
+        let isolated: Vec<NodeId> = per_prefix
+            .iter()
+            .take(k)
+            .flat_map(|(_, nodes)| nodes.iter().copied())
+            .collect();
+        let fraction = if members.is_empty() {
+            0.0
+        } else {
+            isolated.len() as f64 / members.len() as f64
+        };
+        HijackOutcome {
+            victim,
+            prefixes_hijacked: k,
+            isolated_nodes: isolated,
+            fraction_of_as: fraction,
+        }
+    }
+
+    /// Hijacks entire ASes (every active prefix) — the coarse attack the
+    /// paper uses for hash-power isolation ("if an attacker hijacks 3
+    /// ASes, he can isolate more than 60 % of the Bitcoin hash power").
+    pub fn hijack_ases(&self, victims: &[Asn]) -> Vec<NodeId> {
+        victims
+            .iter()
+            .flat_map(|asn| self.snapshot.nodes_in_as(*asn))
+            .collect()
+    }
+}
+
+/// Result of a same-length origin hijack computed over the routing graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OriginHijack {
+    /// ASes that route the contested prefix to the attacker.
+    pub captured_ases: Vec<Asn>,
+    /// Fraction of all ASes captured.
+    pub captured_fraction: f64,
+}
+
+/// Computes which ASes a same-length origin hijack captures, given the
+/// relationship graph. The victim keeps ASes that prefer its announcement;
+/// the attacker takes the rest.
+pub fn origin_hijack(graph: &AsGraph, victim: Asn, attacker: Asn) -> OriginHijack {
+    origin_hijack_with_defense(graph, victim, attacker, &std::collections::HashSet::new())
+}
+
+/// Like [`origin_hijack`], but ASes in `defenders` deploy bogus-route
+/// purging (Zhang et al., paper §VI): they reject the hijacker's
+/// announcement and never re-export it, shielding themselves and every AS
+/// whose only path to the attacker ran through them.
+pub fn origin_hijack_with_defense(
+    graph: &AsGraph,
+    victim: Asn,
+    attacker: Asn,
+    defenders: &std::collections::HashSet<Asn>,
+) -> OriginHijack {
+    let victim_routes = RouteMap::compute(graph, victim);
+    let attacker_routes = RouteMap::compute_with_blocked(graph, attacker, defenders);
+    let captured = victim_routes.captured_by(&attacker_routes);
+    let total = graph.len().max(1);
+    OriginHijack {
+        captured_fraction: captured.len() as f64 / total as f64,
+        captured_ases: captured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_topology::{Snapshot, SnapshotConfig};
+
+    fn snap() -> Snapshot {
+        Snapshot::generate(SnapshotConfig::test_small())
+    }
+
+    #[test]
+    fn isolation_curve_is_monotone_and_bounded() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        let curve = engine.isolation_curve(Asn(24940));
+        assert!(!curve.is_empty());
+        for pair in curve.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+        assert!(*curve.last().unwrap() <= 1.0);
+        // Hetzner is concentrated: most nodes fall quickly.
+        assert!(curve[14.min(curve.len() - 1)] > 0.6);
+    }
+
+    #[test]
+    fn amazon_needs_many_more_prefixes_than_hetzner() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        let hetzner = engine.prefixes_for_fraction(Asn(24940), 0.8).unwrap();
+        let amazon = engine.prefixes_for_fraction(Asn(16509), 0.8).unwrap();
+        assert!(amazon > hetzner * 3, "amazon {amazon} vs hetzner {hetzner}");
+    }
+
+    #[test]
+    fn hijack_outcome_accounting() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        let outcome = engine.hijack_top_prefixes(Asn(24940), 15);
+        assert_eq!(outcome.prefixes_hijacked, 15);
+        assert!(outcome.fraction_of_as > 0.5);
+        assert!(outcome.cost_per_node() < 1.0);
+        // All isolated nodes really live in the victim AS.
+        for id in &outcome.isolated_nodes {
+            assert_eq!(s.node(*id).asn, Asn(24940));
+        }
+    }
+
+    #[test]
+    fn hijack_zero_prefixes_isolates_nothing() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        let outcome = engine.hijack_top_prefixes(Asn(24940), 0);
+        assert!(outcome.isolated_nodes.is_empty());
+        assert_eq!(outcome.cost_per_node(), f64::INFINITY);
+    }
+
+    #[test]
+    fn unknown_as_yields_empty_curve() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        assert!(engine.isolation_curve(Asn(424242)).is_empty());
+        assert_eq!(engine.prefixes_for_fraction(Asn(424242), 0.5), None);
+    }
+
+    #[test]
+    fn hijacking_whole_ases_collects_their_nodes() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        let nodes = engine.hijack_ases(&[Asn(37963), Asn(45102)]);
+        let expected = s.nodes_in_as(Asn(37963)).len() + s.nodes_in_as(Asn(45102)).len();
+        assert_eq!(nodes.len(), expected);
+    }
+
+    #[test]
+    fn route_purging_shrinks_the_capture_set() {
+        let s = snap();
+        let g = AsGraph::synthetic(&s.registry, 3);
+        let undefended = origin_hijack(&g, Asn(24940), Asn(16509));
+        // The biggest transit ASes deploy purging.
+        let defenders: std::collections::HashSet<Asn> = (0..8).map(|i| Asn(65_000 + i)).collect();
+        let defended = origin_hijack_with_defense(&g, Asn(24940), Asn(16509), &defenders);
+        assert!(
+            defended.captured_fraction < undefended.captured_fraction,
+            "defense did not help: {} vs {}",
+            defended.captured_fraction,
+            undefended.captured_fraction
+        );
+        // Defenders themselves are never captured.
+        for d in &defenders {
+            assert!(!defended.captured_ases.contains(d));
+        }
+    }
+
+    #[test]
+    fn origin_hijack_captures_part_of_internet() {
+        let s = snap();
+        let g = AsGraph::synthetic(&s.registry, 3);
+        let result = origin_hijack(&g, Asn(24940), Asn(16509));
+        assert!(result.captured_fraction > 0.0);
+        assert!(result.captured_fraction < 1.0);
+        // The attacker itself is in its own capture set.
+        assert!(result.captured_ases.contains(&Asn(16509)));
+    }
+}

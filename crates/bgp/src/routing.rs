@@ -1,0 +1,319 @@
+//! Valley-free (Gao–Rexford) route computation.
+//!
+//! Routes propagate from an origin AS outward under the standard export
+//! policy: a route learned from a **customer** is exported to everyone; a
+//! route learned from a **peer** or **provider** is exported only to
+//! customers. Each AS prefers customer routes over peer routes over
+//! provider routes, then shorter AS paths.
+//!
+//! The computation is the classic three-stage BFS:
+//!
+//! 1. *customer routes* — walk provider edges up from the origin;
+//! 2. *peer routes* — one peer hop off any customer route;
+//! 3. *provider routes* — walk customer edges down from anything reached.
+//!
+//! This gives, for every AS, the route class and AS-path length it would
+//! use toward the origin — enough to decide, when a hijacker announces the
+//! same prefix, which ASes follow the attacker and which stay with the
+//! victim.
+
+use crate::graph::{AsGraph, Relationship};
+use bp_topology::Asn;
+use std::collections::{HashMap, VecDeque};
+
+/// The class of a route, in decreasing order of preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// Learned from a customer (revenue-generating, most preferred).
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider (costs money, least preferred).
+    Provider,
+    /// The AS originates the prefix itself.
+    Origin,
+}
+
+/// One AS's best route to an origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Preference class (origin beats everything).
+    pub class: RouteClass,
+    /// AS-path length in hops (0 for the origin itself).
+    pub path_len: u32,
+}
+
+impl Route {
+    /// BGP-style preference: origin first, then customer > peer >
+    /// provider, then shorter path. Returns `true` when `self` is
+    /// preferred over `other`.
+    pub fn prefer_over(&self, other: &Route) -> bool {
+        let rank = |r: &Route| -> (u8, u32) {
+            let class_rank = match r.class {
+                RouteClass::Origin => 0,
+                RouteClass::Customer => 1,
+                RouteClass::Peer => 2,
+                RouteClass::Provider => 3,
+            };
+            (class_rank, r.path_len)
+        };
+        rank(self) < rank(other)
+    }
+}
+
+/// Per-AS best routes toward one origin's announcement.
+#[derive(Debug, Clone)]
+pub struct RouteMap {
+    origin: Asn,
+    routes: HashMap<Asn, Route>,
+}
+
+impl RouteMap {
+    /// Computes valley-free routes from every AS toward `origin`.
+    pub fn compute(graph: &AsGraph, origin: Asn) -> Self {
+        Self::compute_with_blocked(graph, origin, &std::collections::HashSet::new())
+    }
+
+    /// Computes routes while `blocked` ASes refuse the announcement
+    /// entirely — the "bogus route purging" defense of Zhang et al.
+    /// (paper §VI): a defending AS drops the hijacker's announcement and
+    /// therefore never propagates it to its own neighbours.
+    pub fn compute_with_blocked(
+        graph: &AsGraph,
+        origin: Asn,
+        blocked: &std::collections::HashSet<Asn>,
+    ) -> Self {
+        let mut routes: HashMap<Asn, Route> = HashMap::new();
+        routes.insert(
+            origin,
+            Route {
+                class: RouteClass::Origin,
+                path_len: 0,
+            },
+        );
+
+        // Stage 1: customer routes — BFS up provider edges. An AS gets a
+        // customer route if one of its customers has a customer route (or
+        // is the origin).
+        let mut queue = VecDeque::from([origin]);
+        while let Some(a) = queue.pop_front() {
+            let a_len = routes[&a].path_len;
+            for (n, rel) in graph.neighbors(a) {
+                // `n` sees `a` as a customer when rel-of-n-to-a is
+                // Provider (n provides to a).
+                if *rel == Relationship::Provider && !routes.contains_key(n) && !blocked.contains(n)
+                {
+                    routes.insert(
+                        *n,
+                        Route {
+                            class: RouteClass::Customer,
+                            path_len: a_len + 1,
+                        },
+                    );
+                    queue.push_back(*n);
+                }
+            }
+        }
+
+        // Stage 2: peer routes — one peer hop off any stage-1/origin route.
+        let stage1: Vec<(Asn, u32)> = routes.iter().map(|(a, r)| (*a, r.path_len)).collect();
+        for (a, len) in stage1 {
+            for (n, rel) in graph.neighbors(a) {
+                if *rel == Relationship::Peer && !routes.contains_key(n) && !blocked.contains(n) {
+                    routes.insert(
+                        *n,
+                        Route {
+                            class: RouteClass::Peer,
+                            path_len: len + 1,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Stage 3: provider routes — BFS down customer edges from anything
+        // routed so far, preferring shorter paths (plain BFS order works
+        // because every newly labelled AS has path_len ≥ its parent).
+        let mut queue: VecDeque<Asn> = {
+            let mut seeds: Vec<(Asn, u32)> = routes.iter().map(|(a, r)| (*a, r.path_len)).collect();
+            seeds.sort_by_key(|(_, l)| *l);
+            seeds.into_iter().map(|(a, _)| a).collect()
+        };
+        while let Some(a) = queue.pop_front() {
+            let a_len = routes[&a].path_len;
+            for (n, rel) in graph.neighbors(a) {
+                // `n` sees `a` as a provider when rel-of-n-to-a is
+                // Customer (n is a's customer).
+                if *rel == Relationship::Customer && !routes.contains_key(n) && !blocked.contains(n)
+                {
+                    routes.insert(
+                        *n,
+                        Route {
+                            class: RouteClass::Provider,
+                            path_len: a_len + 1,
+                        },
+                    );
+                    queue.push_back(*n);
+                }
+            }
+        }
+
+        Self { origin, routes }
+    }
+
+    /// The origin this map routes toward.
+    pub fn origin(&self) -> Asn {
+        self.origin
+    }
+
+    /// The route `asn` uses, or `None` if the announcement never reaches
+    /// it (disconnected graph).
+    pub fn route(&self, asn: Asn) -> Option<Route> {
+        self.routes.get(&asn).copied()
+    }
+
+    /// Number of ASes that can reach the origin.
+    pub fn reach(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Given a competing announcement of the *same prefix* by `other`,
+    /// returns the set of ASes that prefer the other origin — i.e. the
+    /// portion of the Internet a same-length hijack captures.
+    pub fn captured_by(&self, other: &RouteMap) -> Vec<Asn> {
+        let mut captured = Vec::new();
+        for (asn, other_route) in &other.routes {
+            if *asn == self.origin {
+                continue;
+            }
+            match self.routes.get(asn) {
+                None => captured.push(*asn),
+                Some(own_route) => {
+                    if other_route.prefer_over(own_route) {
+                        captured.push(*asn);
+                    }
+                }
+            }
+        }
+        captured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small valley-free testbed:
+    ///
+    /// ```text
+    ///        T1 ──── T2          (tier-1 peers)
+    ///       /  \       \
+    ///      A    B       C        (mid tier, customers of tier-1)
+    ///     /      \       \
+    ///    X        Y       Z      (stubs)
+    /// ```
+    fn testbed() -> AsGraph {
+        let mut g = AsGraph::new();
+        let (t1, t2) = (Asn(101), Asn(102));
+        let (a, b, c) = (Asn(1), Asn(2), Asn(3));
+        let (x, y, z) = (Asn(11), Asn(12), Asn(13));
+        g.add_peering(t1, t2);
+        g.add_transit(t1, a);
+        g.add_transit(t1, b);
+        g.add_transit(t2, c);
+        g.add_transit(a, x);
+        g.add_transit(b, y);
+        g.add_transit(c, z);
+        g
+    }
+
+    #[test]
+    fn origin_routes_to_itself() {
+        let g = testbed();
+        let m = RouteMap::compute(&g, Asn(11));
+        assert_eq!(
+            m.route(Asn(11)),
+            Some(Route {
+                class: RouteClass::Origin,
+                path_len: 0
+            })
+        );
+    }
+
+    #[test]
+    fn providers_get_customer_routes() {
+        let g = testbed();
+        let m = RouteMap::compute(&g, Asn(11)); // origin = X
+        let a = m.route(Asn(1)).unwrap();
+        assert_eq!(a.class, RouteClass::Customer);
+        assert_eq!(a.path_len, 1);
+        let t1 = m.route(Asn(101)).unwrap();
+        assert_eq!(t1.class, RouteClass::Customer);
+        assert_eq!(t1.path_len, 2);
+    }
+
+    #[test]
+    fn peers_get_peer_routes_and_their_customers_provider_routes() {
+        let g = testbed();
+        let m = RouteMap::compute(&g, Asn(11)); // origin = X under T1
+        let t2 = m.route(Asn(102)).unwrap();
+        assert_eq!(t2.class, RouteClass::Peer);
+        assert_eq!(t2.path_len, 3);
+        // Z sits under T2 → provider route through the peer link.
+        let z = m.route(Asn(13)).unwrap();
+        assert_eq!(z.class, RouteClass::Provider);
+        assert_eq!(z.path_len, 5);
+        // Y sits under B under T1 → provider route, no peer hop.
+        let y = m.route(Asn(12)).unwrap();
+        assert_eq!(y.class, RouteClass::Provider);
+        assert_eq!(y.path_len, 4);
+    }
+
+    #[test]
+    fn announcement_reaches_whole_connected_graph() {
+        let g = testbed();
+        let m = RouteMap::compute(&g, Asn(12));
+        assert_eq!(m.reach(), 8);
+    }
+
+    #[test]
+    fn same_prefix_hijack_splits_the_internet() {
+        let g = testbed();
+        // Victim X (under A/T1) vs attacker Z (under C/T2).
+        let victim = RouteMap::compute(&g, Asn(11));
+        let attacker = RouteMap::compute(&g, Asn(13));
+        let captured = victim.captured_by(&attacker);
+        // C prefers its customer Z; T2 prefers its customer Z.
+        assert!(captured.contains(&Asn(3)));
+        assert!(captured.contains(&Asn(102)));
+        // A still prefers its own customer X.
+        assert!(!captured.contains(&Asn(1)));
+        // The attacker "captures" itself trivially.
+        assert!(captured.contains(&Asn(13)));
+    }
+
+    #[test]
+    fn route_preference_ordering() {
+        let customer = Route {
+            class: RouteClass::Customer,
+            path_len: 9,
+        };
+        let peer = Route {
+            class: RouteClass::Peer,
+            path_len: 1,
+        };
+        let provider_short = Route {
+            class: RouteClass::Provider,
+            path_len: 1,
+        };
+        let provider_long = Route {
+            class: RouteClass::Provider,
+            path_len: 4,
+        };
+        // Class dominates length.
+        assert!(customer.prefer_over(&peer));
+        assert!(peer.prefer_over(&provider_short));
+        // Length breaks ties within a class.
+        assert!(provider_short.prefer_over(&provider_long));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the BGP substrate: valley-free routing
+//! invariants and hijack capture-set properties across random topologies.
+
+use bp_bgp::{origin_hijack, origin_hijack_with_defense, AsGraph, RouteClass, RouteMap};
+use bp_topology::Asn;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Builds a random two-tier topology: `cores` fully-meshed tier-1 peers,
+/// `leaves` customers each homed to 1–2 cores (choices driven by the
+/// input bytes, so proptest can shrink).
+fn build_topology(cores: usize, homes: &[u8]) -> (AsGraph, Vec<Asn>, Vec<Asn>) {
+    let mut g = AsGraph::new();
+    let core_asns: Vec<Asn> = (0..cores as u32).map(|i| Asn(1000 + i)).collect();
+    for (i, a) in core_asns.iter().enumerate() {
+        for b in core_asns.iter().skip(i + 1) {
+            g.add_peering(*a, *b);
+        }
+    }
+    let mut leaf_asns = Vec::new();
+    for (i, &h) in homes.iter().enumerate() {
+        let leaf = Asn(2000 + i as u32);
+        leaf_asns.push(leaf);
+        g.add_transit(core_asns[h as usize % cores], leaf);
+        if h % 3 == 0 {
+            g.add_transit(core_asns[(h as usize / 3 + 1) % cores], leaf);
+        }
+    }
+    (g, core_asns, leaf_asns)
+}
+
+proptest! {
+    /// Every AS in a connected topology gets a route; path lengths are
+    /// bounded by the tier count; the origin's route is Origin-class.
+    #[test]
+    fn routes_cover_connected_topologies(
+        cores in 2usize..6,
+        homes in proptest::collection::vec(any::<u8>(), 1..30),
+        origin_pick in any::<prop::sample::Index>(),
+    ) {
+        let (g, core_asns, leaf_asns) = build_topology(cores, &homes);
+        let all: Vec<Asn> = core_asns.iter().chain(leaf_asns.iter()).copied().collect();
+        let origin = all[origin_pick.index(all.len())];
+        let map = RouteMap::compute(&g, origin);
+        prop_assert_eq!(map.reach(), g.len(), "unreached ASes from {}", origin);
+        prop_assert_eq!(map.route(origin).unwrap().class, RouteClass::Origin);
+        for asn in &all {
+            let r = map.route(*asn).unwrap();
+            // Leaf → core → peer core → leaf is the longest possible
+            // valley-free path in this two-tier world.
+            prop_assert!(r.path_len <= 4, "{asn} path {}", r.path_len);
+        }
+    }
+
+    /// Valley-free discipline: a leaf (stub AS with no customers) never
+    /// carries a Customer-class route for someone else's prefix.
+    #[test]
+    fn stubs_never_transit(
+        cores in 2usize..5,
+        homes in proptest::collection::vec(any::<u8>(), 2..25),
+    ) {
+        let (g, _, leaf_asns) = build_topology(cores, &homes);
+        let origin = leaf_asns[0];
+        let map = RouteMap::compute(&g, origin);
+        for leaf in leaf_asns.iter().skip(1) {
+            let r = map.route(*leaf).unwrap();
+            prop_assert_ne!(
+                r.class,
+                RouteClass::Customer,
+                "stub {} claims a customer route",
+                leaf
+            );
+        }
+    }
+
+    /// Hijack capture sets: attacker captures itself, never the victim;
+    /// defense monotonically shrinks the capture set.
+    #[test]
+    fn capture_sets_well_formed(
+        cores in 2usize..5,
+        homes in proptest::collection::vec(any::<u8>(), 4..30),
+        picks in any::<(prop::sample::Index, prop::sample::Index)>(),
+    ) {
+        let (g, _, leaf_asns) = build_topology(cores, &homes);
+        let victim = leaf_asns[picks.0.index(leaf_asns.len())];
+        let attacker = leaf_asns[picks.1.index(leaf_asns.len())];
+        prop_assume!(victim != attacker);
+
+        let result = origin_hijack(&g, victim, attacker);
+        prop_assert!(result.captured_ases.contains(&attacker));
+        prop_assert!(!result.captured_ases.contains(&victim));
+        prop_assert!((0.0..=1.0).contains(&result.captured_fraction));
+
+        // Full-capture-set defense leaves only the attacker itself.
+        let defenders: HashSet<Asn> = result
+            .captured_ases
+            .iter()
+            .copied()
+            .filter(|a| *a != attacker)
+            .collect();
+        let defended = origin_hijack_with_defense(&g, victim, attacker, &defenders);
+        prop_assert!(
+            defended.captured_ases.len() <= result.captured_ases.len(),
+            "defense grew the capture set"
+        );
+        for d in &defenders {
+            prop_assert!(!defended.captured_ases.contains(d));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Difficulty retargeting.
+//!
+//! The paper's temporal attack exploits the fact that difficulty does not
+//! react to a partition within a retarget window: "the isolated nodes
+//! naturally assume that block delays are due to network issues. As such,
+//! they do not know that new blocks are taking more time to calculate due
+//! to the lower hash rate of the attacker" (§V-B). This module implements
+//! Bitcoin's epoch-based retargeting so that the interaction can be
+//! quantified: how long a partition must last before the difficulty rule
+//! would expose it.
+
+/// Bitcoin's retarget epoch length in blocks.
+pub const RETARGET_EPOCH: u64 = 2016;
+
+/// Bitcoin's clamp on a single retarget step.
+pub const MAX_ADJUSTMENT: f64 = 4.0;
+
+/// A relative difficulty value (1.0 = the difficulty at genesis).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Difficulty(f64);
+
+impl Difficulty {
+    /// The genesis difficulty.
+    pub const GENESIS: Difficulty = Difficulty(1.0);
+
+    /// Creates a difficulty value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is finite and positive.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "difficulty must be finite and positive"
+        );
+        Self(value)
+    }
+
+    /// The raw relative value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Bitcoin's retarget rule: scale by `target_timespan /
+    /// actual_timespan`, clamped to a factor of [`MAX_ADJUSTMENT`] in
+    /// either direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both timespans are finite and positive.
+    pub fn retarget(self, actual_timespan_secs: f64, target_timespan_secs: f64) -> Difficulty {
+        assert!(
+            actual_timespan_secs.is_finite() && actual_timespan_secs > 0.0,
+            "actual timespan must be positive"
+        );
+        assert!(
+            target_timespan_secs.is_finite() && target_timespan_secs > 0.0,
+            "target timespan must be positive"
+        );
+        let ratio = (target_timespan_secs / actual_timespan_secs)
+            .clamp(1.0 / MAX_ADJUSTMENT, MAX_ADJUSTMENT);
+        Difficulty(self.0 * ratio)
+    }
+
+    /// Expected seconds per block for a miner holding `hash_share` of the
+    /// hash rate that set this difficulty at `block_interval_secs`.
+    pub fn expected_interval_secs(self, hash_share: f64, block_interval_secs: f64) -> f64 {
+        block_interval_secs * self.0 / hash_share.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl Default for Difficulty {
+    fn default() -> Self {
+        Self::GENESIS
+    }
+}
+
+/// Simulates difficulty evolution for a chain that keeps `hash_share` of
+/// the original hash rate (e.g. an isolated partition), over `epochs`
+/// retarget periods with a `block_interval_secs` target.
+///
+/// Returns, per epoch, `(difficulty entering the epoch, seconds the epoch
+/// took)`. The first epoch runs at the pre-partition difficulty — this is
+/// the window in which the paper's temporal attack operates.
+pub fn partition_difficulty_timeline(
+    hash_share: f64,
+    block_interval_secs: f64,
+    epochs: usize,
+) -> Vec<(Difficulty, f64)> {
+    assert!(
+        hash_share > 0.0 && hash_share <= 1.0,
+        "hash share must lie in (0, 1]"
+    );
+    let target_timespan = RETARGET_EPOCH as f64 * block_interval_secs;
+    let mut difficulty = Difficulty::GENESIS;
+    let mut out = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let epoch_secs = RETARGET_EPOCH as f64
+            * difficulty.expected_interval_secs(hash_share, block_interval_secs);
+        out.push((difficulty, epoch_secs));
+        difficulty = difficulty.retarget(epoch_secs, target_timespan);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_rate_keeps_difficulty() {
+        let d = Difficulty::GENESIS.retarget(2016.0 * 600.0, 2016.0 * 600.0);
+        assert!((d.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_epoch_lowers_difficulty() {
+        // An epoch that took twice as long halves the difficulty.
+        let d = Difficulty::GENESIS.retarget(2.0 * 2016.0 * 600.0, 2016.0 * 600.0);
+        assert!((d.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjustment_is_clamped() {
+        let up = Difficulty::GENESIS.retarget(1.0, 2016.0 * 600.0);
+        assert!((up.value() - MAX_ADJUSTMENT).abs() < 1e-12);
+        let down = Difficulty::GENESIS.retarget(1e12, 2016.0 * 600.0);
+        assert!((down.value() - 1.0 / MAX_ADJUSTMENT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attacker_interval_stretches_with_difficulty() {
+        // A 30% attacker inherits the full-difficulty chain: 2,000 s per
+        // block until a retarget.
+        let secs = Difficulty::GENESIS.expected_interval_secs(0.30, 600.0);
+        assert!((secs - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_timeline_converges_to_target() {
+        // A partition keeping 30 % of the hash rate: the first epoch takes
+        // 1/0.3 ≈ 3.3× the target (≈46.7 days at 600 s blocks!) — the
+        // paper's attack lives entirely inside this window. After a few
+        // retargets the epoch time returns to the two-week target.
+        let timeline = partition_difficulty_timeline(0.30, 600.0, 5);
+        let target = 2016.0 * 600.0;
+        assert!((timeline[0].1 - target / 0.3).abs() < 1.0);
+        // Monotonically approaching the target.
+        for pair in timeline.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-6);
+        }
+        let last = timeline.last().unwrap();
+        assert!(
+            (last.1 - target).abs() / target < 0.05,
+            "epoch time {} far from target {target}",
+            last.1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_difficulty_rejected() {
+        let _ = Difficulty::new(0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! A from-scratch SHA-256 implementation and the 256-bit hash newtype used
+//! throughout the chain substrate.
+//!
+//! The paper's own simulator kept "a 64-bit MD5 hash linked chain of values"
+//! per node as an internal error check (§V-B); we strengthen that to full
+//! SHA-256 so that block identifiers, transaction identifiers and the
+//! proof-of-work target comparison behave like Bitcoin's. Implemented here
+//! directly (FIPS 180-4) to keep the workspace free of extra dependencies.
+
+use std::fmt;
+
+/// SHA-256 round constants (first 32 bits of the fractional parts of the
+/// cube roots of the first 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state (fractional parts of the square roots of the first 8
+/// primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// An incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use bp_chain::hash::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(
+///     digest.to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bits = self
+            .length_bits
+            .wrapping_add((data.len() as u64).wrapping_mul(8));
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Finishes and returns the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Hash256 {
+        let length_bits = self.length_bits;
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update_padding();
+        if self.buffered > 56 {
+            for b in &mut self.buffer[self.buffered..] {
+                *b = 0;
+            }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+        for b in &mut self.buffer[self.buffered..56] {
+            *b = 0;
+        }
+        self.buffer[56..64].copy_from_slice(&length_bits.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Hash256(out)
+    }
+
+    /// Appends the 0x80 marker byte (part of finalize).
+    fn update_padding(&mut self) {
+        self.buffer[self.buffered] = 0x80;
+        self.buffered += 1;
+        if self.buffered == 64 {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// A 256-bit digest value (block identifiers, transaction identifiers).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero hash, used as the previous-block pointer of the genesis
+    /// block.
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Hashes arbitrary bytes in one call.
+    pub fn digest(data: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Double-SHA-256 (Bitcoin's block/tx hash construction).
+    pub fn double_digest(data: &[u8]) -> Self {
+        let first = Self::digest(data);
+        Self::digest(&first.0)
+    }
+
+    /// Lowercase hex representation.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parses a 64-character lowercase/uppercase hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns `ParseHashError` on wrong length or non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, ParseHashError> {
+        if s.len() != 64 {
+            return Err(ParseHashError);
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16).ok_or(ParseHashError)?;
+            let lo = (chunk[1] as char).to_digit(16).ok_or(ParseHashError)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Ok(Hash256(out))
+    }
+
+    /// Leading 8 bytes as big-endian `u64` — a convenient short identifier.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+    }
+
+    /// Whether the digest, interpreted as a big-endian 256-bit integer, is
+    /// below the target with `leading_zero_bits` zero bits — a toy
+    /// proof-of-work check.
+    pub fn meets_difficulty(&self, leading_zero_bits: u32) -> bool {
+        let mut remaining = leading_zero_bits;
+        for byte in self.0 {
+            if remaining == 0 {
+                return true;
+            }
+            if remaining >= 8 {
+                if byte != 0 {
+                    return false;
+                }
+                remaining -= 8;
+            } else {
+                return byte >> (8 - remaining) == 0;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({}…)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Hash256 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+}
+
+/// Error parsing a [`Hash256`] from hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseHashError;
+
+impl fmt::Display for ParseHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid 256-bit hash hex string")
+    }
+}
+
+impl std::error::Error for ParseHashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST test vectors.
+    #[test]
+    fn nist_vector_empty() {
+        assert_eq!(
+            Hash256::digest(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_eq!(
+            Hash256::digest(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_vector_448_bits() {
+        assert_eq!(
+            Hash256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn nist_vector_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..1000).flat_map(|x| x.to_le_bytes()).collect();
+        let oneshot = Hash256::digest(&data);
+        for split in [0usize, 1, 63, 64, 65, 100, 999] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn double_digest_differs_from_single() {
+        let single = Hash256::digest(b"block");
+        let double = Hash256::double_digest(b"block");
+        assert_ne!(single, double);
+        assert_eq!(double, Hash256::digest(single.as_ref()));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let h = Hash256::digest(b"round trip");
+        assert_eq!(Hash256::from_hex(&h.to_hex()).unwrap(), h);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Hash256::from_hex("abc"), Err(ParseHashError));
+        let bad = "zz".repeat(32);
+        assert_eq!(Hash256::from_hex(&bad), Err(ParseHashError));
+    }
+
+    #[test]
+    fn meets_difficulty_boundaries() {
+        assert!(Hash256::ZERO.meets_difficulty(256));
+        let mut one = [0u8; 32];
+        one[0] = 0x01; // 7 leading zero bits
+        let h = Hash256(one);
+        assert!(h.meets_difficulty(7));
+        assert!(!h.meets_difficulty(8));
+        let all_ones = Hash256([0xFF; 32]);
+        assert!(all_ones.meets_difficulty(0));
+        assert!(!all_ones.meets_difficulty(1));
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let mut b = [0u8; 32];
+        b[7] = 1;
+        assert_eq!(Hash256(b).prefix_u64(), 1);
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        let h = Hash256::digest(b"x");
+        assert!(!format!("{h:?}").is_empty());
+        assert_eq!(format!("{h}").len(), 64);
+    }
+}

@@ -1,0 +1,297 @@
+//! The memory pool of unconfirmed transactions.
+//!
+//! Temporal partitioning splits the mempool view of the network: nodes on
+//! the counterfeit branch accept transactions the main chain will reverse.
+//! The mempool enforces the two rules that matter for that analysis:
+//! inputs must be unspent against the node's current UTXO view, and no two
+//! pooled transactions may spend the same outpoint (first-seen wins, as in
+//! Bitcoin Core).
+
+use crate::tx::{OutPoint, Transaction, TxId};
+use crate::utxo::{UtxoError, UtxoSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error admitting a transaction to the mempool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Already pooled.
+    Duplicate,
+    /// Conflicts with a pooled transaction (attempted double spend).
+    Conflict {
+        /// The already-pooled transaction that claims a shared input.
+        existing: TxId,
+    },
+    /// Coinbase transactions cannot be relayed.
+    Coinbase,
+    /// Failed UTXO validation.
+    Utxo(UtxoError),
+}
+
+impl fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MempoolError::Duplicate => f.write_str("transaction already in mempool"),
+            MempoolError::Conflict { existing } => {
+                write!(f, "conflicts with pooled tx {}", &existing.to_hex()[..12])
+            }
+            MempoolError::Coinbase => f.write_str("coinbase transactions are not relayable"),
+            MempoolError::Utxo(e) => write!(f, "utxo validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+impl From<UtxoError> for MempoolError {
+    fn from(e: UtxoError) -> Self {
+        MempoolError::Utxo(e)
+    }
+}
+
+/// A first-seen-wins mempool.
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    txs: HashMap<TxId, Transaction>,
+    /// Which pooled transaction spends each outpoint.
+    spends: HashMap<OutPoint, TxId>,
+}
+
+impl Mempool {
+    /// Creates an empty mempool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Whether a transaction id is pooled.
+    pub fn contains(&self, txid: &TxId) -> bool {
+        self.txs.contains_key(txid)
+    }
+
+    /// Fetches a pooled transaction.
+    pub fn get(&self, txid: &TxId) -> Option<&Transaction> {
+        self.txs.get(txid)
+    }
+
+    /// Attempts to admit `tx`, validating against `utxo`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MempoolError`]. First-seen wins: an incoming double spend is
+    /// rejected, never replaces the resident transaction.
+    pub fn insert(&mut self, tx: Transaction, utxo: &UtxoSet) -> Result<TxId, MempoolError> {
+        if tx.is_coinbase() {
+            return Err(MempoolError::Coinbase);
+        }
+        let txid = tx.txid();
+        if self.txs.contains_key(&txid) {
+            return Err(MempoolError::Duplicate);
+        }
+        for input in &tx.inputs {
+            if let Some(existing) = self.spends.get(input) {
+                return Err(MempoolError::Conflict {
+                    existing: *existing,
+                });
+            }
+        }
+        utxo.validate(&tx)?;
+        for input in &tx.inputs {
+            self.spends.insert(*input, txid);
+        }
+        self.txs.insert(txid, tx);
+        Ok(txid)
+    }
+
+    /// Removes a transaction (e.g. when it confirms in a block).
+    ///
+    /// Returns the removed transaction, if present.
+    pub fn remove(&mut self, txid: &TxId) -> Option<Transaction> {
+        let tx = self.txs.remove(txid)?;
+        for input in &tx.inputs {
+            self.spends.remove(input);
+        }
+        Some(tx)
+    }
+
+    /// Removes every pooled transaction that conflicts with `confirmed`
+    /// (spends one of its inputs) — called when a block connects.
+    ///
+    /// Returns the ids of evicted conflicting transactions.
+    pub fn evict_conflicts(&mut self, confirmed: &Transaction) -> Vec<TxId> {
+        let mut evicted = Vec::new();
+        for input in &confirmed.inputs {
+            if let Some(txid) = self.spends.get(input).copied() {
+                if self.txs.contains_key(&txid) && txid != confirmed.txid() {
+                    self.remove(&txid);
+                    evicted.push(txid);
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Selects up to `max` transactions for block inclusion that are valid
+    /// against `utxo` right now (insertion-order agnostic, conflict-free by
+    /// construction).
+    pub fn select_for_block(&self, utxo: &UtxoSet, max: usize) -> Vec<Transaction> {
+        let mut selected = Vec::new();
+        for tx in self.txs.values() {
+            if selected.len() >= max {
+                break;
+            }
+            if utxo.validate(tx).is_ok() {
+                selected.push(tx.clone());
+            }
+        }
+        selected
+    }
+
+    /// Iterates over pooled transactions in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.txs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::tx::{AccountId, Amount, TxOut};
+
+    fn setup() -> (UtxoSet, Block) {
+        let g = Block::genesis(AccountId(0), Amount::COIN);
+        let mut utxo = UtxoSet::new();
+        utxo.apply_block(&g).unwrap();
+        (utxo, g)
+    }
+
+    fn spend(g: &Block, owner: u64, nonce: u64) -> Transaction {
+        Transaction::new(
+            vec![g.coinbase().outpoint(0)],
+            vec![TxOut {
+                value: Amount(10),
+                owner: AccountId(owner),
+            }],
+            nonce,
+        )
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let (utxo, g) = setup();
+        let mut pool = Mempool::new();
+        let tx = spend(&g, 1, 0);
+        let txid = pool.insert(tx.clone(), &utxo).unwrap();
+        assert!(pool.contains(&txid));
+        assert_eq!(pool.get(&txid), Some(&tx));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (utxo, g) = setup();
+        let mut pool = Mempool::new();
+        let tx = spend(&g, 1, 0);
+        pool.insert(tx.clone(), &utxo).unwrap();
+        assert_eq!(pool.insert(tx, &utxo), Err(MempoolError::Duplicate));
+    }
+
+    #[test]
+    fn first_seen_wins_on_double_spend() {
+        let (utxo, g) = setup();
+        let mut pool = Mempool::new();
+        let first = spend(&g, 1, 0);
+        let second = spend(&g, 2, 1);
+        let first_id = pool.insert(first, &utxo).unwrap();
+        let err = pool.insert(second, &utxo).unwrap_err();
+        assert_eq!(err, MempoolError::Conflict { existing: first_id });
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn coinbase_rejected() {
+        let (utxo, _) = setup();
+        let mut pool = Mempool::new();
+        let cb = Transaction::coinbase(AccountId(1), Amount(50), 0);
+        assert_eq!(pool.insert(cb, &utxo), Err(MempoolError::Coinbase));
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let (utxo, _) = setup();
+        let mut pool = Mempool::new();
+        let phantom = Transaction::coinbase(AccountId(9), Amount(1), 77);
+        let tx = Transaction::new(
+            vec![phantom.outpoint(0)],
+            vec![TxOut {
+                value: Amount(1),
+                owner: AccountId(1),
+            }],
+            0,
+        );
+        assert!(matches!(
+            pool.insert(tx, &utxo),
+            Err(MempoolError::Utxo(UtxoError::MissingInput { .. }))
+        ));
+    }
+
+    #[test]
+    fn remove_clears_spend_index() {
+        let (utxo, g) = setup();
+        let mut pool = Mempool::new();
+        let first = spend(&g, 1, 0);
+        let id = pool.insert(first, &utxo).unwrap();
+        pool.remove(&id).unwrap();
+        assert!(pool.is_empty());
+        // The outpoint is free again.
+        let second = spend(&g, 2, 1);
+        pool.insert(second, &utxo).unwrap();
+    }
+
+    #[test]
+    fn evict_conflicts_on_confirmation() {
+        let (utxo, g) = setup();
+        let mut pool = Mempool::new();
+        let pooled = spend(&g, 1, 0);
+        let pooled_id = pool.insert(pooled, &utxo).unwrap();
+        // A different spend of the same output confirms in a block.
+        let confirmed = spend(&g, 2, 1);
+        let evicted = pool.evict_conflicts(&confirmed);
+        assert_eq!(evicted, vec![pooled_id]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn select_for_block_respects_max_and_validity() {
+        let (mut utxo, g) = setup();
+        let mut pool = Mempool::new();
+        let tx = spend(&g, 1, 0);
+        pool.insert(tx.clone(), &utxo).unwrap();
+        assert_eq!(pool.select_for_block(&utxo, 10).len(), 1);
+        assert_eq!(pool.select_for_block(&utxo, 0).len(), 0);
+        // Confirm a conflicting spend directly in the UTXO set; the pooled
+        // tx is no longer valid and must not be selected.
+        let confirmed = spend(&g, 2, 1);
+        let block = Block::build(
+            g.id(),
+            crate::block::Height(1),
+            600,
+            AccountId(0),
+            Amount::COIN,
+            vec![confirmed],
+            0,
+        );
+        utxo.apply_block(&block).unwrap();
+        assert!(pool.select_for_block(&utxo, 10).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Consensus parameters.
+
+use crate::tx::Amount;
+
+/// Consensus parameters of the simulated currency.
+///
+/// Defaults mirror Bitcoin as described in the paper: a 600-second target
+/// block interval ("the block time in Bitcoin is fixed at 600 seconds",
+/// §VI) and a 12.5 BTC block reward (the subsidy in effect in Feb 2018).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainParams {
+    /// Target seconds between blocks (Bitcoin: 600).
+    pub block_interval_secs: u64,
+    /// Coinbase subsidy per block.
+    pub block_reward: Amount,
+    /// Maximum non-coinbase transactions per block (a simulator-scale
+    /// stand-in for the weight limit).
+    pub max_block_txs: usize,
+    /// The staleness threshold used by the BlockAware countermeasure: a
+    /// node whose best block's timestamp is more than this many seconds old
+    /// considers itself behind (`tc − tl > 600`, §VI).
+    pub blockaware_threshold_secs: u64,
+}
+
+impl ChainParams {
+    /// Bitcoin-like defaults.
+    pub fn bitcoin() -> Self {
+        Self {
+            block_interval_secs: 600,
+            block_reward: Amount(1_250_000_000), // 12.5 BTC in satoshis
+            max_block_txs: 2_000,
+            blockaware_threshold_secs: 600,
+        }
+    }
+
+    /// A faster chain for quick tests (60 s blocks).
+    pub fn fast_test() -> Self {
+        Self {
+            block_interval_secs: 60,
+            block_reward: Amount::COIN,
+            max_block_txs: 100,
+            blockaware_threshold_secs: 60,
+        }
+    }
+}
+
+impl Default for ChainParams {
+    fn default() -> Self {
+        Self::bitcoin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitcoin_defaults_match_paper() {
+        let p = ChainParams::bitcoin();
+        assert_eq!(p.block_interval_secs, 600);
+        assert_eq!(p.blockaware_threshold_secs, 600);
+        assert_eq!(p.block_reward.sats(), 1_250_000_000);
+    }
+
+    #[test]
+    fn default_is_bitcoin() {
+        assert_eq!(ChainParams::default(), ChainParams::bitcoin());
+    }
+}

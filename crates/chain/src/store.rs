@@ -1,0 +1,683 @@
+//! The block-tree store: fork choice, reorgs, and orphan management.
+//!
+//! Every simulated node owns a [`ChainStore`]. Forks — the central object of
+//! the paper's temporal attack (§V-B) — arise naturally when two blocks
+//! share a parent; the store tracks every branch, follows the longest
+//! (most-work) chain, and reports each reorganisation through
+//! [`ReorgInfo`], including the user transactions the reorg reversed (the
+//! double-spend accounting of the paper's "Implications" paragraphs).
+
+use crate::block::{Block, BlockId, Height};
+use crate::tx::TxId;
+use crate::utxo::{UndoLog, UtxoError, UtxoSet};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Error connecting a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The block fails structural or UTXO validation.
+    Invalid(UtxoError),
+    /// The block's claimed height does not equal parent height + 1.
+    BadHeight {
+        /// Height in the block header.
+        claimed: Height,
+        /// Expected height (parent + 1).
+        expected: Height,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Invalid(e) => write!(f, "invalid block: {e}"),
+            StoreError::BadHeight { claimed, expected } => {
+                write!(f, "bad height: claimed {claimed}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<UtxoError> for StoreError {
+    fn from(e: UtxoError) -> Self {
+        StoreError::Invalid(e)
+    }
+}
+
+/// Details of a chain reorganisation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReorgInfo {
+    /// Blocks disconnected from the old active chain (tip first).
+    pub disconnected: Vec<BlockId>,
+    /// Blocks connected on the new active chain (fork point first).
+    pub connected: Vec<BlockId>,
+    /// User transactions that lost confirmation — they were confirmed on
+    /// the old branch and are absent from the new one.
+    pub reversed_txids: Vec<TxId>,
+}
+
+impl ReorgInfo {
+    /// Reorg depth — how many blocks were disconnected.
+    pub fn depth(&self) -> usize {
+        self.disconnected.len()
+    }
+}
+
+/// Outcome of [`ChainStore::connect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectOutcome {
+    /// Block extended the active chain tip.
+    ExtendedActive,
+    /// Block joined a side branch without changing the active chain.
+    SideChain,
+    /// Block caused a reorganisation to a longer branch.
+    Reorged(ReorgInfo),
+    /// Block was already known.
+    Duplicate,
+    /// Parent unknown; block stashed until the parent arrives.
+    Orphaned,
+}
+
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    block: Block,
+    /// Cumulative work; with uniform difficulty this equals height + 1.
+    work: u64,
+}
+
+/// A block tree with longest-chain fork choice and full reorg support.
+///
+/// # Examples
+///
+/// ```
+/// use bp_chain::block::Block;
+/// use bp_chain::store::ChainStore;
+/// use bp_chain::tx::{AccountId, Amount};
+///
+/// let genesis = Block::genesis(AccountId(0), Amount::COIN);
+/// let store = ChainStore::new(genesis.clone());
+/// assert_eq!(store.best_tip(), genesis.id());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainStore {
+    blocks: HashMap<BlockId, StoredBlock>,
+    children: HashMap<BlockId, Vec<BlockId>>,
+    /// Blocks waiting for a missing parent, keyed by that parent.
+    orphans: HashMap<BlockId, Vec<Block>>,
+    /// Active chain, genesis first.
+    active: Vec<BlockId>,
+    /// Undo logs for the blocks on the active chain (same indexing).
+    undo: Vec<UndoLog>,
+    utxo: UtxoSet,
+    genesis: BlockId,
+    /// Total user transactions reversed by reorgs over this store's
+    /// lifetime.
+    total_reversed: u64,
+    /// Deepest reorg observed.
+    max_reorg_depth: usize,
+}
+
+impl ChainStore {
+    /// Creates a store rooted at `genesis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genesis block is malformed or does not apply cleanly
+    /// to an empty UTXO set.
+    pub fn new(genesis: Block) -> Self {
+        let id = genesis.id();
+        let mut utxo = UtxoSet::new();
+        let undo = utxo
+            .apply_block(&genesis)
+            .expect("genesis block must be valid");
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            id,
+            StoredBlock {
+                block: genesis,
+                work: 1,
+            },
+        );
+        Self {
+            blocks,
+            children: HashMap::new(),
+            orphans: HashMap::new(),
+            active: vec![id],
+            undo: vec![undo],
+            utxo,
+            genesis: id,
+            total_reversed: 0,
+            max_reorg_depth: 0,
+        }
+    }
+
+    /// The genesis block id.
+    pub fn genesis_id(&self) -> BlockId {
+        self.genesis
+    }
+
+    /// The active-chain tip id.
+    pub fn best_tip(&self) -> BlockId {
+        *self.active.last().expect("active chain is never empty")
+    }
+
+    /// The active-chain tip height.
+    pub fn best_height(&self) -> Height {
+        Height(self.active.len() as u64 - 1)
+    }
+
+    /// The UTXO set of the active chain.
+    pub fn utxo(&self) -> &UtxoSet {
+        &self.utxo
+    }
+
+    /// Whether a block id is known (active or side chain; orphans do not
+    /// count).
+    pub fn contains(&self, id: &BlockId) -> bool {
+        self.blocks.contains_key(id)
+    }
+
+    /// Fetches a known block.
+    pub fn block(&self, id: &BlockId) -> Option<&Block> {
+        self.blocks.get(id).map(|s| &s.block)
+    }
+
+    /// The block id at `height` on the active chain.
+    pub fn active_at(&self, height: Height) -> Option<BlockId> {
+        self.active.get(height.0 as usize).copied()
+    }
+
+    /// Whether `id` lies on the active chain.
+    pub fn is_active(&self, id: &BlockId) -> bool {
+        self.blocks
+            .get(id)
+            .map(|s| self.active_at(s.block.header.height) == Some(*id))
+            .unwrap_or(false)
+    }
+
+    /// Ids of the active chain, genesis first.
+    pub fn active_chain(&self) -> &[BlockId] {
+        &self.active
+    }
+
+    /// Number of known blocks (active + side chains).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks parked as orphans.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.values().map(Vec::len).sum()
+    }
+
+    /// All current tips (blocks with no known children), the active tip
+    /// included.
+    pub fn tips(&self) -> Vec<BlockId> {
+        self.blocks
+            .keys()
+            .filter(|id| !self.children.contains_key(*id))
+            .copied()
+            .collect()
+    }
+
+    /// Total user transactions reversed by reorgs so far.
+    pub fn total_reversed_txs(&self) -> u64 {
+        self.total_reversed
+    }
+
+    /// Deepest reorg observed so far. The paper reports natural Bitcoin
+    /// forks up to depth 13.
+    pub fn max_reorg_depth(&self) -> usize {
+        self.max_reorg_depth
+    }
+
+    /// Connects a block, following the longest-chain rule. Orphans are
+    /// parked and retried automatically when their parent arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the block is structurally invalid,
+    /// claims a wrong height, or (when it would become part of the active
+    /// chain) fails UTXO validation.
+    pub fn connect(&mut self, block: Block) -> Result<ConnectOutcome, StoreError> {
+        let id = block.id();
+        if self.blocks.contains_key(&id) {
+            return Ok(ConnectOutcome::Duplicate);
+        }
+        if !block.is_well_formed() {
+            return Err(StoreError::Invalid(UtxoError::MalformedBlock));
+        }
+        let parent_id = block.header.prev;
+        let Some(parent) = self.blocks.get(&parent_id) else {
+            self.orphans.entry(parent_id).or_default().push(block);
+            return Ok(ConnectOutcome::Orphaned);
+        };
+        let expected = parent.block.header.height.next();
+        if block.header.height != expected {
+            return Err(StoreError::BadHeight {
+                claimed: block.header.height,
+                expected,
+            });
+        }
+        let work = parent.work + 1;
+        self.blocks.insert(id, StoredBlock { block, work });
+        self.children.entry(parent_id).or_default().push(id);
+
+        let outcome = self.maybe_advance(id, work)?;
+
+        // The new block may unlock parked orphans.
+        self.adopt_orphans_of(id)?;
+        Ok(outcome)
+    }
+
+    /// How many blocks this store's tip is behind another height (0 when
+    /// equal or ahead) — the node "block index" the crawler measures.
+    pub fn lag_behind(&self, network_best: Height) -> u64 {
+        self.best_height().behind(network_best)
+    }
+
+    /// Finds the most recent common ancestor of two known blocks.
+    ///
+    /// Returns `None` if either block is unknown.
+    pub fn common_ancestor(&self, a: &BlockId, b: &BlockId) -> Option<BlockId> {
+        let mut pa = self.path_to_genesis(a)?;
+        let pb: HashSet<BlockId> = self.path_to_genesis(b)?.into_iter().collect();
+        pa.retain(|id| pb.contains(id));
+        pa.first().copied()
+    }
+
+    fn path_to_genesis(&self, from: &BlockId) -> Option<Vec<BlockId>> {
+        let mut path = Vec::new();
+        let mut cur = *from;
+        loop {
+            let stored = self.blocks.get(&cur)?;
+            path.push(cur);
+            if cur == self.genesis {
+                return Some(path);
+            }
+            cur = stored.block.header.prev;
+        }
+    }
+
+    /// Applies fork choice after inserting `id` with cumulative `work`.
+    fn maybe_advance(&mut self, id: BlockId, work: u64) -> Result<ConnectOutcome, StoreError> {
+        let best_work = self.active.len() as u64;
+        if work <= best_work {
+            return Ok(ConnectOutcome::SideChain);
+        }
+        // The new block has strictly more work. Fast path: direct extension.
+        let new_block = &self.blocks[&id].block;
+        if new_block.header.prev == self.best_tip() {
+            let block = new_block.clone();
+            match self.utxo.apply_block(&block) {
+                Ok(undo) => {
+                    self.active.push(id);
+                    self.undo.push(undo);
+                    Ok(ConnectOutcome::ExtendedActive)
+                }
+                Err(e) => {
+                    self.remove_invalid(id);
+                    Err(StoreError::Invalid(e))
+                }
+            }
+        } else {
+            self.reorg_to(id)
+        }
+    }
+
+    /// Reorganises the active chain to end at `new_tip`.
+    fn reorg_to(&mut self, new_tip: BlockId) -> Result<ConnectOutcome, StoreError> {
+        // Build the new branch back to a block on the active chain.
+        let mut branch = Vec::new();
+        let mut cur = new_tip;
+        while !self.is_active(&cur) {
+            branch.push(cur);
+            cur = self.blocks[&cur].block.header.prev;
+        }
+        branch.reverse();
+        let fork_point = cur;
+        let fork_height = self.blocks[&fork_point].block.header.height.0 as usize;
+
+        // Disconnect everything above the fork point (tip first).
+        let mut disconnected = Vec::new();
+        while self.active.len() > fork_height + 1 {
+            let tip = self.active.pop().expect("checked length");
+            let undo = self.undo.pop().expect("undo parallels active");
+            self.utxo.undo_block(&undo);
+            disconnected.push(tip);
+        }
+
+        // Connect the new branch; on failure restore the old chain.
+        let mut connected = Vec::new();
+        let mut applied: Vec<(BlockId, UndoLog)> = Vec::new();
+        let mut failure: Option<(BlockId, StoreError)> = None;
+        for bid in &branch {
+            let block = self.blocks[bid].block.clone();
+            match self.utxo.apply_block(&block) {
+                Ok(undo) => {
+                    applied.push((*bid, undo));
+                    connected.push(*bid);
+                }
+                Err(e) => {
+                    failure = Some((*bid, StoreError::Invalid(e)));
+                    break;
+                }
+            }
+        }
+
+        if let Some((bad_id, err)) = failure {
+            // Roll back the partially connected branch...
+            for (_, undo) in applied.iter().rev() {
+                self.utxo.undo_block(undo);
+            }
+            // ...restore the original chain by reapplying it (which also
+            // regenerates fresh undo logs)...
+            for bid in disconnected.iter().rev() {
+                let block = self.blocks[bid].block.clone();
+                let undo = self
+                    .utxo
+                    .apply_block(&block)
+                    .expect("previously active block must reapply");
+                self.active.push(*bid);
+                self.undo.push(undo);
+            }
+            // ...and drop the invalid block and its descendants.
+            self.remove_invalid(bad_id);
+            return Err(err);
+        }
+
+        for (bid, undo) in applied {
+            self.active.push(bid);
+            self.undo.push(undo);
+            let _ = bid;
+        }
+
+        // Transactions confirmed on the old branch but not the new one are
+        // reversed.
+        let new_branch_txids: HashSet<TxId> = branch
+            .iter()
+            .flat_map(|bid| {
+                self.blocks[bid]
+                    .block
+                    .transactions
+                    .iter()
+                    .filter(|t| !t.is_coinbase())
+                    .map(|t| t.txid())
+            })
+            .collect();
+        let mut reversed = Vec::new();
+        for bid in &disconnected {
+            for tx in &self.blocks[bid].block.transactions {
+                if !tx.is_coinbase() && !new_branch_txids.contains(&tx.txid()) {
+                    reversed.push(tx.txid());
+                }
+            }
+        }
+        self.total_reversed += reversed.len() as u64;
+        self.max_reorg_depth = self.max_reorg_depth.max(disconnected.len());
+
+        Ok(ConnectOutcome::Reorged(ReorgInfo {
+            disconnected,
+            connected,
+            reversed_txids: reversed,
+        }))
+    }
+
+    /// Removes an invalid block and recursively its descendants/orphans.
+    fn remove_invalid(&mut self, id: BlockId) {
+        if let Some(stored) = self.blocks.remove(&id) {
+            let parent = stored.block.header.prev;
+            if let Some(siblings) = self.children.get_mut(&parent) {
+                siblings.retain(|c| *c != id);
+                if siblings.is_empty() {
+                    self.children.remove(&parent);
+                }
+            }
+        }
+        if let Some(kids) = self.children.remove(&id) {
+            for kid in kids {
+                self.remove_invalid(kid);
+            }
+        }
+        self.orphans.remove(&id);
+    }
+
+    /// Retries orphans whose parent just arrived.
+    fn adopt_orphans_of(&mut self, parent: BlockId) -> Result<(), StoreError> {
+        if let Some(waiting) = self.orphans.remove(&parent) {
+            for block in waiting {
+                // Invalid orphans are dropped silently — the sender was
+                // feeding us garbage, which must not poison the store.
+                let _ = self.connect(block);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{AccountId, Amount, Transaction, TxOut};
+
+    fn genesis() -> Block {
+        Block::genesis(AccountId(0), Amount::COIN)
+    }
+
+    /// Builds `n` blocks on top of `prev`, returning them in order.
+    fn extend(prev: &Block, n: usize, miner: u64, t0: u64) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let mut prev_id = prev.id();
+        let mut height = prev.header.height;
+        for i in 0..n {
+            height = height.next();
+            let b = Block::build(
+                prev_id,
+                height,
+                t0 + (i as u64 + 1) * 600,
+                AccountId(miner),
+                Amount::COIN,
+                vec![],
+                i as u64,
+            );
+            prev_id = b.id();
+            blocks.push(b);
+        }
+        blocks
+    }
+
+    #[test]
+    fn extends_active_chain() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        for b in extend(&g, 3, 1, 0) {
+            assert_eq!(store.connect(b).unwrap(), ConnectOutcome::ExtendedActive);
+        }
+        assert_eq!(store.best_height(), Height(3));
+        assert_eq!(store.block_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        let b = extend(&g, 1, 1, 0).remove(0);
+        store.connect(b.clone()).unwrap();
+        assert_eq!(store.connect(b).unwrap(), ConnectOutcome::Duplicate);
+    }
+
+    #[test]
+    fn side_chain_then_reorg() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        // Main: g -> a1 -> a2
+        let a = extend(&g, 2, 1, 0);
+        for b in &a {
+            store.connect(b.clone()).unwrap();
+        }
+        // Fork: g -> b1 (side), -> b2 (tie, still side), -> b3 (reorg!)
+        let b = extend(&g, 3, 2, 10_000);
+        assert_eq!(
+            store.connect(b[0].clone()).unwrap(),
+            ConnectOutcome::SideChain
+        );
+        assert_eq!(
+            store.connect(b[1].clone()).unwrap(),
+            ConnectOutcome::SideChain
+        );
+        let outcome = store.connect(b[2].clone()).unwrap();
+        match outcome {
+            ConnectOutcome::Reorged(info) => {
+                assert_eq!(info.depth(), 2);
+                assert_eq!(info.connected.len(), 3);
+                assert_eq!(info.disconnected, vec![a[1].id(), a[0].id()]);
+            }
+            other => panic!("expected reorg, got {other:?}"),
+        }
+        assert_eq!(store.best_tip(), b[2].id());
+        assert_eq!(store.best_height(), Height(3));
+        assert_eq!(store.max_reorg_depth(), 2);
+    }
+
+    #[test]
+    fn reorg_reports_reversed_transactions() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        // Branch A confirms a user transaction.
+        let tx = Transaction::new(
+            vec![g.coinbase().outpoint(0)],
+            vec![TxOut {
+                value: Amount(7),
+                owner: AccountId(7),
+            }],
+            0,
+        );
+        let a1 = Block::build(
+            g.id(),
+            Height(1),
+            600,
+            AccountId(1),
+            Amount::COIN,
+            vec![tx.clone()],
+            0,
+        );
+        store.connect(a1).unwrap();
+        // Branch B (longer) does not include it.
+        let b = extend(&g, 2, 2, 5_000);
+        store.connect(b[0].clone()).unwrap();
+        let outcome = store.connect(b[1].clone()).unwrap();
+        match outcome {
+            ConnectOutcome::Reorged(info) => {
+                assert_eq!(info.reversed_txids, vec![tx.txid()]);
+            }
+            other => panic!("expected reorg, got {other:?}"),
+        }
+        assert_eq!(store.total_reversed_txs(), 1);
+        // The reversed spend's input is unspent again.
+        assert!(store.utxo().contains(&g.coinbase().outpoint(0)));
+    }
+
+    #[test]
+    fn orphans_adopted_when_parent_arrives() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        let chain = extend(&g, 3, 1, 0);
+        // Deliver children first.
+        assert_eq!(
+            store.connect(chain[2].clone()).unwrap(),
+            ConnectOutcome::Orphaned
+        );
+        assert_eq!(
+            store.connect(chain[1].clone()).unwrap(),
+            ConnectOutcome::Orphaned
+        );
+        assert_eq!(store.orphan_count(), 2);
+        // Parent arrives; whole chain connects.
+        store.connect(chain[0].clone()).unwrap();
+        assert_eq!(store.best_height(), Height(3));
+        assert_eq!(store.orphan_count(), 0);
+    }
+
+    #[test]
+    fn bad_height_rejected() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        let bad = Block::build(
+            g.id(),
+            Height(5),
+            600,
+            AccountId(1),
+            Amount::COIN,
+            vec![],
+            0,
+        );
+        assert!(matches!(
+            store.connect(bad),
+            Err(StoreError::BadHeight { .. })
+        ));
+    }
+
+    #[test]
+    fn double_spend_block_rejected_on_extension() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        let out = TxOut {
+            value: Amount(1),
+            owner: AccountId(3),
+        };
+        let spend1 = Transaction::new(vec![g.coinbase().outpoint(0)], vec![out], 0);
+        let spend2 = Transaction::new(vec![g.coinbase().outpoint(0)], vec![out], 1);
+        let b1 = Block::build(
+            g.id(),
+            Height(1),
+            600,
+            AccountId(1),
+            Amount::COIN,
+            vec![spend1],
+            0,
+        );
+        store.connect(b1.clone()).unwrap();
+        let b2 = Block::build(
+            b1.id(),
+            Height(2),
+            1200,
+            AccountId(1),
+            Amount::COIN,
+            vec![spend2],
+            0,
+        );
+        assert!(matches!(store.connect(b2), Err(StoreError::Invalid(_))));
+        assert_eq!(store.best_height(), Height(1));
+    }
+
+    #[test]
+    fn common_ancestor_of_forked_tips() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        let a = extend(&g, 2, 1, 0);
+        let b = extend(&g, 1, 2, 9_000);
+        for blk in a.iter().chain(b.iter()) {
+            store.connect(blk.clone()).unwrap();
+        }
+        assert_eq!(store.common_ancestor(&a[1].id(), &b[0].id()), Some(g.id()));
+        assert_eq!(
+            store.common_ancestor(&a[1].id(), &a[0].id()),
+            Some(a[0].id())
+        );
+        assert_eq!(store.tips().len(), 2);
+    }
+
+    #[test]
+    fn lag_behind_measures_block_index() {
+        let g = genesis();
+        let mut store = ChainStore::new(g.clone());
+        for b in extend(&g, 2, 1, 0) {
+            store.connect(b).unwrap();
+        }
+        assert_eq!(store.lag_behind(Height(5)), 3);
+        assert_eq!(store.lag_behind(Height(2)), 0);
+        assert_eq!(store.lag_behind(Height(0)), 0);
+    }
+}

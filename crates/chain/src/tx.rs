@@ -1,0 +1,288 @@
+//! Transactions, outpoints and amounts.
+//!
+//! The partitioning attacks the paper studies matter because partitioned
+//! nodes accept transactions that the main chain later reverses
+//! (double-spending, §V-A and §V-B "Implications"). The transaction model
+//! here is deliberately simple — value transfer between opaque account keys
+//! with explicit input outpoints — but rich enough that the UTXO set, the
+//! mempool conflict rules and double-spend bookkeeping all behave like
+//! Bitcoin's.
+
+use crate::hash::Hash256;
+use std::fmt;
+
+/// An amount in satoshis (the paper values each full node at o(10^7) USD;
+/// we only need relative accounting, so plain integer satoshis suffice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Amount(pub u64);
+
+impl Amount {
+    /// Zero satoshis.
+    pub const ZERO: Amount = Amount(0);
+
+    /// One whole coin (10^8 satoshis).
+    pub const COIN: Amount = Amount(100_000_000);
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Amount) -> Option<Amount> {
+        self.0.checked_add(other.0).map(Amount)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: Amount) -> Option<Amount> {
+        self.0.checked_sub(other.0).map(Amount)
+    }
+
+    /// The raw satoshi count.
+    pub fn sats(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{:08} BTC",
+            self.0 / 100_000_000,
+            self.0 % 100_000_000
+        )
+    }
+}
+
+impl std::iter::Sum for Amount {
+    fn sum<I: Iterator<Item = Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |acc, a| {
+            acc.checked_add(a).expect("amount sum overflow")
+        })
+    }
+}
+
+/// An opaque account/script identifier (stands in for a scriptPubKey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccountId(pub u64);
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+/// A transaction identifier (double-SHA-256 of the serialized body).
+pub type TxId = Hash256;
+
+/// A reference to a specific output of a previous transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutPoint {
+    /// The funding transaction.
+    pub txid: TxId,
+    /// The output index inside that transaction.
+    pub vout: u32,
+}
+
+impl OutPoint {
+    /// Creates an outpoint.
+    pub fn new(txid: TxId, vout: u32) -> Self {
+        Self { txid, vout }
+    }
+}
+
+impl fmt::Display for OutPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", &self.txid.to_hex()[..12], self.vout)
+    }
+}
+
+/// A transaction output: an amount locked to an account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxOut {
+    /// The value carried by this output.
+    pub value: Amount,
+    /// The account that may spend this output.
+    pub owner: AccountId,
+}
+
+/// A transaction: a set of input outpoints consumed and outputs created.
+///
+/// A transaction with no inputs is a *coinbase* and may only appear as the
+/// first transaction of a block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Spent outpoints (empty for coinbase transactions).
+    pub inputs: Vec<OutPoint>,
+    /// Created outputs.
+    pub outputs: Vec<TxOut>,
+    /// Distinguishes otherwise-identical transactions (e.g. two coinbases
+    /// paying the same miner the same amount at different heights).
+    pub nonce: u64,
+}
+
+impl Transaction {
+    /// Creates a regular (non-coinbase) transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` is empty — a spend must consume and
+    /// create at least one output.
+    pub fn new(inputs: Vec<OutPoint>, outputs: Vec<TxOut>, nonce: u64) -> Self {
+        assert!(!inputs.is_empty(), "non-coinbase tx requires inputs");
+        assert!(!outputs.is_empty(), "tx requires outputs");
+        Self {
+            inputs,
+            outputs,
+            nonce,
+        }
+    }
+
+    /// Creates a coinbase transaction minting `reward` to `miner`.
+    pub fn coinbase(miner: AccountId, reward: Amount, height_nonce: u64) -> Self {
+        Self {
+            inputs: Vec::new(),
+            outputs: vec![TxOut {
+                value: reward,
+                owner: miner,
+            }],
+            nonce: height_nonce,
+        }
+    }
+
+    /// Whether this transaction mints new coins.
+    pub fn is_coinbase(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Total value of the outputs.
+    pub fn output_value(&self) -> Amount {
+        self.outputs.iter().map(|o| o.value).sum()
+    }
+
+    /// Canonical byte serialization (deterministic; used for hashing).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.inputs.len() * 36 + self.outputs.len() * 16);
+        out.extend((self.inputs.len() as u32).to_le_bytes());
+        for i in &self.inputs {
+            out.extend(i.txid.as_ref());
+            out.extend(i.vout.to_le_bytes());
+        }
+        out.extend((self.outputs.len() as u32).to_le_bytes());
+        for o in &self.outputs {
+            out.extend(o.value.0.to_le_bytes());
+            out.extend(o.owner.0.to_le_bytes());
+        }
+        out.extend(self.nonce.to_le_bytes());
+        out
+    }
+
+    /// The transaction identifier (double-SHA-256 of the serialization).
+    pub fn txid(&self) -> TxId {
+        Hash256::double_digest(&self.serialize())
+    }
+
+    /// The outpoint of output `vout` of this transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vout` is out of range.
+    pub fn outpoint(&self, vout: u32) -> OutPoint {
+        assert!(
+            (vout as usize) < self.outputs.len(),
+            "vout {vout} out of range"
+        );
+        OutPoint::new(self.txid(), vout)
+    }
+
+    /// Whether two transactions conflict (spend at least one common
+    /// outpoint) — the primitive behind double-spend detection.
+    pub fn conflicts_with(&self, other: &Transaction) -> bool {
+        self.inputs.iter().any(|i| other.inputs.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn funding() -> Transaction {
+        Transaction::coinbase(AccountId(1), Amount::COIN, 0)
+    }
+
+    #[test]
+    fn txid_is_deterministic_and_nonce_sensitive() {
+        let a = funding();
+        let b = funding();
+        assert_eq!(a.txid(), b.txid());
+        let c = Transaction::coinbase(AccountId(1), Amount::COIN, 1);
+        assert_ne!(a.txid(), c.txid());
+    }
+
+    #[test]
+    fn coinbase_detection() {
+        assert!(funding().is_coinbase());
+        let spend = Transaction::new(
+            vec![funding().outpoint(0)],
+            vec![TxOut {
+                value: Amount(1),
+                owner: AccountId(2),
+            }],
+            0,
+        );
+        assert!(!spend.is_coinbase());
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let f = funding();
+        let out = TxOut {
+            value: Amount(5),
+            owner: AccountId(9),
+        };
+        let a = Transaction::new(vec![f.outpoint(0)], vec![out], 1);
+        let b = Transaction::new(vec![f.outpoint(0)], vec![out], 2);
+        assert!(a.conflicts_with(&b));
+        assert_ne!(a.txid(), b.txid());
+
+        let other_fund = Transaction::coinbase(AccountId(3), Amount::COIN, 7);
+        let c = Transaction::new(vec![other_fund.outpoint(0)], vec![out], 3);
+        assert!(!a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn amount_arithmetic() {
+        assert_eq!(Amount(2).checked_add(Amount(3)), Some(Amount(5)));
+        assert_eq!(Amount(2).checked_sub(Amount(3)), None);
+        assert_eq!(Amount(u64::MAX).checked_add(Amount(1)), None);
+        let total: Amount = [Amount(1), Amount(2), Amount(3)].into_iter().sum();
+        assert_eq!(total, Amount(6));
+    }
+
+    #[test]
+    fn amount_display() {
+        assert_eq!(format!("{}", Amount::COIN), "1.00000000 BTC");
+        assert_eq!(format!("{}", Amount(1)), "0.00000001 BTC");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires inputs")]
+    fn regular_tx_needs_inputs() {
+        let _ = Transaction::new(
+            vec![],
+            vec![TxOut {
+                value: Amount(1),
+                owner: AccountId(1),
+            }],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn outpoint_bounds_checked() {
+        let _ = funding().outpoint(5);
+    }
+
+    #[test]
+    fn output_value_sums() {
+        let tx = Transaction::coinbase(AccountId(1), Amount(50), 0);
+        assert_eq!(tx.output_value(), Amount(50));
+    }
+}

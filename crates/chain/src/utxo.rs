@@ -1,0 +1,393 @@
+//! The unspent-transaction-output set.
+//!
+//! The paper notes that recovering from a partition-induced fork "will
+//! require a major update on the set of all UTXOs at each node, and a
+//! system-wide check on the transactions being reversed" (§V-B,
+//! Implications). [`UtxoSet`] supports exactly that: applying a block
+//! produces an [`UndoLog`] that can later reverse it during a reorg, and the
+//! set reports which transactions a reorg invalidated.
+
+use crate::block::Block;
+use crate::tx::{Amount, OutPoint, Transaction, TxId, TxOut};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error applying a block or transaction to the UTXO set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UtxoError {
+    /// An input refers to an outpoint that is not unspent (missing or
+    /// already spent) — a double spend or an out-of-order apply.
+    MissingInput {
+        /// The offending outpoint.
+        outpoint: OutPoint,
+        /// The transaction that tried to spend it.
+        spender: TxId,
+    },
+    /// Outputs exceed inputs on a non-coinbase transaction.
+    ValueOverflow {
+        /// The offending transaction.
+        txid: TxId,
+    },
+    /// The block is structurally invalid (bad coinbase placement or
+    /// commitment).
+    MalformedBlock,
+}
+
+impl fmt::Display for UtxoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtxoError::MissingInput { outpoint, spender } => write!(
+                f,
+                "input {outpoint} unavailable for tx {}",
+                &spender.to_hex()[..12]
+            ),
+            UtxoError::ValueOverflow { txid } => {
+                write!(f, "outputs exceed inputs in tx {}", &txid.to_hex()[..12])
+            }
+            UtxoError::MalformedBlock => f.write_str("malformed block"),
+        }
+    }
+}
+
+impl std::error::Error for UtxoError {}
+
+/// Everything needed to reverse one applied block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoLog {
+    /// Outpoints created by the block (to delete on undo).
+    created: Vec<OutPoint>,
+    /// Outpoints spent by the block, with their previous contents (to
+    /// restore on undo).
+    spent: Vec<(OutPoint, TxOut)>,
+    /// Transaction ids of the block's non-coinbase transactions — these are
+    /// the user transactions a reorg would reverse.
+    reversed_txids: Vec<TxId>,
+}
+
+impl UndoLog {
+    /// The user (non-coinbase) transactions this block confirmed; when the
+    /// block is disconnected these are the transactions "reversed", the
+    /// quantity the paper's double-spend implications count.
+    pub fn reversed_txids(&self) -> &[TxId] {
+        &self.reversed_txids
+    }
+}
+
+/// An in-memory UTXO set with apply/undo semantics.
+#[derive(Debug, Clone, Default)]
+pub struct UtxoSet {
+    entries: HashMap<OutPoint, TxOut>,
+}
+
+impl UtxoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<&TxOut> {
+        self.entries.get(outpoint)
+    }
+
+    /// Whether an outpoint is currently unspent.
+    pub fn contains(&self, outpoint: &OutPoint) -> bool {
+        self.entries.contains_key(outpoint)
+    }
+
+    /// Total value of all unspent outputs.
+    pub fn total_value(&self) -> Amount {
+        self.entries.values().map(|o| o.value).sum()
+    }
+
+    /// Checks whether `tx` could be applied right now (all inputs unspent,
+    /// value balanced). Does not mutate the set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as applying would.
+    pub fn validate(&self, tx: &Transaction) -> Result<(), UtxoError> {
+        if tx.is_coinbase() {
+            return Ok(());
+        }
+        let txid = tx.txid();
+        let mut in_value = Amount::ZERO;
+        for input in &tx.inputs {
+            match self.entries.get(input) {
+                Some(out) => {
+                    in_value = in_value
+                        .checked_add(out.value)
+                        .ok_or(UtxoError::ValueOverflow { txid })?;
+                }
+                None => {
+                    return Err(UtxoError::MissingInput {
+                        outpoint: *input,
+                        spender: txid,
+                    })
+                }
+            }
+        }
+        if tx.output_value() > in_value {
+            return Err(UtxoError::ValueOverflow { txid });
+        }
+        Ok(())
+    }
+
+    /// Applies a whole block, returning the undo log.
+    ///
+    /// The block's transactions are applied in order, so intra-block chains
+    /// (tx B spending tx A's output) are allowed. On error the set is left
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtxoError::MalformedBlock`] for structurally bad blocks and
+    /// input/value errors from individual transactions.
+    pub fn apply_block(&mut self, block: &Block) -> Result<UndoLog, UtxoError> {
+        if !block.is_well_formed() {
+            return Err(UtxoError::MalformedBlock);
+        }
+        let mut undo = UndoLog {
+            created: Vec::new(),
+            spent: Vec::new(),
+            reversed_txids: Vec::new(),
+        };
+        let result = (|| {
+            for tx in &block.transactions {
+                self.apply_tx(tx, &mut undo)?;
+                if !tx.is_coinbase() {
+                    undo.reversed_txids.push(tx.txid());
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(undo),
+            Err(e) => {
+                self.rollback(&undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reverses a previously applied block given its undo log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the undo log does not correspond to the current state
+    /// (created outputs already gone) — that indicates out-of-order undo,
+    /// which is a programming error in the caller.
+    pub fn undo_block(&mut self, undo: &UndoLog) {
+        for outpoint in &undo.created {
+            let removed = self.entries.remove(outpoint);
+            assert!(
+                removed.is_some(),
+                "undo out of order: created output {outpoint} missing"
+            );
+        }
+        for (outpoint, out) in &undo.spent {
+            self.entries.insert(*outpoint, *out);
+        }
+    }
+
+    fn apply_tx(&mut self, tx: &Transaction, undo: &mut UndoLog) -> Result<(), UtxoError> {
+        let txid = tx.txid();
+        if !tx.is_coinbase() {
+            let mut in_value = Amount::ZERO;
+            // Validate all inputs before mutating, so a failed tx leaves no
+            // partial spends behind.
+            for input in &tx.inputs {
+                let out = self.entries.get(input).ok_or(UtxoError::MissingInput {
+                    outpoint: *input,
+                    spender: txid,
+                })?;
+                in_value = in_value
+                    .checked_add(out.value)
+                    .ok_or(UtxoError::ValueOverflow { txid })?;
+            }
+            if tx.output_value() > in_value {
+                return Err(UtxoError::ValueOverflow { txid });
+            }
+            for input in &tx.inputs {
+                let out = self
+                    .entries
+                    .remove(input)
+                    .expect("validated above; outpoint present");
+                undo.spent.push((*input, out));
+            }
+        }
+        for (vout, out) in tx.outputs.iter().enumerate() {
+            let outpoint = OutPoint::new(txid, vout as u32);
+            self.entries.insert(outpoint, *out);
+            undo.created.push(outpoint);
+        }
+        Ok(())
+    }
+
+    /// Partial rollback used when a block fails mid-apply.
+    fn rollback(&mut self, undo: &UndoLog) {
+        for outpoint in &undo.created {
+            self.entries.remove(outpoint);
+        }
+        for (outpoint, out) in &undo.spent {
+            self.entries.insert(*outpoint, *out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Height;
+    use crate::tx::AccountId;
+
+    fn genesis() -> Block {
+        Block::genesis(AccountId(0), Amount::COIN)
+    }
+
+    fn spend(from: &Transaction, to: AccountId, value: Amount, nonce: u64) -> Transaction {
+        Transaction::new(
+            vec![from.outpoint(0)],
+            vec![TxOut { value, owner: to }],
+            nonce,
+        )
+    }
+
+    #[test]
+    fn apply_genesis_creates_coinbase_output() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        let undo = utxo.apply_block(&g).unwrap();
+        assert_eq!(utxo.len(), 1);
+        assert_eq!(utxo.total_value(), Amount::COIN);
+        assert!(undo.reversed_txids().is_empty());
+    }
+
+    #[test]
+    fn apply_then_undo_restores_state() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        let undo_g = utxo.apply_block(&g).unwrap();
+
+        let tx = spend(g.coinbase(), AccountId(5), Amount(10), 1);
+        let b1 = Block::build(
+            g.id(),
+            Height(1),
+            600,
+            AccountId(0),
+            Amount::COIN,
+            vec![tx.clone()],
+            0,
+        );
+        let before = utxo.clone().entries;
+        let undo_b1 = utxo.apply_block(&b1).unwrap();
+        assert_eq!(undo_b1.reversed_txids(), &[tx.txid()]);
+        assert!(!utxo.contains(&g.coinbase().outpoint(0)));
+
+        utxo.undo_block(&undo_b1);
+        assert_eq!(utxo.entries, before);
+
+        utxo.undo_block(&undo_g);
+        assert!(utxo.is_empty());
+    }
+
+    #[test]
+    fn double_spend_within_block_rejected_atomically() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        utxo.apply_block(&g).unwrap();
+        let before = utxo.entries.clone();
+
+        let a = spend(g.coinbase(), AccountId(5), Amount(10), 1);
+        let b = spend(g.coinbase(), AccountId(6), Amount(10), 2);
+        let block = Block::build(
+            g.id(),
+            Height(1),
+            600,
+            AccountId(0),
+            Amount::COIN,
+            vec![a, b],
+            0,
+        );
+        let err = utxo.apply_block(&block).unwrap_err();
+        assert!(matches!(err, UtxoError::MissingInput { .. }));
+        // Atomic: the first tx's effects were rolled back.
+        assert_eq!(utxo.entries, before);
+    }
+
+    #[test]
+    fn intra_block_chain_allowed() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        utxo.apply_block(&g).unwrap();
+
+        let a = spend(g.coinbase(), AccountId(5), Amount(40), 1);
+        let b = Transaction::new(
+            vec![a.outpoint(0)],
+            vec![TxOut {
+                value: Amount(39),
+                owner: AccountId(6),
+            }],
+            2,
+        );
+        let block = Block::build(
+            g.id(),
+            Height(1),
+            600,
+            AccountId(0),
+            Amount::COIN,
+            vec![a, b.clone()],
+            0,
+        );
+        utxo.apply_block(&block).unwrap();
+        assert!(utxo.contains(&b.outpoint(0)));
+    }
+
+    #[test]
+    fn value_overflow_rejected() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        utxo.apply_block(&g).unwrap();
+        let too_big = Transaction::new(
+            vec![g.coinbase().outpoint(0)],
+            vec![TxOut {
+                value: Amount::COIN.checked_add(Amount(1)).unwrap(),
+                owner: AccountId(5),
+            }],
+            1,
+        );
+        assert!(matches!(
+            utxo.validate(&too_big),
+            Err(UtxoError::ValueOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_does_not_mutate() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        utxo.apply_block(&g).unwrap();
+        let tx = spend(g.coinbase(), AccountId(5), Amount(10), 1);
+        utxo.validate(&tx).unwrap();
+        assert!(utxo.contains(&g.coinbase().outpoint(0)));
+    }
+
+    #[test]
+    fn malformed_block_rejected() {
+        let mut utxo = UtxoSet::new();
+        let g = genesis();
+        let mut bad = g.clone();
+        bad.header.tx_commitment = crate::hash::Hash256::digest(b"tamper");
+        assert_eq!(utxo.apply_block(&bad), Err(UtxoError::MalformedBlock));
+    }
+}

@@ -1,0 +1,224 @@
+//! Behavioural ablations for the design choices DESIGN.md calls out.
+//!
+//! These complement the Criterion timing benches in `bp-bench`: here the
+//! *output* of the system is swept across the parameter, producing the
+//! numbers EXPERIMENTS.md reports. All ablations run at reduced scale —
+//! they compare configurations against each other, not against the
+//! paper.
+
+use super::Artifact;
+use bp_analysis::table::{num, pct, Align, TextTable};
+use bp_attacks::temporal::grid::{GridConfig, GridSim};
+use bp_crawler::{Crawler, LagClass};
+use bp_mining::PoolCensus;
+use bp_net::{NetConfig, RelayMode, Simulation};
+use bp_topology::{Snapshot, SnapshotConfig};
+
+fn ablation_snapshot(seed: u64) -> Snapshot {
+    Snapshot::generate(SnapshotConfig {
+        seed,
+        scale: 0.05,
+        tail_as_count: 80,
+        version_tail: 15,
+        ..SnapshotConfig::paper()
+    })
+}
+
+fn run_and_measure(snapshot: &Snapshot, config: NetConfig, hours: u64) -> (f64, f64, u64, u64) {
+    let census = PoolCensus::paper_table_iv();
+    let mut sim = Simulation::new(snapshot, &census, config);
+    sim.run_for_secs(1200); // warmup
+    let crawl = Crawler::new(60).crawl(&mut sim, snapshot, hours * 3600);
+    (
+        crawl.series.mean_synced_fraction(),
+        crawl.series.peak_fraction_at_least(LagClass::TwoToFour),
+        sim.stats().stale_forks,
+        sim.traffic().invs,
+    )
+}
+
+/// Averages [`run_and_measure`] over three network seeds — block-arrival
+/// luck dominates any single 2-hour run, so single-seed sweeps are
+/// noise.
+fn run_averaged(snapshot: &Snapshot, base: &NetConfig, hours: u64) -> (f64, f64, f64, f64) {
+    let mut acc = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    const SEEDS: [u64; 3] = [101, 202, 303];
+    for seed in SEEDS {
+        let config = NetConfig {
+            seed,
+            ..base.clone()
+        };
+        let (synced, peak, forks, invs) = run_and_measure(snapshot, config, hours);
+        acc.0 += synced;
+        acc.1 += peak;
+        acc.2 += forks as f64;
+        acc.3 += invs as f64;
+    }
+    let n = SEEDS.len() as f64;
+    (acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n)
+}
+
+/// Diffusion vs. trickle relay (the 2015 protocol switch, §V-B).
+pub fn relay_mode(seed: u64) -> Artifact {
+    let snapshot = ablation_snapshot(seed);
+    let mut t = TextTable::new(
+        [
+            "Relay",
+            "Mean synced",
+            "Peak >=2-behind",
+            "Stale forks",
+            "Invs delivered",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for col in 1..5 {
+        t.align(col, Align::Right);
+    }
+    let cases: [(&str, RelayMode); 3] = [
+        ("diffusion (post-2015)", RelayMode::Diffusion),
+        ("trickle 2s", RelayMode::Trickle { interval_ms: 2_000 }),
+        (
+            "trickle 10s",
+            RelayMode::Trickle {
+                interval_ms: 10_000,
+            },
+        ),
+    ];
+    let _ = seed;
+    for (label, mode) in cases {
+        let base = NetConfig {
+            relay_mode: mode,
+            ..NetConfig::paper()
+        };
+        let (synced, peak_behind, forks, invs) = run_averaged(&snapshot, &base, 2);
+        t.row(vec![
+            label.to_string(),
+            pct(synced),
+            pct(peak_behind),
+            num(forks, 1),
+            num(invs, 0),
+        ]);
+    }
+    Artifact::new(
+        "ablation_relay",
+        "Relay-discipline ablation: diffusion vs trickle (paper §V-B)",
+        t.render(),
+    )
+}
+
+/// Peer out-degree sweep: more peers shrink the temporal attack surface.
+pub fn out_degree(seed: u64) -> Artifact {
+    let snapshot = ablation_snapshot(seed);
+    let mut t = TextTable::new(
+        [
+            "Out-degree",
+            "Mean synced",
+            "Peak >=2-behind",
+            "Stale forks",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for col in 0..4 {
+        t.align(col, Align::Right);
+    }
+    let _ = seed;
+    for degree in [4usize, 8, 16, 24] {
+        let base = NetConfig {
+            out_degree: degree,
+            ..NetConfig::paper()
+        };
+        let (synced, peak_behind, forks, _) = run_averaged(&snapshot, &base, 2);
+        t.row(vec![
+            degree.to_string(),
+            pct(synced),
+            pct(peak_behind),
+            num(forks, 1),
+        ]);
+    }
+    Artifact::new(
+        "ablation_degree",
+        "Peer out-degree ablation (paper §V-B peer-clustering trade-off)",
+        t.render(),
+    )
+}
+
+/// Span-ratio sweep on the grid simulator: below 1.0 the grid cannot
+/// synchronize between blocks and natural forks persist.
+pub fn span_ratio(seed: u64) -> Artifact {
+    let mut t = TextTable::new(
+        ["R_span", "Mean dominant-chain share", "Mean distinct forks"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for col in 0..3 {
+        t.align(col, Align::Right);
+    }
+    for r in [0.5f64, 1.0, 2.0, 4.0] {
+        // Average the dominant-chain share over time and over seeds; a
+        // single final snapshot is dominated by where in the fork cycle
+        // it lands.
+        let mut dom_sum = 0.0;
+        let mut fork_sum = 0.0;
+        let mut samples = 0u32;
+        for s in [seed, seed + 1, seed + 2] {
+            let mut sim = GridSim::new(GridConfig {
+                span_ratio: r,
+                attack_start_step: u64::MAX, // no attacker: natural forks
+                seed: s,
+                ..GridConfig::figure7()
+            });
+            // ~20 blocks per run: steps scale with R_span so every ratio
+            // sees the same number of blocks.
+            let per_block = 25.0 * r; // steps per block at this ratio
+            let total_steps = (per_block * 20.0).max(200.0) as u64;
+            let stride = (per_block as u64).max(5);
+            let mut step = 0;
+            while step < total_steps {
+                step += stride;
+                sim.run_to(step);
+                let fracs = sim.snapshot().fork_fractions();
+                dom_sum += fracs.values().cloned().fold(0.0f64, f64::max);
+                fork_sum += fracs.len() as f64;
+                samples += 1;
+            }
+        }
+        t.row(vec![
+            num(r, 1),
+            pct(dom_sum / samples as f64),
+            num(fork_sum / samples as f64, 2),
+        ]);
+    }
+    Artifact::new(
+        "ablation_span",
+        "Span-ratio ablation on the grid simulator (paper §V-B)",
+        t.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ratio_ablation_shows_sync_threshold() {
+        let a = span_ratio(5);
+        assert!(a.body.contains("R_span"));
+        assert_eq!(a.body.lines().count(), 6);
+    }
+
+    #[test]
+    fn relay_mode_ablation_renders() {
+        let a = relay_mode(5);
+        assert!(a.body.contains("diffusion"));
+        assert!(a.body.contains("trickle"));
+    }
+
+    #[test]
+    fn out_degree_ablation_renders() {
+        let a = out_degree(5);
+        assert!(a.body.contains("Out-degree"));
+        assert_eq!(a.body.lines().count(), 6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Lag classification — the color bands of Figure 6.
+//!
+//! The paper classifies each node by how many blocks its best chain lags
+//! the network: synced (green), 1 behind (yellow), 2–4 (purple), 5–10
+//! (blue) and ≥ 10 (magenta).
+
+use std::fmt;
+
+/// A node's lag class at one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LagClass {
+    /// Up to date with the network tip.
+    Synced,
+    /// Exactly 1 block behind.
+    OneBehind,
+    /// 2–4 blocks behind.
+    TwoToFour,
+    /// 5–10 blocks behind.
+    FiveToTen,
+    /// More than 10 blocks behind.
+    TenPlus,
+}
+
+impl LagClass {
+    /// All classes in band order (bottom of the stack first).
+    pub const ALL: [LagClass; 5] = [
+        LagClass::Synced,
+        LagClass::OneBehind,
+        LagClass::TwoToFour,
+        LagClass::FiveToTen,
+        LagClass::TenPlus,
+    ];
+
+    /// Classifies a block lag.
+    pub fn from_lag(lag: u64) -> Self {
+        match lag {
+            0 => LagClass::Synced,
+            1 => LagClass::OneBehind,
+            2..=4 => LagClass::TwoToFour,
+            5..=10 => LagClass::FiveToTen,
+            _ => LagClass::TenPlus,
+        }
+    }
+
+    /// Index of this class in [`LagClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            LagClass::Synced => 0,
+            LagClass::OneBehind => 1,
+            LagClass::TwoToFour => 2,
+            LagClass::FiveToTen => 3,
+            LagClass::TenPlus => 4,
+        }
+    }
+
+    /// The paper's figure label for this band.
+    pub fn label(self) -> &'static str {
+        match self {
+            LagClass::Synced => "up-to-date",
+            LagClass::OneBehind => "1 block behind",
+            LagClass::TwoToFour => "2-4 blocks behind",
+            LagClass::FiveToTen => "5-10 blocks behind",
+            LagClass::TenPlus => ">=10 blocks behind",
+        }
+    }
+}
+
+impl fmt::Display for LagClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(LagClass::from_lag(0), LagClass::Synced);
+        assert_eq!(LagClass::from_lag(1), LagClass::OneBehind);
+        assert_eq!(LagClass::from_lag(2), LagClass::TwoToFour);
+        assert_eq!(LagClass::from_lag(4), LagClass::TwoToFour);
+        assert_eq!(LagClass::from_lag(5), LagClass::FiveToTen);
+        assert_eq!(LagClass::from_lag(10), LagClass::FiveToTen);
+        assert_eq!(LagClass::from_lag(11), LagClass::TenPlus);
+        assert_eq!(LagClass::from_lag(1000), LagClass::TenPlus);
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, class) in LagClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_nonempty() {
+        let labels: std::collections::HashSet<&str> =
+            LagClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+}

@@ -1,0 +1,41 @@
+//! Measurement substrate: a Bitnodes-style crawler over the network
+//! simulation.
+//!
+//! Samples every node's block lag on a fixed period, producing the
+//! consensus time series of the paper's Figure 6, the per-AS synced-node
+//! series of Figure 8 / Table VII, and the per-node lag matrix that the
+//! temporal-attack optimizer (Table V) consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_crawler::{Crawler, LagClass};
+//! use bp_mining::PoolCensus;
+//! use bp_net::{NetConfig, Simulation};
+//! use bp_topology::{Snapshot, SnapshotConfig};
+//!
+//! let snap = Snapshot::generate(SnapshotConfig {
+//!     scale: 0.02, tail_as_count: 40, version_tail: 10,
+//!     ..SnapshotConfig::paper()
+//! });
+//! let mut sim = Simulation::new(
+//!     &snap, &PoolCensus::paper_table_iv(), NetConfig::fast_test(),
+//! );
+//! let result = Crawler::new(60).crawl(&mut sim, &snap, 600);
+//! assert_eq!(result.series.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod lag;
+pub mod matrix;
+pub mod propagation;
+pub mod series;
+
+pub use crawler::{CrawlResult, Crawler};
+pub use lag::LagClass;
+pub use matrix::{LagMatrix, VulnerabilityWindow};
+pub use propagation::{recovery_episodes, recovery_summary, RecoveryEpisode};
+pub use series::{LagSample, LagSeries};

@@ -1,0 +1,142 @@
+//! Block-propagation (sync recovery) measurement.
+//!
+//! The paper grounds its temporal analysis in Decker–Wattenhofer's
+//! observation that "propagation delay is the major factor that might
+//! result in a fork" (§VII). This module extracts, from a finely-sampled
+//! lag series, how long the network takes to re-synchronize after each
+//! block: the time from a synced-fraction collapse (a new block arrived)
+//! until the synced fraction recovers past a threshold.
+
+use crate::lag::LagClass;
+use crate::series::LagSeries;
+use bp_analysis::stats::Summary;
+
+/// One block's recovery episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEpisode {
+    /// Sample index at which the synced fraction collapsed.
+    pub start_sample: usize,
+    /// Seconds until the synced fraction exceeded the threshold again.
+    pub recovery_secs: f64,
+}
+
+/// Extracts sync-recovery episodes from a lag series.
+///
+/// An episode starts when the synced fraction drops by at least
+/// `collapse_delta` between consecutive samples (a block arrival) and
+/// ends at the first subsequent sample whose synced fraction exceeds
+/// `recovered_threshold`. Episodes still open at the end of the series
+/// are discarded.
+pub fn recovery_episodes(
+    series: &LagSeries,
+    collapse_delta: f64,
+    recovered_threshold: f64,
+) -> Vec<RecoveryEpisode> {
+    let synced: Vec<(f64, f64)> = series
+        .samples()
+        .iter()
+        .map(|s| {
+            (
+                s.at.as_secs_f64(),
+                1.0 - s.fraction_at_least(LagClass::OneBehind),
+            )
+        })
+        .collect();
+
+    let mut episodes = Vec::new();
+    let mut open: Option<(usize, f64)> = None;
+    for i in 1..synced.len() {
+        let (t, frac) = synced[i];
+        if let Some((start, start_t)) = open {
+            if frac >= recovered_threshold {
+                episodes.push(RecoveryEpisode {
+                    start_sample: start,
+                    recovery_secs: t - start_t,
+                });
+                open = None;
+            }
+        }
+        if open.is_none() && synced[i - 1].1 - frac >= collapse_delta {
+            open = Some((i, t));
+        }
+    }
+    episodes
+}
+
+/// Summary of recovery times across all episodes, in seconds.
+pub fn recovery_summary(episodes: &[RecoveryEpisode]) -> Summary {
+    Summary::from_iter(episodes.iter().map(|e| e.recovery_secs))
+}
+
+/// Derives `(collapse_delta, recovered_threshold)` from the series
+/// itself: recovery means returning to 80 % of the series' own p90
+/// synced fraction, and a collapse is a drop of 40 % of that ceiling.
+/// Fixed absolute thresholds misfire when the network's steady-state
+/// sync level differs from the analyst's guess.
+pub fn adaptive_thresholds(series: &LagSeries) -> (f64, f64) {
+    let synced: Vec<f64> = series
+        .samples()
+        .iter()
+        .map(|s| 1.0 - s.fraction_at_least(LagClass::OneBehind))
+        .collect();
+    if synced.is_empty() {
+        return (0.25, 0.5);
+    }
+    let ceiling = Summary::from_iter(synced).quantile(0.9).max(0.05);
+    (0.4 * ceiling, 0.8 * ceiling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::LagSample;
+    use bp_net::SimTime;
+
+    /// Builds a series with `n` nodes where the synced count follows the
+    /// given per-sample values (rest are 1 behind).
+    fn series(n: usize, synced_counts: &[usize]) -> LagSeries {
+        let mut s = LagSeries::new();
+        for (i, &synced) in synced_counts.iter().enumerate() {
+            let lags: Vec<u64> = (0..n).map(|k| u64::from(k >= synced)).collect();
+            s.push(LagSample::from_lags(
+                SimTime::from_secs(i as u64 * 10),
+                &lags,
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn detects_collapse_and_recovery() {
+        // Synced: high, collapse, slow recovery, high again.
+        let s = series(100, &[90, 20, 40, 60, 85, 90, 90]);
+        let eps = recovery_episodes(&s, 0.3, 0.8);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].start_sample, 1);
+        // Collapse at t=10, recovered at t=40 (85 synced ≥ 80%).
+        assert!((eps[0].recovery_secs - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrecovered_episode_discarded() {
+        let s = series(100, &[90, 10, 20, 30]);
+        let eps = recovery_episodes(&s, 0.3, 0.8);
+        assert!(eps.is_empty());
+    }
+
+    #[test]
+    fn multiple_episodes_counted() {
+        let s = series(100, &[90, 20, 85, 90, 15, 88, 90]);
+        let eps = recovery_episodes(&s, 0.3, 0.8);
+        assert_eq!(eps.len(), 2);
+        let summary = recovery_summary(&eps);
+        assert_eq!(summary.count(), 2);
+        assert!(summary.mean() > 0.0);
+    }
+
+    #[test]
+    fn no_collapse_no_episodes() {
+        let s = series(100, &[90, 89, 91, 90]);
+        assert!(recovery_episodes(&s, 0.3, 0.8).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Lag time series — the data behind Figure 6 and Figure 8(a).
+
+use crate::lag::LagClass;
+use bp_net::SimTime;
+
+/// One crawler observation: per-class node counts at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LagSample {
+    /// Observation time.
+    pub at: SimTime,
+    /// Node counts per [`LagClass`] (indexed by [`LagClass::index`]).
+    pub counts: [usize; 5],
+}
+
+impl LagSample {
+    /// Classifies raw per-node lags into a sample.
+    pub fn from_lags(at: SimTime, lags: &[u64]) -> Self {
+        let mut counts = [0usize; 5];
+        for &lag in lags {
+            counts[LagClass::from_lag(lag).index()] += 1;
+        }
+        Self { at, counts }
+    }
+
+    /// Total nodes observed.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Count in one class.
+    pub fn count(&self, class: LagClass) -> usize {
+        self.counts[class.index()]
+    }
+
+    /// Fraction of nodes at least `min_lag_class`-behind — e.g. passing
+    /// [`LagClass::OneBehind`] gives the paper's "≥ 1 block behind"
+    /// fraction.
+    pub fn fraction_at_least(&self, min_class: LagClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let behind: usize = self.counts[min_class.index()..].iter().sum();
+        behind as f64 / total as f64
+    }
+}
+
+/// A sequence of crawler observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LagSeries {
+    samples: Vec<LagSample>,
+}
+
+impl LagSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples are pushed out of time order.
+    pub fn push(&mut self, sample: LagSample) {
+        if let Some(last) = self.samples.last() {
+            assert!(last.at <= sample.at, "samples must be time-ordered");
+        }
+        self.samples.push(sample);
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[LagSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Per-class stacked columns for rendering Figure 6 (one column per
+    /// sample, bands in [`LagClass::ALL`] order).
+    pub fn stacked_columns(&self) -> Vec<Vec<f64>> {
+        self.samples
+            .iter()
+            .map(|s| s.counts.iter().map(|&c| c as f64).collect())
+            .collect()
+    }
+
+    /// The `(time, count)` line for one class — Figure 8(a)'s per-class
+    /// curves.
+    pub fn class_series(&self, class: LagClass) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.at.as_secs_f64(), s.count(class) as f64))
+            .collect()
+    }
+
+    /// The largest observed fraction of nodes at least `min_class` behind
+    /// — the paper's "yellow and purple spikes can reach up to 7,000
+    /// nodes" observation.
+    pub fn peak_fraction_at_least(&self, min_class: LagClass) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.fraction_at_least(min_class))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean fraction of synced nodes over the whole series.
+    pub fn mean_synced_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|s| 1.0 - s.fraction_at_least(LagClass::OneBehind))
+            .sum();
+        sum / self.samples.len() as f64
+    }
+}
+
+impl FromIterator<LagSample> for LagSeries {
+    fn from_iter<I: IntoIterator<Item = LagSample>>(iter: I) -> Self {
+        let mut series = LagSeries::new();
+        for s in iter {
+            series.push(s);
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_secs: u64, lags: &[u64]) -> LagSample {
+        LagSample::from_lags(SimTime::from_secs(at_secs), lags)
+    }
+
+    #[test]
+    fn sample_classifies_lags() {
+        let s = sample(0, &[0, 0, 1, 3, 7, 20]);
+        assert_eq!(s.count(LagClass::Synced), 2);
+        assert_eq!(s.count(LagClass::OneBehind), 1);
+        assert_eq!(s.count(LagClass::TwoToFour), 1);
+        assert_eq!(s.count(LagClass::FiveToTen), 1);
+        assert_eq!(s.count(LagClass::TenPlus), 1);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn fraction_at_least_accumulates_tail() {
+        let s = sample(0, &[0, 0, 1, 3]);
+        assert!((s.fraction_at_least(LagClass::OneBehind) - 0.5).abs() < 1e-12);
+        assert!((s.fraction_at_least(LagClass::TwoToFour) - 0.25).abs() < 1e-12);
+        assert_eq!(s.fraction_at_least(LagClass::TenPlus), 0.0);
+    }
+
+    #[test]
+    fn empty_sample_fraction_is_zero() {
+        let s = sample(0, &[]);
+        assert_eq!(s.fraction_at_least(LagClass::OneBehind), 0.0);
+    }
+
+    #[test]
+    fn series_orders_and_aggregates() {
+        let mut series = LagSeries::new();
+        series.push(sample(0, &[0, 0, 0, 1]));
+        series.push(sample(60, &[0, 1, 1, 2]));
+        series.push(sample(120, &[0, 0, 0, 0]));
+        assert_eq!(series.len(), 3);
+        assert!((series.peak_fraction_at_least(LagClass::OneBehind) - 0.75).abs() < 1e-12);
+        let synced = series.class_series(LagClass::Synced);
+        assert_eq!(synced, vec![(0.0, 3.0), (60.0, 1.0), (120.0, 4.0)]);
+        let mean = series.mean_synced_fraction();
+        assert!((mean - (0.75 + 0.25 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut series = LagSeries::new();
+        series.push(sample(60, &[0]));
+        series.push(sample(0, &[0]));
+    }
+
+    #[test]
+    fn stacked_columns_shape() {
+        let series: LagSeries = vec![sample(0, &[0, 1]), sample(60, &[2, 2])]
+            .into_iter()
+            .collect();
+        let cols = series.stacked_columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].len(), 5);
+        assert_eq!(cols[0][0], 1.0);
+    }
+}

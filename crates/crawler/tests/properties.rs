@@ -1,0 +1,96 @@
+//! Property-based tests for the measurement substrate.
+
+use bp_crawler::{LagClass, LagMatrix, LagSample, LagSeries};
+use bp_net::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Classification is a partition: every lag lands in exactly one
+    /// class and class totals reconstruct the sample size.
+    #[test]
+    fn lag_classes_partition(lags in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let sample = LagSample::from_lags(SimTime::ZERO, &lags);
+        prop_assert_eq!(sample.total(), lags.len());
+        let sum: usize = LagClass::ALL.iter().map(|c| sample.count(*c)).sum();
+        prop_assert_eq!(sum, lags.len());
+        // fraction_at_least is a decreasing tail function.
+        let mut prev = 1.0f64;
+        for class in LagClass::ALL {
+            let f = sample.fraction_at_least(class);
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    /// Class boundaries agree with the band definitions.
+    #[test]
+    fn classification_matches_bands(lag in any::<u64>()) {
+        let class = LagClass::from_lag(lag);
+        let expected = match lag {
+            0 => LagClass::Synced,
+            1 => LagClass::OneBehind,
+            2..=4 => LagClass::TwoToFour,
+            5..=10 => LagClass::FiveToTen,
+            _ => LagClass::TenPlus,
+        };
+        prop_assert_eq!(class, expected);
+    }
+
+    /// Series aggregates are consistent with per-sample values.
+    #[test]
+    fn series_aggregates_consistent(
+        lag_rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 5),
+            1..30,
+        ),
+    ) {
+        let mut series = LagSeries::new();
+        for (t, row) in lag_rows.iter().enumerate() {
+            series.push(LagSample::from_lags(SimTime::from_secs(t as u64 * 60), row));
+        }
+        let peak = series.peak_fraction_at_least(LagClass::OneBehind);
+        let max_direct = series
+            .samples()
+            .iter()
+            .map(|s| s.fraction_at_least(LagClass::OneBehind))
+            .fold(0.0f64, f64::max);
+        prop_assert!((peak - max_direct).abs() < 1e-12);
+        // Stacked columns re-sum to the totals.
+        for (cols, sample) in series.stacked_columns().iter().zip(series.samples()) {
+            let sum: f64 = cols.iter().sum();
+            prop_assert_eq!(sum as usize, sample.total());
+        }
+        // Class series have one point per sample.
+        for class in LagClass::ALL {
+            prop_assert_eq!(series.class_series(class).len(), series.len());
+        }
+    }
+
+    /// max_vulnerable is monotone in both the window and the lag
+    /// threshold, and vulnerable_at agrees with it at the reported
+    /// optimum.
+    #[test]
+    fn vulnerability_monotonicity(
+        lag_rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..8, 6),
+            4..25,
+        ),
+    ) {
+        let mut m = LagMatrix::new(6);
+        for row in &lag_rows {
+            m.push_row(row);
+        }
+        let mut prev = usize::MAX;
+        for window in 1..=m.samples() {
+            let Some(w) = m.max_vulnerable(window, 1) else { break };
+            prop_assert!(w.max_nodes <= prev, "window {window} grew");
+            prev = w.max_nodes;
+            // Threshold monotonicity at this window.
+            let deeper = m.max_vulnerable(window, 3).unwrap();
+            prop_assert!(deeper.max_nodes <= w.max_nodes);
+            // The reported optimum is achievable.
+            let targets = m.vulnerable_at(w.at_sample, window, 1);
+            prop_assert_eq!(targets.len(), w.max_nodes);
+        }
+    }
+}

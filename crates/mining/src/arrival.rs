@@ -1,0 +1,208 @@
+//! The block-arrival process.
+//!
+//! Block discovery is memoryless: with total network hash rate normalised
+//! to 1 and a 600 s target interval, the time to the next block is
+//! exponential with mean 600 s, and the finder is chosen proportionally to
+//! hash share. When hash power is partitioned (the paper's temporal attack
+//! gives the adversary ≈30 %), each partition finds blocks at a rate
+//! proportional to its share — the attacker's chain grows at mean
+//! `600 / 0.30` seconds per block, the honest remainder at `600 / 0.70`.
+
+use crate::pools::PoolCensus;
+use bp_analysis::dist::{Exponential, WeightedIndex};
+use rand::Rng;
+
+/// A block-arrival sampler over a set of mining entities.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    /// Names of the mining entities (parallel to `weights`).
+    names: Vec<String>,
+    weights: Vec<f64>,
+    sampler: WeightedIndex,
+    /// Total hash share of the entities, as a fraction of the global rate.
+    total_share: f64,
+    /// Target seconds per block at full (global) hash rate.
+    block_interval_secs: f64,
+}
+
+impl ArrivalProcess {
+    /// Builds a process from explicit `(name, hash share)` entities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entities` is empty, any share is negative/non-finite,
+    /// all shares are zero, or `block_interval_secs` is not positive.
+    pub fn new(entities: Vec<(String, f64)>, block_interval_secs: f64) -> Self {
+        assert!(!entities.is_empty(), "arrival process needs entities");
+        assert!(
+            block_interval_secs.is_finite() && block_interval_secs > 0.0,
+            "block interval must be positive"
+        );
+        let (names, weights): (Vec<String>, Vec<f64>) = entities.into_iter().unzip();
+        let sampler = WeightedIndex::new(&weights);
+        let total_share = weights.iter().sum();
+        Self {
+            names,
+            weights,
+            sampler,
+            total_share,
+            block_interval_secs,
+        }
+    }
+
+    /// Builds a process over a pool census with Bitcoin's 600 s target.
+    pub fn from_census(census: &PoolCensus) -> Self {
+        Self::new(
+            census
+                .pools()
+                .iter()
+                .map(|p| (p.name.clone(), p.hash_share))
+                .collect(),
+            600.0,
+        )
+    }
+
+    /// The aggregate hash share of this process's entities.
+    pub fn total_share(&self) -> f64 {
+        self.total_share
+    }
+
+    /// Mean seconds between blocks found by *this* set of entities: the
+    /// global interval divided by their combined share.
+    pub fn mean_interval_secs(&self) -> f64 {
+        self.block_interval_secs / self.total_share
+    }
+
+    /// Entity names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Hash-share weight of entity `idx`.
+    pub fn weight(&self, idx: usize) -> f64 {
+        self.weights[idx]
+    }
+
+    /// Samples `(seconds until next block, index of the finding entity)`.
+    pub fn next_block<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, usize) {
+        let exp = Exponential::with_mean(self.mean_interval_secs());
+        (exp.sample(rng), self.sampler.sample(rng))
+    }
+
+    /// Returns a copy with every entity's share multiplied by `factor` —
+    /// models part of the hash rate being diverted or destroyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and strictly positive.
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "hash scale factor must be positive"
+        );
+        ArrivalProcess::new(
+            self.names
+                .iter()
+                .zip(&self.weights)
+                .map(|(n, w)| (n.clone(), w * factor))
+                .collect(),
+            self.block_interval_secs,
+        )
+    }
+
+    /// Splits the process into `(kept, removed)` by an entity predicate —
+    /// used to model partitions: hijacking the AliBaba ASes removes the
+    /// pools hosted there from the honest side.
+    ///
+    /// Either side may be empty; empty sides return `None`.
+    pub fn split<F: Fn(&str) -> bool>(
+        &self,
+        keep: F,
+    ) -> (Option<ArrivalProcess>, Option<ArrivalProcess>) {
+        let mut kept = Vec::new();
+        let mut removed = Vec::new();
+        for (name, w) in self.names.iter().zip(&self.weights) {
+            if keep(name) {
+                kept.push((name.clone(), *w));
+            } else {
+                removed.push((name.clone(), *w));
+            }
+        }
+        let build = |v: Vec<(String, f64)>| {
+            if v.is_empty() || v.iter().all(|(_, w)| *w == 0.0) {
+                None
+            } else {
+                Some(ArrivalProcess::new(v, self.block_interval_secs))
+            }
+        };
+        (build(kept), build(removed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_census_means_600s() {
+        let p = ArrivalProcess::from_census(&PoolCensus::paper_table_iv());
+        assert!((p.total_share() - 1.0).abs() < 1e-9);
+        assert!((p.mean_interval_secs() - 600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attacker_with_30_percent_mines_3x_slower() {
+        let p = ArrivalProcess::new(vec![("attacker".into(), 0.30)], 600.0);
+        assert!((p.mean_interval_secs() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_intervals_converge_to_mean() {
+        let p = ArrivalProcess::new(vec![("a".into(), 0.6), ("b".into(), 0.4)], 600.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mut total = 0.0;
+        let mut finds = [0usize; 2];
+        for _ in 0..n {
+            let (dt, who) = p.next_block(&mut rng);
+            total += dt;
+            finds[who] += 1;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 600.0).abs() < 15.0, "mean interval {mean}");
+        let ratio = finds[0] as f64 / finds[1] as f64;
+        assert!((ratio - 1.5).abs() < 0.15, "finder ratio {ratio}");
+    }
+
+    #[test]
+    fn split_partitions_hash_rate() {
+        let census = PoolCensus::paper_table_iv();
+        let p = ArrivalProcess::from_census(&census);
+        // Partition off the AliBaba-hosted pools (top 4 + half of F2Pool's
+        // weight lives there, but split() works at pool granularity).
+        let alibaba_pools = ["BTC.com", "Antpool", "ViaBTC", "BTC.TOP"];
+        let (honest, isolated) = p.split(|name| !alibaba_pools.contains(&name));
+        let honest = honest.unwrap();
+        let isolated = isolated.unwrap();
+        assert!((isolated.total_share() - 0.594).abs() < 1e-9);
+        assert!((honest.total_share() + isolated.total_share() - 1.0).abs() < 1e-9);
+        // The isolated majority mines faster than the honest remainder.
+        assert!(isolated.mean_interval_secs() < honest.mean_interval_secs());
+    }
+
+    #[test]
+    fn split_all_one_side_returns_none() {
+        let p = ArrivalProcess::new(vec![("x".into(), 1.0)], 600.0);
+        let (kept, removed) = p.split(|_| true);
+        assert!(kept.is_some());
+        assert!(removed.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = ArrivalProcess::new(vec![("x".into(), 1.0)], 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the mining substrate.
+
+use bp_mining::{ArrivalProcess, MiningPool, PoolCensus, StratumServer};
+use bp_topology::Asn;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn share_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, 1..12)
+}
+
+proptest! {
+    /// Mean block interval scales inversely with the aggregate share.
+    #[test]
+    fn interval_scales_with_share(shares in share_vec()) {
+        let total: f64 = shares.iter().sum();
+        let entities: Vec<(String, f64)> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (format!("p{i}"), s))
+            .collect();
+        let p = ArrivalProcess::new(entities, 600.0);
+        prop_assert!((p.total_share() - total).abs() < 1e-9);
+        prop_assert!((p.mean_interval_secs() - 600.0 / total).abs() < 1e-6);
+    }
+
+    /// Splitting an arrival process conserves total share, whatever the
+    /// predicate.
+    #[test]
+    fn split_conserves_share(shares in share_vec(), mask in any::<u32>()) {
+        let entities: Vec<(String, f64)> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (format!("p{i}"), s))
+            .collect();
+        let p = ArrivalProcess::new(entities, 600.0);
+        let (kept, removed) = p.split(|name| {
+            let idx: u32 = name[1..].parse().unwrap();
+            mask & (1 << (idx % 32)) != 0
+        });
+        let kept_share = kept.as_ref().map(|k| k.total_share()).unwrap_or(0.0);
+        let removed_share = removed.as_ref().map(|r| r.total_share()).unwrap_or(0.0);
+        prop_assert!((kept_share + removed_share - p.total_share()).abs() < 1e-9);
+    }
+
+    /// Sampled finders follow the share weights (coarsely) and intervals
+    /// are positive.
+    #[test]
+    fn samples_are_sane(seed in any::<u64>()) {
+        let p = ArrivalProcess::new(
+            vec![("big".into(), 0.9), ("small".into(), 0.1)],
+            600.0,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut big = 0;
+        for _ in 0..200 {
+            let (dt, who) = p.next_block(&mut rng);
+            prop_assert!(dt >= 0.0);
+            if who == 0 {
+                big += 1;
+            }
+        }
+        // 0.9 weight: binomial(200, 0.9) essentially never drops below 150.
+        prop_assert!(big > 150, "big pool found only {big}/200");
+    }
+
+    /// isolated_share is monotone in the hijacked set and bounded by the
+    /// total.
+    #[test]
+    fn isolation_is_monotone(subset in proptest::collection::vec(any::<bool>(), 10)) {
+        let census = PoolCensus::paper_table_iv();
+        let all_ases: Vec<Asn> = census
+            .hash_share_by_as()
+            .keys()
+            .copied()
+            .collect();
+        let chosen: Vec<Asn> = all_ases
+            .iter()
+            .zip(subset.iter().cycle())
+            .filter(|(_, &take)| take)
+            .map(|(a, _)| *a)
+            .collect();
+        let partial = census.isolated_share(&chosen);
+        let full = census.isolated_share(&all_ases);
+        prop_assert!(partial <= full + 1e-12);
+        prop_assert!((full - census.total_share()).abs() < 1e-9);
+        // Adding an AS never decreases the isolated share.
+        if let Some(extra) = all_ases.iter().find(|a| !chosen.contains(a)) {
+            let mut more = chosen.clone();
+            more.push(*extra);
+            prop_assert!(census.isolated_share(&more) + 1e-12 >= partial);
+        }
+    }
+
+    /// Pool construction validates weights for arbitrary splits.
+    #[test]
+    fn stratum_weights_validated(w in 0.01f64..0.99) {
+        let pool = MiningPool::new(
+            "x",
+            0.5,
+            vec![
+                StratumServer { asn: Asn(1), weight: w },
+                StratumServer { asn: Asn(2), weight: 1.0 - w },
+            ],
+        );
+        prop_assert_eq!(pool.stratum.len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulation clock and event queue.
+//!
+//! A classic discrete-event core: events are `(time, sequence, payload)`
+//! triples in a min-heap; the sequence number makes ordering of
+//! simultaneous events deterministic, which keeps whole simulations
+//! reproducible from a seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulation time in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Constructs from fractional seconds (rounded to milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "time must be non-negative");
+        SimTime((secs * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds since start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since start (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional seconds since start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    /// Advances by `rhs` milliseconds.
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    /// Milliseconds between two instants (saturating).
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A deterministic min-heap event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
+    seq: u64,
+    now: SimTime,
+}
+
+/// Wrapper giving the payload a vacuous ordering so the heap orders purely
+/// on `(time, seq)`.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Events scheduled in the past are clamped to `now` (they fire next).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay_ms` milliseconds from now.
+    pub fn schedule_in(&mut self, delay_ms: u64, event: E) {
+        self.schedule(self.now + delay_ms, event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, EventBox(event))) = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// The time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Advances the clock to `t` without processing anything (no-op if
+    /// `t` is in the past). Drivers call this after draining events up
+    /// to a deadline so that relative scheduling (`schedule_in`,
+    /// `run_for_secs`) measures from the deadline rather than from the
+    /// last event — otherwise simulated time stalls whenever events are
+    /// sparse.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::from_secs(600);
+        assert_eq!(t.as_millis(), 600_000);
+        assert_eq!((t + 500).as_millis(), 600_500);
+        assert_eq!(t - SimTime::from_secs(100), 500_000);
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), 0);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_millis(), 1500);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(10), 2);
+        q.schedule(SimTime(10), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), "first");
+        q.pop();
+        q.schedule(SimTime(50), "late"); // in the past now
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime(100));
+    }
+
+    #[test]
+    fn advance_to_moves_clock_forward_only() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime(500));
+        assert_eq!(q.now(), SimTime(500));
+        q.advance_to(SimTime(100)); // no-op backwards
+        assert_eq!(q.now(), SimTime(500));
+        // Relative scheduling measures from the advanced clock.
+        q.schedule_in(10, ());
+        assert_eq!(q.peek_time(), Some(SimTime(510)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        q.pop();
+        q.schedule_in(25, ());
+        assert_eq!(q.peek_time(), Some(SimTime(125)));
+    }
+}

@@ -1,0 +1,234 @@
+//! The shared block index.
+//!
+//! At network scale (13,635 nodes) giving every simulated node a full
+//! [`bp_chain::ChainStore`] would duplicate every block thousands of
+//! times. Instead the simulation keeps one global [`BlockIndex`] of block
+//! *metadata* (id, parent, height, timestamp, producer) and gives each
+//! node a lightweight chain view over it (see [`crate::view`]). The
+//! full-fidelity `ChainStore` (UTXO, reorg undo, reversed transactions)
+//! remains in use for the focused attack simulations in `bp-attacks`.
+
+use crate::engine::SimTime;
+use bp_chain::{BlockId, Hash256, Height};
+use std::collections::HashMap;
+
+/// Metadata of one simulated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Block identifier.
+    pub id: BlockId,
+    /// Parent identifier ([`Hash256::ZERO`] for genesis).
+    pub prev: BlockId,
+    /// Chain height.
+    pub height: Height,
+    /// Simulation time at which the block was found.
+    pub found_at: SimTime,
+    /// Index of the producing mining entity (pool index, or a synthetic
+    /// attacker id).
+    pub producer: u32,
+    /// Whether the block was produced by an adversary (counterfeit chain).
+    pub counterfeit: bool,
+}
+
+/// The global append-only block index.
+#[derive(Debug, Clone)]
+pub struct BlockIndex {
+    blocks: HashMap<BlockId, BlockMeta>,
+    genesis: BlockId,
+}
+
+impl BlockIndex {
+    /// Creates an index containing only a genesis block found at time 0.
+    pub fn new() -> Self {
+        let genesis_id = Hash256::digest(b"btcpart-genesis");
+        let genesis = BlockMeta {
+            id: genesis_id,
+            prev: Hash256::ZERO,
+            height: Height::GENESIS,
+            found_at: SimTime::ZERO,
+            producer: u32::MAX,
+            counterfeit: false,
+        };
+        let mut blocks = HashMap::new();
+        blocks.insert(genesis_id, genesis);
+        Self {
+            blocks,
+            genesis: genesis_id,
+        }
+    }
+
+    /// The genesis id.
+    pub fn genesis(&self) -> BlockId {
+        self.genesis
+    }
+
+    /// Number of blocks ever mined (including genesis).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether only genesis exists. Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up block metadata.
+    pub fn get(&self, id: &BlockId) -> Option<&BlockMeta> {
+        self.blocks.get(id)
+    }
+
+    /// Mines a new block on `parent`, returning its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is unknown.
+    pub fn mine(
+        &mut self,
+        parent: BlockId,
+        found_at: SimTime,
+        producer: u32,
+        counterfeit: bool,
+    ) -> BlockMeta {
+        let parent_meta = *self
+            .blocks
+            .get(&parent)
+            .expect("parent block must exist in the index");
+        let height = parent_meta.height.next();
+        // Derive a unique id from the block's identity tuple.
+        let mut buf = Vec::with_capacity(64);
+        buf.extend(parent.as_ref());
+        buf.extend(height.0.to_le_bytes());
+        buf.extend(found_at.as_millis().to_le_bytes());
+        buf.extend(producer.to_le_bytes());
+        buf.push(counterfeit as u8);
+        let id = Hash256::digest(&buf);
+        let meta = BlockMeta {
+            id,
+            prev: parent,
+            height,
+            found_at,
+            producer,
+            counterfeit,
+        };
+        self.blocks.insert(id, meta);
+        meta
+    }
+
+    /// Walks from `id` back to genesis, returning the path (`id` first).
+    ///
+    /// Returns `None` if `id` is unknown.
+    pub fn ancestry(&self, id: &BlockId) -> Option<Vec<BlockMeta>> {
+        let mut path = Vec::new();
+        let mut cur = *self.blocks.get(id)?;
+        loop {
+            path.push(cur);
+            if cur.id == self.genesis {
+                return Some(path);
+            }
+            cur = *self.blocks.get(&cur.prev)?;
+        }
+    }
+
+    /// Whether `ancestor` lies on the chain ending at `tip`.
+    pub fn is_ancestor(&self, ancestor: &BlockId, tip: &BlockId) -> bool {
+        let Some(anc) = self.blocks.get(ancestor) else {
+            return false;
+        };
+        let mut cur = match self.blocks.get(tip) {
+            Some(m) => *m,
+            None => return false,
+        };
+        loop {
+            if cur.id == *ancestor {
+                return true;
+            }
+            if cur.height <= anc.height {
+                return false;
+            }
+            cur = match self.blocks.get(&cur.prev) {
+                Some(m) => *m,
+                None => return false,
+            };
+        }
+    }
+}
+
+impl Default for BlockIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_exists() {
+        let idx = BlockIndex::new();
+        let g = idx.get(&idx.genesis()).unwrap();
+        assert_eq!(g.height, Height::GENESIS);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn mining_extends_height() {
+        let mut idx = BlockIndex::new();
+        let b1 = idx.mine(idx.genesis(), SimTime::from_secs(600), 0, false);
+        let b2 = idx.mine(b1.id, SimTime::from_secs(1200), 1, false);
+        assert_eq!(b1.height, Height(1));
+        assert_eq!(b2.height, Height(2));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn ids_are_unique_across_forks() {
+        let mut idx = BlockIndex::new();
+        let a = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        let b = idx.mine(idx.genesis(), SimTime(1), 1, false);
+        let c = idx.mine(idx.genesis(), SimTime(2), 0, false);
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn counterfeit_flag_distinguishes_ids() {
+        let mut idx = BlockIndex::new();
+        let honest = idx.mine(idx.genesis(), SimTime(5), 0, false);
+        let fake = idx.mine(idx.genesis(), SimTime(5), 0, true);
+        assert_ne!(honest.id, fake.id);
+        assert!(fake.counterfeit);
+    }
+
+    #[test]
+    fn ancestry_walks_to_genesis() {
+        let mut idx = BlockIndex::new();
+        let mut tip = idx.genesis();
+        for i in 0..5 {
+            tip = idx.mine(tip, SimTime(i), 0, false).id;
+        }
+        let path = idx.ancestry(&tip).unwrap();
+        assert_eq!(path.len(), 6);
+        assert_eq!(path.last().unwrap().id, idx.genesis());
+        assert_eq!(path[0].id, tip);
+    }
+
+    #[test]
+    fn is_ancestor_respects_forks() {
+        let mut idx = BlockIndex::new();
+        let a = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        let a2 = idx.mine(a.id, SimTime(2), 0, false);
+        let b = idx.mine(idx.genesis(), SimTime(1), 1, false);
+        assert!(idx.is_ancestor(&a.id, &a2.id));
+        assert!(idx.is_ancestor(&idx.genesis(), &a2.id));
+        assert!(!idx.is_ancestor(&b.id, &a2.id));
+        assert!(!idx.is_ancestor(&a2.id, &a.id));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent block")]
+    fn mining_on_unknown_parent_panics() {
+        let mut idx = BlockIndex::new();
+        idx.mine(Hash256::digest(b"nope"), SimTime(1), 0, false);
+    }
+}

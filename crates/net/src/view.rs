@@ -1,0 +1,250 @@
+//! Per-node chain views.
+//!
+//! Each simulated node tracks which blocks it knows and which tip it
+//! follows, using the shared [`crate::index::BlockIndex`] for metadata.
+//! Fork choice is longest-chain (uniform difficulty), first-seen on ties —
+//! the same rule as [`bp_chain::ChainStore`] without the per-node UTXO
+//! machinery.
+
+use crate::index::{BlockIndex, BlockMeta};
+use bp_chain::{BlockId, Height};
+use std::collections::{HashMap, HashSet};
+
+/// The outcome of offering a block to a node's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewOutcome {
+    /// Became the new tip (extension or reorg).
+    NewTip {
+        /// Blocks abandoned from the previous best chain (0 = extension).
+        reorg_depth: u64,
+    },
+    /// Accepted on a side branch.
+    SideBranch,
+    /// Already known.
+    Duplicate,
+    /// Parent unknown — parked; caller should fetch the parent.
+    MissingParent(BlockId),
+}
+
+/// One node's view of the block tree.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    known: HashSet<BlockId>,
+    /// Orphans waiting on a parent, by parent id.
+    orphans: HashMap<BlockId, Vec<BlockId>>,
+    best_tip: BlockId,
+    best_height: Height,
+    /// Timestamp (sim seconds) of the best block — BlockAware compares
+    /// this with the wall clock.
+    best_found_secs: u64,
+}
+
+impl NodeView {
+    /// Creates a view that knows only genesis.
+    pub fn new(index: &BlockIndex) -> Self {
+        let mut known = HashSet::new();
+        known.insert(index.genesis());
+        Self {
+            known,
+            orphans: HashMap::new(),
+            best_tip: index.genesis(),
+            best_height: Height::GENESIS,
+            best_found_secs: 0,
+        }
+    }
+
+    /// The tip this node follows.
+    pub fn best_tip(&self) -> BlockId {
+        self.best_tip
+    }
+
+    /// Height of the followed tip.
+    pub fn best_height(&self) -> Height {
+        self.best_height
+    }
+
+    /// Sim-seconds timestamp of the followed tip (for BlockAware).
+    pub fn best_found_secs(&self) -> u64 {
+        self.best_found_secs
+    }
+
+    /// Whether the node knows a block.
+    pub fn knows(&self, id: &BlockId) -> bool {
+        self.known.contains(id)
+    }
+
+    /// Number of known blocks.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// How many blocks this view lags behind `network_best`.
+    pub fn lag(&self, network_best: Height) -> u64 {
+        self.best_height.behind(network_best)
+    }
+
+    /// Offers a block to the view. Orphans are parked and connected
+    /// automatically when the parent arrives.
+    pub fn offer(&mut self, index: &BlockIndex, id: BlockId) -> ViewOutcome {
+        if self.known.contains(&id) {
+            return ViewOutcome::Duplicate;
+        }
+        let Some(meta) = index.get(&id) else {
+            // Unknown to the global index — cannot happen in a well-formed
+            // simulation; treat as missing parent of itself.
+            return ViewOutcome::MissingParent(id);
+        };
+        if !self.known.contains(&meta.prev) {
+            self.orphans.entry(meta.prev).or_default().push(id);
+            return ViewOutcome::MissingParent(meta.prev);
+        }
+        let outcome = self.accept(index, *meta);
+        self.adopt_orphans(index, id);
+        outcome
+    }
+
+    fn accept(&mut self, index: &BlockIndex, meta: BlockMeta) -> ViewOutcome {
+        self.known.insert(meta.id);
+        if meta.height > self.best_height {
+            let reorg_depth = if meta.prev == self.best_tip {
+                0
+            } else {
+                self.reorg_depth(index, meta.id)
+            };
+            self.best_tip = meta.id;
+            self.best_height = meta.height;
+            self.best_found_secs = meta.found_at.as_secs();
+            ViewOutcome::NewTip { reorg_depth }
+        } else {
+            ViewOutcome::SideBranch
+        }
+    }
+
+    /// Depth of the reorg switching from the current tip to `new_tip`:
+    /// the number of blocks on the old chain above the common ancestor.
+    fn reorg_depth(&self, index: &BlockIndex, new_tip: BlockId) -> u64 {
+        // Walk the new chain down to the first block on the old chain.
+        let old_tip = self.best_tip;
+        let mut cur = match index.get(&new_tip) {
+            Some(m) => *m,
+            None => return 0,
+        };
+        loop {
+            if index.is_ancestor(&cur.id, &old_tip) {
+                return self.best_height.0.saturating_sub(cur.height.0);
+            }
+            cur = match index.get(&cur.prev) {
+                Some(m) => *m,
+                None => return 0,
+            };
+        }
+    }
+
+    fn adopt_orphans(&mut self, index: &BlockIndex, parent: BlockId) {
+        let mut stack = vec![parent];
+        while let Some(p) = stack.pop() {
+            if let Some(children) = self.orphans.remove(&p) {
+                for child in children {
+                    if !self.known.contains(&child) {
+                        if let Some(meta) = index.get(&child) {
+                            self.accept(index, *meta);
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimTime;
+
+    fn setup() -> (BlockIndex, NodeView) {
+        let idx = BlockIndex::new();
+        let view = NodeView::new(&idx);
+        (idx, view)
+    }
+
+    #[test]
+    fn extension_is_new_tip_without_reorg() {
+        let (mut idx, mut view) = setup();
+        let b1 = idx.mine(idx.genesis(), SimTime::from_secs(600), 0, false);
+        assert_eq!(
+            view.offer(&idx, b1.id),
+            ViewOutcome::NewTip { reorg_depth: 0 }
+        );
+        assert_eq!(view.best_height(), Height(1));
+        assert_eq!(view.best_found_secs(), 600);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let (mut idx, mut view) = setup();
+        let b1 = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        view.offer(&idx, b1.id);
+        assert_eq!(view.offer(&idx, b1.id), ViewOutcome::Duplicate);
+    }
+
+    #[test]
+    fn side_branch_then_reorg_depth_counted() {
+        let (mut idx, mut view) = setup();
+        let a1 = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        let a2 = idx.mine(a1.id, SimTime(2), 0, false);
+        let b1 = idx.mine(idx.genesis(), SimTime(3), 1, false);
+        let b2 = idx.mine(b1.id, SimTime(4), 1, false);
+        let b3 = idx.mine(b2.id, SimTime(5), 1, false);
+        view.offer(&idx, a1.id);
+        view.offer(&idx, a2.id);
+        assert_eq!(view.offer(&idx, b1.id), ViewOutcome::SideBranch);
+        assert_eq!(view.offer(&idx, b2.id), ViewOutcome::SideBranch);
+        assert_eq!(
+            view.offer(&idx, b3.id),
+            ViewOutcome::NewTip { reorg_depth: 2 }
+        );
+        assert_eq!(view.best_tip(), b3.id);
+    }
+
+    #[test]
+    fn orphans_connect_when_parent_arrives() {
+        let (mut idx, mut view) = setup();
+        let b1 = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        let b2 = idx.mine(b1.id, SimTime(2), 0, false);
+        let b3 = idx.mine(b2.id, SimTime(3), 0, false);
+        assert_eq!(view.offer(&idx, b3.id), ViewOutcome::MissingParent(b2.id));
+        assert_eq!(view.offer(&idx, b2.id), ViewOutcome::MissingParent(b1.id));
+        assert_eq!(
+            view.offer(&idx, b1.id),
+            ViewOutcome::NewTip { reorg_depth: 0 }
+        );
+        // Orphans were adopted transitively.
+        assert_eq!(view.best_height(), Height(3));
+        assert_eq!(view.best_tip(), b3.id);
+    }
+
+    #[test]
+    fn lag_measures_blocks_behind() {
+        let (mut idx, mut view) = setup();
+        let b1 = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        view.offer(&idx, b1.id);
+        assert_eq!(view.lag(Height(4)), 3);
+        assert_eq!(view.lag(Height(1)), 0);
+    }
+
+    #[test]
+    fn counterfeit_chain_overtakes_when_longer() {
+        // The temporal attack in miniature: a node one block behind
+        // accepts a counterfeit chain of greater height.
+        let (mut idx, mut view) = setup();
+        let honest1 = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        view.offer(&idx, honest1.id);
+        let fake1 = idx.mine(idx.genesis(), SimTime(2), 99, true);
+        let fake2 = idx.mine(fake1.id, SimTime(3), 99, true);
+        view.offer(&idx, fake1.id);
+        let outcome = view.offer(&idx, fake2.id);
+        assert_eq!(outcome, ViewOutcome::NewTip { reorg_depth: 1 });
+        assert!(idx.get(&view.best_tip()).unwrap().counterfeit);
+    }
+}

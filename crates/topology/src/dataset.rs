@@ -1,0 +1,760 @@
+//! Synthetic network-snapshot generator, calibrated to the paper's
+//! February 28, 2018 measurement.
+//!
+//! The paper's raw input — an 80 GB, two-month Bitnodes crawl — is not
+//! available, so this module substitutes a generator that reproduces every
+//! *marginal* the paper reports and that the downstream analyses consume:
+//!
+//! * 13,635 full nodes, 83.47 % up (Table I / §IV-C);
+//! * 12,737 IPv4 / 579 IPv6 / 319 Tor, with Table I link-speed and
+//!   latency/uptime-index moments per family;
+//! * the exact top-10 AS and organization populations of Table II
+//!   (AS24940 = 1,030 nodes, Amazon.com = 756 across two ASes, …);
+//! * per-AS BGP prefix counts and within-AS concentration matching
+//!   Figure 4 (51 prefixes for AS24940 with ~80 % of nodes in the top
+//!   ~15; 2,969 prefixes for AS16509 with nodes spread so that > 140
+//!   hijacks are needed for 95 %);
+//! * a heavy-tailed remainder over ~1,650 further ASes so that ≈8 ASes
+//!   host 30 % of nodes and ≈24 host 50 % (Figure 3 / Table III);
+//! * the Table VIII software-version census.
+//!
+//! All randomness flows from a single seed, so snapshots are reproducible.
+
+use crate::ids::{Asn, ConnType, Country, Ipv4Prefix, NodeAddr, NodeId, OrgId};
+use crate::profile::NodeProfile;
+use crate::registry::Registry;
+use crate::versions::VersionCensus;
+use bp_analysis::dist::{standard_normal, zipf_weights, LogNormal, WeightedIndex};
+use bp_analysis::stats::Summary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The pseudo-ASN under which Tor nodes are grouped ("we group TOR nodes
+/// and treat them as a single AS", §V-A). 64512 is the first private-use
+/// ASN.
+pub const TOR_ASN: Asn = Asn(64512);
+
+/// Specification of one anchor AS (a named row of Table II / Table IV /
+/// Figure 4).
+#[derive(Debug, Clone)]
+struct AnchorSpec {
+    asn: Asn,
+    org_name: &'static str,
+    country: Country,
+    /// Node population at paper scale.
+    nodes: usize,
+    /// Announced BGP prefix count (Figure 4 legend).
+    prefix_count: usize,
+    /// Zipf exponent of node placement over prefixes; higher = more
+    /// concentrated = cheaper to hijack.
+    concentration: f64,
+    /// Fraction of announced prefixes that actually host Bitcoin nodes
+    /// (cloud providers announce thousands of prefixes, only a few of
+    /// which contain full nodes).
+    active_prefixes: f64,
+}
+
+/// The anchor ASes: Table II's top 10 plus the secondary ASes that make
+/// the organization-level totals come out right (Amazon, OVH and
+/// DigitalOcean each control a second AS), plus Chinanet Hubei which
+/// appears in Table IV as an F2Pool stratum host.
+fn anchors() -> Vec<AnchorSpec> {
+    vec![
+        AnchorSpec {
+            asn: Asn(24940),
+            org_name: "Hetzner Online GmbH",
+            country: Country::Germany,
+            nodes: 1030,
+            prefix_count: 51,
+            concentration: 1.35,
+            active_prefixes: 1.0,
+        },
+        AnchorSpec {
+            asn: Asn(16276),
+            org_name: "OVH SAS",
+            country: Country::France,
+            nodes: 697,
+            prefix_count: 104,
+            concentration: 1.55,
+            active_prefixes: 1.0,
+        },
+        AnchorSpec {
+            asn: Asn(37963),
+            org_name: "Hangzhou Alibaba",
+            country: Country::China,
+            nodes: 640,
+            prefix_count: 454,
+            concentration: 1.75,
+            active_prefixes: 0.5,
+        },
+        AnchorSpec {
+            asn: Asn(16509),
+            org_name: "Amazon.com, Inc",
+            country: Country::UnitedStates,
+            nodes: 609,
+            prefix_count: 2969,
+            concentration: 0.25,
+            active_prefixes: 0.054,
+        },
+        AnchorSpec {
+            asn: Asn(14061),
+            org_name: "DigitalOcean, LLC",
+            country: Country::UnitedStates,
+            nodes: 460,
+            prefix_count: 1430,
+            concentration: 1.75,
+            active_prefixes: 0.3,
+        },
+        AnchorSpec {
+            asn: Asn(7922),
+            org_name: "Comcast Communication",
+            country: Country::UnitedStates,
+            nodes: 414,
+            prefix_count: 72,
+            concentration: 1.25,
+            active_prefixes: 1.0,
+        },
+        AnchorSpec {
+            asn: Asn(4134),
+            org_name: "No.31, Jin-rong Street",
+            country: Country::China,
+            nodes: 394,
+            prefix_count: 310,
+            concentration: 1.45,
+            active_prefixes: 0.6,
+        },
+        AnchorSpec {
+            asn: Asn(51167),
+            org_name: "Contabo GmbH",
+            country: Country::Germany,
+            nodes: 288,
+            prefix_count: 18,
+            concentration: 1.20,
+            active_prefixes: 1.0,
+        },
+        AnchorSpec {
+            asn: Asn(45102),
+            org_name: "AliBaba (China)",
+            country: Country::China,
+            nodes: 279,
+            prefix_count: 96,
+            concentration: 1.35,
+            active_prefixes: 1.0,
+        },
+        AnchorSpec {
+            asn: Asn(58563),
+            org_name: "Chinanet Hubei",
+            country: Country::China,
+            nodes: 118,
+            prefix_count: 210,
+            concentration: 1.25,
+            active_prefixes: 0.5,
+        },
+        // Secondary ASes: same organizations, additional networks.
+        AnchorSpec {
+            asn: Asn(14618),
+            org_name: "Amazon.com, Inc",
+            country: Country::UnitedStates,
+            nodes: 147,
+            prefix_count: 520,
+            concentration: 0.30,
+            active_prefixes: 0.1,
+        },
+        AnchorSpec {
+            asn: Asn(35540),
+            org_name: "OVH SAS",
+            country: Country::France,
+            nodes: 3,
+            prefix_count: 6,
+            concentration: 1.00,
+            active_prefixes: 1.0,
+        },
+        AnchorSpec {
+            asn: Asn(393406),
+            org_name: "DigitalOcean, LLC",
+            country: Country::UnitedStates,
+            nodes: 43,
+            prefix_count: 60,
+            concentration: 1.20,
+            active_prefixes: 1.0,
+        },
+    ]
+}
+
+/// Table I moments per connectivity family:
+/// (link μ, link σ, latency μ, latency σ, uptime μ, uptime σ).
+fn table_i_moments(conn: ConnType) -> (f64, f64, f64, f64, f64, f64) {
+    match conn {
+        ConnType::IPv4 => (25.04, 258.80, 0.70, 0.45, 0.68, 0.44),
+        ConnType::IPv6 => (23.06, 245.36, 0.86, 0.35, 0.67, 0.42),
+        ConnType::Tor => (432.67, 1046.5, 0.24, 0.25, 0.76, 0.37),
+    }
+}
+
+/// Configuration of the snapshot generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotConfig {
+    /// RNG seed; equal seeds produce identical snapshots.
+    pub seed: u64,
+    /// Linear population scale; `1.0` reproduces the paper's 13,635
+    /// nodes, `0.1` builds a ~1,360-node network for fast tests.
+    pub scale: f64,
+    /// Fraction of nodes up at snapshot time (paper: 0.8347).
+    pub up_fraction: f64,
+    /// Total IPv6 nodes at paper scale (579).
+    pub ipv6_nodes: usize,
+    /// Total Tor nodes at paper scale (319).
+    pub tor_nodes: usize,
+    /// Total nodes at paper scale (13,635).
+    pub total_nodes: usize,
+    /// Number of non-anchor "tail" ASes (paper: 1,660 ASes host all
+    /// nodes; 13 are anchors here).
+    pub tail_as_count: usize,
+    /// Zipf exponent of the tail AS-size distribution. Calibrated so that
+    /// ≈8 ASes host 30 % of nodes and ≈24 host 50 %.
+    pub tail_zipf_exponent: f64,
+    /// Rank offset of the shifted-Zipf tail (keeps the largest tail AS
+    /// below the smallest anchor).
+    pub tail_rank_offset: f64,
+    /// Number of minor software variants beyond the Table VIII top five.
+    pub version_tail: usize,
+}
+
+impl SnapshotConfig {
+    /// Paper-scale configuration (Feb 28, 2018 calibration).
+    pub fn paper() -> Self {
+        Self {
+            seed: 20_180_228,
+            scale: 1.0,
+            up_fraction: 0.8347,
+            ipv6_nodes: 579,
+            tor_nodes: 319,
+            total_nodes: 13_635,
+            tail_as_count: 1_647,
+            tail_zipf_exponent: 1.2,
+            tail_rank_offset: 12.0,
+            version_tail: 283,
+        }
+    }
+
+    /// A ~10 %-scale configuration for fast tests.
+    pub fn test_small() -> Self {
+        Self {
+            scale: 0.1,
+            tail_as_count: 180,
+            version_tail: 40,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn scaled(&self, n: usize) -> usize {
+        ((n as f64) * self.scale).round() as usize
+    }
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A generated network snapshot: the registry, every node's profile, and
+/// the software census.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// AS/organization registry.
+    pub registry: Registry,
+    /// All node profiles, indexed by [`NodeId`].
+    pub nodes: Vec<NodeProfile>,
+    /// Software-version census.
+    pub versions: VersionCensus,
+    /// The configuration that produced this snapshot.
+    pub config: SnapshotConfig,
+}
+
+impl Snapshot {
+    /// Generates a snapshot from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero scale, anchor
+    /// populations exceeding the total).
+    pub fn generate(config: SnapshotConfig) -> Self {
+        assert!(config.scale > 0.0, "scale must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut registry = Registry::new();
+        let versions = VersionCensus::with_tail(config.version_tail);
+        let version_sampler = WeightedIndex::new(&versions.share_weights());
+
+        // ---- Register anchors -------------------------------------------------
+        let mut next_block: u32 = 1; // sequential /20 allocator
+        let mut alloc_prefixes = |count: usize| -> Vec<Ipv4Prefix> {
+            (0..count)
+                .map(|_| {
+                    let p = Ipv4Prefix::new(next_block << 12, 20);
+                    next_block += 1;
+                    p
+                })
+                .collect()
+        };
+
+        // (asn, ipv4_node_count, concentration, active prefix fraction)
+        let mut as_populations: Vec<(Asn, usize, f64, f64)> = Vec::new();
+        for spec in anchors() {
+            let org = registry.register_org(spec.org_name);
+            let prefixes = alloc_prefixes(spec.prefix_count);
+            registry.register_as(spec.asn, org, spec.country, prefixes);
+            as_populations.push((
+                spec.asn,
+                config.scaled(spec.nodes),
+                spec.concentration,
+                spec.active_prefixes,
+            ));
+        }
+
+        // Tor pseudo-AS.
+        let tor_org = registry.register_org("TOR");
+        registry.register_as(TOR_ASN, tor_org, Country::Other, Vec::new());
+
+        // ---- Tail ASes --------------------------------------------------------
+        let tor_total = config.scaled(config.tor_nodes);
+        let anchor_total: usize = as_populations.iter().map(|(_, n, _, _)| n).sum();
+        let grand_total = config.scaled(config.total_nodes);
+        assert!(
+            grand_total > anchor_total + tor_total,
+            "anchor populations exceed configured total"
+        );
+        let tail_total = grand_total - anchor_total - tor_total;
+        // Shifted Zipf: rank-k weight proportional to (k + offset)^-s. The
+        // offset keeps the largest tail AS below the smallest anchor while
+        // the exponent controls how quickly the tail thins out; both are
+        // calibrated so ~8 ASes host 30 % of nodes and ~24 host 50 %.
+        let offset = config.tail_rank_offset;
+        let raw: Vec<f64> = (1..=config.tail_as_count)
+            .map(|k| (k as f64 + offset).powf(-config.tail_zipf_exponent))
+            .collect();
+        let raw_sum: f64 = raw.iter().sum();
+        let tail_weights: Vec<f64> = raw
+            .into_iter()
+            .map(|w| w * tail_total as f64 / raw_sum)
+            .collect();
+        let tail_countries = [
+            Country::UnitedStates,
+            Country::China,
+            Country::Germany,
+            Country::Other,
+            Country::France,
+            Country::Other,
+            Country::Other,
+        ];
+        let mut assigned = 0usize;
+        for (i, w) in tail_weights.iter().enumerate() {
+            // Round, but force the last AS to absorb the remainder so the
+            // population is exact.
+            let n = if i + 1 == tail_weights.len() {
+                tail_total - assigned
+            } else {
+                (w.round() as usize).min(tail_total - assigned)
+            };
+            assigned += n;
+            let asn = Asn(100_000 + i as u32);
+            let org = registry.register_org(&format!("ISP-{i}"));
+            let prefix_count = (n / 2).clamp(4, 64);
+            let prefixes = alloc_prefixes(prefix_count);
+            registry.register_as(asn, org, tail_countries[i % tail_countries.len()], prefixes);
+            if n > 0 {
+                as_populations.push((asn, n, 1.0, 1.0));
+            }
+        }
+
+        // ---- Node generation --------------------------------------------------
+        // Deterministic IPv6 carve-out: spread v6 nodes evenly over the
+        // non-Tor population.
+        let non_tor_total: usize = as_populations.iter().map(|(_, n, _, _)| n).sum();
+        let ipv6_total = config.scaled(config.ipv6_nodes).min(non_tor_total);
+        let v6_stride = non_tor_total
+            .checked_div(ipv6_total)
+            .map_or(usize::MAX, |s| s.max(1));
+
+        let mut nodes: Vec<NodeProfile> = Vec::with_capacity(grand_total);
+        let mut v6_assigned = 0usize;
+        let mut v6_serial = 0u64;
+        let mut global_index = 0usize;
+
+        for (asn, population, concentration, active_frac) in &as_populations {
+            let record = registry
+                .as_record(*asn)
+                .expect("anchor/tail AS registered above");
+            let org = record.org;
+            let prefix_count = record.prefixes.len().max(1);
+            // Nodes land only in the "active" head of the prefix list; the
+            // rest of the announced prefixes host no Bitcoin nodes (this is
+            // what makes AS16509 expensive to hijack in Figure 4).
+            let active =
+                ((prefix_count as f64 * active_frac).round() as usize).clamp(1, prefix_count);
+            let mut weights = zipf_weights(active, *concentration, 1.0);
+            weights.resize(prefix_count, 0.0);
+            let prefix_sampler = WeightedIndex::new(&weights);
+            let prefixes = record.prefixes.clone();
+            for _ in 0..*population {
+                let make_v6 = global_index % v6_stride == v6_stride - 1 && v6_assigned < ipv6_total;
+                let (addr, prefix_idx, conn) = if make_v6 {
+                    v6_assigned += 1;
+                    v6_serial += 1;
+                    (NodeAddr::V6(v6_serial), None, ConnType::IPv6)
+                } else {
+                    let pi = prefix_sampler.sample(&mut rng);
+                    let host = rng.random_range(1u64..1000);
+                    let addr = if prefixes.is_empty() {
+                        NodeAddr::V4(rng.random::<u32>())
+                    } else {
+                        NodeAddr::V4(prefixes[pi].host(host))
+                    };
+                    (addr, Some(pi as u32), ConnType::IPv4)
+                };
+                nodes.push(Self::sample_profile(
+                    &mut rng,
+                    NodeId(nodes.len() as u32),
+                    addr,
+                    *asn,
+                    org,
+                    prefix_idx,
+                    conn,
+                    config.up_fraction,
+                    &version_sampler,
+                ));
+                global_index += 1;
+            }
+        }
+
+        // Tor nodes.
+        let tor_org_id = registry.org_of(TOR_ASN).expect("tor AS registered");
+        for i in 0..tor_total {
+            nodes.push(Self::sample_profile(
+                &mut rng,
+                NodeId(nodes.len() as u32),
+                NodeAddr::Onion(i as u32),
+                TOR_ASN,
+                tor_org_id,
+                None,
+                ConnType::Tor,
+                config.up_fraction,
+                &version_sampler,
+            ));
+        }
+
+        Self {
+            registry,
+            nodes,
+            versions,
+            config,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sample_profile(
+        rng: &mut StdRng,
+        id: NodeId,
+        addr: NodeAddr,
+        asn: Asn,
+        org: OrgId,
+        prefix_idx: Option<u32>,
+        conn: ConnType,
+        up_fraction: f64,
+        version_sampler: &WeightedIndex,
+    ) -> NodeProfile {
+        let (lmu, lsigma, lat_mu, lat_sigma, up_mu, up_sigma) = table_i_moments(conn);
+        let link = LogNormal::from_mean_std(lmu, lsigma).sample(rng);
+        // Indices live in [0, 1] with σ close to the Bernoulli maximum
+        // (Table I: μ = 0.70, σ = 0.45 for IPv4 latency) — i.e. the mass
+        // sits near the ends. A scaled two-point mixture matches both
+        // moments exactly: X = μ + c·(B − μ), B ~ Bernoulli(μ),
+        // c = σ_target / √(μ(1−μ)), plus a little jitter.
+        let index = |rng: &mut StdRng, mu: f64, sigma: f64| -> f64 {
+            let bern_sigma = (mu * (1.0 - mu)).sqrt();
+            let c = (sigma / bern_sigma).min(1.0);
+            let b = if rng.random::<f64>() < mu { 1.0 } else { 0.0 };
+            let jitter = 0.02 * standard_normal(rng);
+            (mu + c * (b - mu) + jitter).clamp(0.0, 1.0)
+        };
+        NodeProfile {
+            id,
+            addr,
+            asn,
+            org,
+            prefix_idx,
+            link_speed_mbps: link,
+            latency_index: index(rng, lat_mu, lat_sigma),
+            uptime_index: index(rng, up_mu, up_sigma),
+            is_up: rng.random::<f64>() < up_fraction,
+            version_idx: version_sampler.sample(rng) as u32,
+        }
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node profile by id.
+    pub fn node(&self, id: NodeId) -> &NodeProfile {
+        &self.nodes[id.index()]
+    }
+
+    /// Nodes currently up.
+    pub fn up_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_up).count()
+    }
+
+    /// Node ids hosted by an AS.
+    pub fn nodes_in_as(&self, asn: Asn) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.asn == asn)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Node ids hosted by an organization (across all its ASes).
+    pub fn nodes_in_org(&self, org: OrgId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.org == org)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// `(ASN, node count)` pairs, sorted descending by count — the data
+    /// behind Table II (left) and Figure 3.
+    pub fn nodes_per_as(&self) -> Vec<(Asn, usize)> {
+        let mut counts: HashMap<Asn, usize> = HashMap::new();
+        for n in &self.nodes {
+            *counts.entry(n.asn).or_default() += 1;
+        }
+        let mut v: Vec<(Asn, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// `(OrgId, node count)` pairs, sorted descending — Table II (right).
+    pub fn nodes_per_org(&self) -> Vec<(OrgId, usize)> {
+        let mut counts: HashMap<OrgId, usize> = HashMap::new();
+        for n in &self.nodes {
+            *counts.entry(n.org).or_default() += 1;
+        }
+        let mut v: Vec<(OrgId, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+
+    /// Per-prefix node counts inside one AS, sorted descending — the data
+    /// behind Figure 4 (hijack the biggest prefixes first).
+    pub fn prefix_node_counts(&self, asn: Asn) -> Vec<usize> {
+        let prefix_count = self
+            .registry
+            .as_record(asn)
+            .map(|r| r.prefixes.len())
+            .unwrap_or(0);
+        let mut counts = vec![0usize; prefix_count];
+        for n in &self.nodes {
+            if n.asn == asn {
+                if let Some(pi) = n.prefix_idx {
+                    counts[pi as usize] += 1;
+                }
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+
+    /// Per-connectivity-family statistics — the data behind Table I:
+    /// `(family, count, link-speed summary, latency summary, uptime
+    /// summary)`.
+    pub fn conn_stats(&self) -> Vec<(ConnType, usize, Summary, Summary, Summary)> {
+        [ConnType::IPv4, ConnType::IPv6, ConnType::Tor]
+            .into_iter()
+            .map(|conn| {
+                let members: Vec<&NodeProfile> = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.conn_type() == conn)
+                    .collect();
+                let link = Summary::from_iter(members.iter().map(|n| n.link_speed_mbps));
+                let lat = Summary::from_iter(members.iter().map(|n| n.latency_index));
+                let up = Summary::from_iter(members.iter().map(|n| n.uptime_index));
+                (conn, members.len(), link, lat, up)
+            })
+            .collect()
+    }
+
+    /// Per-AS node-count weights, for the centralization analyses.
+    pub fn as_weights(&self) -> Vec<f64> {
+        self.nodes_per_as()
+            .into_iter()
+            .map(|(_, n)| n as f64)
+            .collect()
+    }
+
+    /// Per-organization node-count weights.
+    pub fn org_weights(&self) -> Vec<f64> {
+        self.nodes_per_org()
+            .into_iter()
+            .map(|(_, n)| n as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_analysis::centralization::smallest_cover;
+
+    fn small() -> Snapshot {
+        Snapshot::generate(SnapshotConfig::test_small())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Snapshot::generate(SnapshotConfig::test_small());
+        let b = Snapshot::generate(SnapshotConfig::test_small());
+        assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Snapshot::generate(SnapshotConfig::test_small());
+        let b = Snapshot::generate(SnapshotConfig::test_small().with_seed(1));
+        assert_ne!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn population_matches_scaled_total() {
+        let s = small();
+        let expected = (13_635.0 * 0.1f64).round() as usize;
+        assert_eq!(s.node_count(), expected);
+    }
+
+    #[test]
+    fn up_fraction_approximately_met() {
+        let s = small();
+        let frac = s.up_count() as f64 / s.node_count() as f64;
+        assert!((frac - 0.8347).abs() < 0.05, "up fraction {frac}");
+    }
+
+    #[test]
+    fn tor_nodes_grouped_under_pseudo_as() {
+        let s = small();
+        let tor_nodes = s.nodes_in_as(TOR_ASN);
+        assert_eq!(tor_nodes.len(), 32); // 319 × 0.1 rounded
+        for id in tor_nodes {
+            assert_eq!(s.node(id).conn_type(), ConnType::Tor);
+        }
+    }
+
+    #[test]
+    fn hetzner_is_largest_as() {
+        let s = small();
+        let per_as = s.nodes_per_as();
+        assert_eq!(per_as[0].0, Asn(24940));
+        assert_eq!(per_as[0].1, 103); // 1030 × 0.1
+    }
+
+    #[test]
+    fn org_totals_aggregate_multiple_ases() {
+        let s = small();
+        let amazon = s
+            .registry
+            .orgs()
+            .find(|o| o.name == "Amazon.com, Inc")
+            .unwrap();
+        assert_eq!(amazon.ases.len(), 2);
+        let n = s.nodes_in_org(amazon.id).len();
+        // 756 × 0.1 ≈ 76, minus the deterministic IPv6 carve-out noise.
+        assert!((70..=80).contains(&n), "Amazon hosts {n}");
+    }
+
+    #[test]
+    fn prefix_concentration_orders_hetzner_vs_amazon() {
+        let s = small();
+        let hetzner = s.prefix_node_counts(Asn(24940));
+        let amazon = s.prefix_node_counts(Asn(16509));
+        let share_top15 = |counts: &[usize]| -> f64 {
+            let total: usize = counts.iter().sum();
+            let top: usize = counts.iter().take(15).sum();
+            top as f64 / total.max(1) as f64
+        };
+        assert!(
+            share_top15(&hetzner) > share_top15(&amazon) + 0.2,
+            "hetzner {} vs amazon {}",
+            share_top15(&hetzner),
+            share_top15(&amazon)
+        );
+    }
+
+    #[test]
+    fn conn_stats_reproduce_table_i_shape() {
+        let s = small();
+        let stats = s.conn_stats();
+        let (_, v4_count, v4_link, ..) = &stats[0];
+        let (_, _, tor_link, tor_lat, _) = &stats[2];
+        // IPv4 dominates the population.
+        assert!(*v4_count > s.node_count() * 8 / 10);
+        // Tor nodes are much faster on average (432 vs 25 Mbps) with much
+        // lower latency index (0.24 vs 0.70).
+        assert!(tor_link.mean() > v4_link.mean() * 4.0);
+        let (_, _, _, v4_lat, _) = &stats[0];
+        assert!(tor_lat.mean() < v4_lat.mean());
+    }
+
+    #[test]
+    fn centralization_shape_holds_at_small_scale() {
+        let s = small();
+        let weights = s.as_weights();
+        let c30 = smallest_cover(&weights, 0.30);
+        let c50 = smallest_cover(&weights, 0.50);
+        // Paper: 8 ASes host 30 %, 24 host 50 %. At 10 % scale the rounding
+        // wiggles but the order of magnitude must hold.
+        assert!((5..=12).contains(&c30), "30% cover = {c30}");
+        assert!((16..=34).contains(&c50), "50% cover = {c50}");
+        // Organizations are at least as centralized as ASes.
+        let c50_org = smallest_cover(&s.org_weights(), 0.50);
+        assert!(c50_org <= c50, "org cover {c50_org} vs as cover {c50}");
+    }
+
+    #[test]
+    fn ipv6_carveout_is_applied() {
+        let s = small();
+        let v6 = s
+            .nodes
+            .iter()
+            .filter(|n| n.conn_type() == ConnType::IPv6)
+            .count();
+        let expected = (579.0 * 0.1f64).round() as usize;
+        assert!(
+            (v6 as i64 - expected as i64).abs() <= 2,
+            "v6 count {v6} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn every_ipv4_node_has_a_covering_prefix() {
+        let s = small();
+        for n in &s.nodes {
+            if let (NodeAddr::V4(addr), Some(pi)) = (n.addr, n.prefix_idx) {
+                let rec = s.registry.as_record(n.asn).unwrap();
+                assert!(
+                    rec.prefixes[pi as usize].contains(addr),
+                    "node {} address outside its prefix",
+                    n.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Identifier newtypes and IPv4 prefixes for the Internet substrate.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An organization identifier (ISPs/hosting providers; one organization may
+/// control several ASes, which the paper exploits at the org level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrgId(pub u32);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "org{}", self.0)
+    }
+}
+
+/// A node identifier — a dense index into the snapshot's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize` for table addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Country codes relevant to the paper's nation-state analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Country {
+    /// China — hosts ≈60 % of mining traffic per Table IV.
+    China,
+    /// United States.
+    UnitedStates,
+    /// Germany.
+    Germany,
+    /// France.
+    France,
+    /// Any other jurisdiction.
+    Other,
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Country::China => "CN",
+            Country::UnitedStates => "US",
+            Country::Germany => "DE",
+            Country::France => "FR",
+            Country::Other => "--",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An IPv4 prefix in CIDR form, e.g. `10.1.0.0/16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Prefix {
+    network: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, masking `addr` down to the network address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length must be <= 32");
+        Self {
+            network: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> u32 {
+        self.network
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Returns `true` for the 0-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addresses covered by the prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & Self::mask(self.len) == self.network
+    }
+
+    /// Whether `other` is fully contained in (more specific than or equal
+    /// to) this prefix.
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.network)
+    }
+
+    /// The `i`-th host address within the prefix (wraps modulo prefix
+    /// size).
+    pub fn host(&self, i: u64) -> u32 {
+        self.network.wrapping_add((i % self.size()) as u32)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.network;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            n >> 24,
+            (n >> 16) & 0xff,
+            (n >> 8) & 0xff,
+            n & 0xff,
+            self.len
+        )
+    }
+}
+
+/// Error parsing an [`Ipv4Prefix`] from CIDR notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError;
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid CIDR prefix")
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, len_part) = s.split_once('/').ok_or(ParsePrefixError)?;
+        let len: u8 = len_part.parse().map_err(|_| ParsePrefixError)?;
+        if len > 32 {
+            return Err(ParsePrefixError);
+        }
+        let mut octets = [0u32; 4];
+        let mut count = 0;
+        for (i, part) in addr_part.split('.').enumerate() {
+            if i >= 4 {
+                return Err(ParsePrefixError);
+            }
+            octets[i] = part.parse::<u8>().map_err(|_| ParsePrefixError)? as u32;
+            count += 1;
+        }
+        if count != 4 {
+            return Err(ParsePrefixError);
+        }
+        let addr = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+/// A node's network address: the three connectivity families of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeAddr {
+    /// Public IPv4 address.
+    V4(u32),
+    /// IPv6, represented by its low 64 bits (enough for identity).
+    V6(u64),
+    /// A Tor onion service, by index.
+    Onion(u32),
+}
+
+impl NodeAddr {
+    /// The connectivity family of this address.
+    pub fn conn_type(&self) -> ConnType {
+        match self {
+            NodeAddr::V4(_) => ConnType::IPv4,
+            NodeAddr::V6(_) => ConnType::IPv6,
+            NodeAddr::Onion(_) => ConnType::Tor,
+        }
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeAddr::V4(a) => write!(
+                f,
+                "{}.{}.{}.{}",
+                a >> 24,
+                (a >> 16) & 0xff,
+                (a >> 8) & 0xff,
+                a & 0xff
+            ),
+            NodeAddr::V6(a) => write!(f, "[::{a:x}]"),
+            NodeAddr::Onion(i) => write!(f, "onion{i}.onion"),
+        }
+    }
+}
+
+/// Connectivity families of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConnType {
+    /// Plain IPv4 (93.41 % of full nodes in the paper's snapshot).
+    IPv4,
+    /// IPv6 (4.24 %).
+    IPv6,
+    /// Tor onion services (2.33 %), treated by the paper as one AS.
+    Tor,
+}
+
+impl fmt::Display for ConnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConnType::IPv4 => "IPv4",
+            ConnType::IPv6 => "IPv6",
+            ConnType::Tor => "TOR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_contains_and_covers() {
+        let p: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.contains(0x0A01_1234));
+        assert!(!p.contains(0x0A02_0000));
+        let sub: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        assert!(p.covers(&sub));
+        assert!(!sub.covers(&p));
+        assert!(p.covers(&p));
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Ipv4Prefix::new(0x0A01_02FF, 24);
+        assert_eq!(p.network(), 0x0A01_0200);
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn prefix_size() {
+        assert_eq!(Ipv4Prefix::new(0, 24).size(), 256);
+        assert_eq!(Ipv4Prefix::new(0, 32).size(), 1);
+        assert_eq!(Ipv4Prefix::new(0, 0).size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn prefix_parse_rejects_garbage() {
+        assert!("10.1.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.1.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.1.0/24".parse::<Ipv4Prefix>().is_err());
+        assert!("a.b.c.d/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn host_addresses_stay_in_prefix() {
+        let p: Ipv4Prefix = "192.168.4.0/24".parse().unwrap();
+        for i in 0..300 {
+            assert!(p.contains(p.host(i)));
+        }
+    }
+
+    #[test]
+    fn addr_conn_types() {
+        assert_eq!(NodeAddr::V4(1).conn_type(), ConnType::IPv4);
+        assert_eq!(NodeAddr::V6(1).conn_type(), ConnType::IPv6);
+        assert_eq!(NodeAddr::Onion(1).conn_type(), ConnType::Tor);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Asn(24940).to_string(), "AS24940");
+        assert_eq!(NodeAddr::V4(0x0A000001).to_string(), "10.0.0.1");
+        assert_eq!(ConnType::Tor.to_string(), "TOR");
+        assert_eq!(Country::China.to_string(), "CN");
+    }
+}

@@ -1,0 +1,35 @@
+//! Internet-topology substrate: ASes, organizations, BGP prefixes, node
+//! profiles, and the calibrated synthetic snapshot generator.
+//!
+//! The paper's spatial analysis (§IV–§V-A) is driven by *where* Bitcoin
+//! full nodes live: which AS announces the covering BGP prefix, which
+//! organization owns that AS, and which country the traffic transits.
+//! This crate models that hierarchy and generates network snapshots whose
+//! marginals are calibrated to the paper's February 28, 2018 measurement
+//! (see [`dataset`] for the full calibration list).
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_topology::{Snapshot, SnapshotConfig};
+//!
+//! let snap = Snapshot::generate(SnapshotConfig::test_small());
+//! let (top_as, count) = snap.nodes_per_as()[0];
+//! assert_eq!(top_as, bp_topology::ids::Asn(24940)); // Hetzner
+//! assert!(count > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod ids;
+pub mod profile;
+pub mod registry;
+pub mod versions;
+
+pub use dataset::{Snapshot, SnapshotConfig, TOR_ASN};
+pub use ids::{Asn, ConnType, Country, Ipv4Prefix, NodeAddr, NodeId, OrgId};
+pub use profile::NodeProfile;
+pub use registry::{AsRecord, OrgRecord, Registry};
+pub use versions::{SoftwareVersion, VersionCensus};

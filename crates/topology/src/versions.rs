@@ -1,0 +1,258 @@
+//! The software-version census (paper Table VIII and §V-D).
+//!
+//! The paper observed **288** distinct Bitcoin client variants among full
+//! nodes: Bitcoin Core 0.16.0 at 36.28 %, 0.15.1 at 27.52 %, a named tail
+//! (including the Falcon relay client run by 10 nodes) and hundreds of
+//! small variants. Logical partitioning exploits exactly this diversity.
+
+/// One software variant in the census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftwareVersion {
+    /// Display name, e.g. `"Bitcoin Core v0.16.0"`.
+    pub name: String,
+    /// Release day, in days since 2009-01-09 (Bitcoin Core's first
+    /// release, which the paper uses as the protocol's birth date).
+    pub release_day: u32,
+    /// Fraction of full nodes running this version.
+    pub share: f64,
+    /// Whether the variant derives from Bitcoin Core (as opposed to an
+    /// independent implementation such as Falcon).
+    pub is_core: bool,
+}
+
+/// The full version census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionCensus {
+    versions: Vec<SoftwareVersion>,
+    /// Snapshot day (days since 2009-01-09) used for release-lag maths.
+    collection_day: u32,
+}
+
+/// Days between 2009-01-09 and a `(year, month, day)` date — a simple
+/// proleptic-Gregorian day count; exact for the range the census covers.
+fn day_index(year: u32, month: u32, day: u32) -> u32 {
+    fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+        // Howard Hinnant's civil-from-days inverse.
+        let y = if m <= 2 { y - 1 } else { y };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (m + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+    let epoch = days_from_civil(2009, 1, 9);
+    (days_from_civil(year as i64, month as i64, day as i64) - epoch) as u32
+}
+
+impl VersionCensus {
+    /// The census calibrated to Table VIII: the top-5 versions carry the
+    /// paper's exact shares and release dates; the remaining share is
+    /// spread over `tail_count` minor variants (including Falcon) with a
+    /// harmonically decaying profile, giving 288 variants by default.
+    pub fn paper_table_viii() -> Self {
+        Self::with_tail(283)
+    }
+
+    /// Like [`VersionCensus::paper_table_viii`] but with a custom tail
+    /// size (useful for scaled-down tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail_count` is zero.
+    pub fn with_tail(tail_count: usize) -> Self {
+        assert!(tail_count > 0, "census requires a non-empty tail");
+        // (name, (y, m, d), share) from Table VIII.
+        let top: [(&str, (u32, u32, u32), f64); 5] = [
+            ("Bitcoin Core v0.16.0", (2018, 2, 26), 0.3628),
+            ("Bitcoin Core v0.15.1", (2017, 11, 11), 0.2752),
+            ("Bitcoin Core v0.15.0.1", (2017, 9, 19), 0.0501),
+            ("Bitcoin Core v0.14.2", (2017, 6, 17), 0.0467),
+            ("Bitcoin Core v0.15.0", (2017, 4, 22), 0.0205),
+        ];
+        let mut versions: Vec<SoftwareVersion> = top
+            .iter()
+            .map(|(name, (y, m, d), share)| SoftwareVersion {
+                name: (*name).to_string(),
+                release_day: day_index(*y, *m, *d),
+                share: *share,
+                is_core: true,
+            })
+            .collect();
+
+        // Falcon: the custom relay client the paper calls out, run by 10
+        // of the 13,635 nodes.
+        let falcon_share = 10.0 / 13_635.0;
+        versions.push(SoftwareVersion {
+            name: "Falcon".to_string(),
+            release_day: day_index(2016, 6, 1),
+            share: falcon_share,
+            is_core: false,
+        });
+        let tail_share: f64 = 1.0 - versions.iter().map(|v| v.share).sum::<f64>();
+        let rest = tail_count.saturating_sub(1);
+        // Harmonic decay with a rank offset so that even the largest tail
+        // variant stays below the Table VIII #5 share (2.05 %).
+        const OFFSET: f64 = 8.0;
+        let harmonic: f64 = (1..=rest.max(1)).map(|k| 1.0 / (k as f64 + OFFSET)).sum();
+        for k in 1..=rest {
+            let share = tail_share * (1.0 / (k as f64 + OFFSET)) / harmonic;
+            let (name, is_core) = if k % 3 == 0 {
+                (
+                    format!("Bitcoin Core v0.{}.{} (patched)", 9 + k % 7, k % 5),
+                    true,
+                )
+            } else {
+                (format!("variant-{k}"), false)
+            };
+            versions.push(SoftwareVersion {
+                name,
+                // Tail variants all predate the 0.16.0 release.
+                release_day: day_index(2016, 1, 1) + (k as u32 * 7) % 700,
+                share,
+                is_core,
+            });
+        }
+        // Absorb any undistributed remainder (including the rest == 0
+        // edge case) into the last variant, so shares sum to exactly 1.
+        let assigned: f64 = versions.iter().map(|v| v.share).sum();
+        if let Some(last) = versions.last_mut() {
+            last.share += 1.0 - assigned;
+        }
+        versions.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("finite shares"));
+        Self {
+            versions,
+            collection_day: day_index(2018, 4, 26),
+        }
+    }
+
+    /// Number of distinct variants (288 for the paper census).
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the census is empty (never true for constructed censuses).
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// All versions, most popular first.
+    pub fn versions(&self) -> &[SoftwareVersion] {
+        &self.versions
+    }
+
+    /// The version at census index `idx`.
+    pub fn get(&self, idx: u32) -> Option<&SoftwareVersion> {
+        self.versions.get(idx as usize)
+    }
+
+    /// The `k` most popular versions.
+    pub fn top(&self, k: usize) -> &[SoftwareVersion] {
+        &self.versions[..k.min(self.versions.len())]
+    }
+
+    /// Days between a version's release and the census collection date —
+    /// the "Lag" column of Table VIII.
+    pub fn release_lag_days(&self, v: &SoftwareVersion) -> u32 {
+        self.collection_day.saturating_sub(v.release_day)
+    }
+
+    /// Per-version share weights, for sampling node version assignments.
+    pub fn share_weights(&self) -> Vec<f64> {
+        self.versions.iter().map(|v| v.share).collect()
+    }
+
+    /// Fraction of nodes running the newest Core release — the paper
+    /// laments this is only ≈36 %.
+    pub fn latest_core_share(&self) -> f64 {
+        self.versions
+            .iter()
+            .filter(|v| v.is_core)
+            .max_by_key(|v| v.release_day)
+            .map(|v| v.share)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_census_has_288_variants() {
+        let c = VersionCensus::paper_table_viii();
+        assert_eq!(c.len(), 288);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let c = VersionCensus::paper_table_viii();
+        let total: f64 = c.versions().iter().map(|v| v.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total share {total}");
+    }
+
+    #[test]
+    fn top5_matches_table_viii() {
+        let c = VersionCensus::paper_table_viii();
+        let top = c.top(5);
+        assert_eq!(top[0].name, "Bitcoin Core v0.16.0");
+        assert!((top[0].share - 0.3628).abs() < 1e-12);
+        assert_eq!(top[1].name, "Bitcoin Core v0.15.1");
+        assert!((top[4].share - 0.0205).abs() < 1e-12);
+        // Shares are descending.
+        for pair in top.windows(2) {
+            assert!(pair[0].share >= pair[1].share);
+        }
+    }
+
+    #[test]
+    fn release_lags_match_table_viii_order() {
+        let c = VersionCensus::paper_table_viii();
+        let lags: Vec<u32> = c.top(5).iter().map(|v| c.release_lag_days(v)).collect();
+        // Table VIII reports 59, 166, 219, 313 days for the first four;
+        // exact values depend on the collection date, so check ordering
+        // and the headline value.
+        assert_eq!(lags[0], 59);
+        assert_eq!(lags[1], 166);
+        assert_eq!(lags[2], 219);
+        assert_eq!(lags[3], 313);
+        for pair in lags.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn falcon_is_in_the_tail() {
+        let c = VersionCensus::paper_table_viii();
+        let falcon = c
+            .versions()
+            .iter()
+            .find(|v| v.name == "Falcon")
+            .expect("Falcon variant present");
+        assert!(!falcon.is_core);
+        assert!(falcon.share < 0.01);
+    }
+
+    #[test]
+    fn latest_core_share_is_v0160() {
+        let c = VersionCensus::paper_table_viii();
+        assert!((c.latest_core_share() - 0.3628).abs() < 1e-12);
+    }
+
+    #[test]
+    fn day_index_known_intervals() {
+        // 2018-02-26 → 2018-04-26 is 59 days.
+        assert_eq!(day_index(2018, 4, 26) - day_index(2018, 2, 26), 59);
+        // Epoch day is zero.
+        assert_eq!(day_index(2009, 1, 9), 0);
+        // One year later (2009 not a leap year before March).
+        assert_eq!(day_index(2010, 1, 9), 365);
+    }
+
+    #[test]
+    fn share_weights_align_with_versions() {
+        let c = VersionCensus::with_tail(10);
+        assert_eq!(c.share_weights().len(), c.len());
+        assert_eq!(c.len(), 15);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the topology substrate: prefixes, the
+//! registry and the snapshot generator.
+
+use bp_topology::ids::{Ipv4Prefix, NodeAddr};
+use bp_topology::{Snapshot, SnapshotConfig, VersionCensus, TOR_ASN};
+use proptest::prelude::*;
+
+proptest! {
+    /// CIDR display/parse round-trips for arbitrary prefixes.
+    #[test]
+    fn prefix_display_parse_round_trip(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new(addr, len);
+        let parsed: Ipv4Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    /// The network address is always inside its own prefix, and `covers`
+    /// is reflexive and antisymmetric for different lengths.
+    #[test]
+    fn prefix_contains_own_network(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new(addr, len);
+        prop_assert!(p.contains(p.network()));
+        prop_assert!(p.covers(&p));
+        if len < 32 {
+            let sub = Ipv4Prefix::new(addr, len + 1);
+            prop_assert!(p.covers(&sub));
+            // A strictly longer prefix can never cover a shorter one.
+            prop_assert!(!sub.covers(&p));
+        }
+    }
+
+    /// Every host address generated from a prefix lies inside it.
+    #[test]
+    fn prefix_hosts_stay_inside(addr in any::<u32>(), len in 1u8..=32, i in any::<u64>()) {
+        let p = Ipv4Prefix::new(addr, len);
+        prop_assert!(p.contains(p.host(i)));
+    }
+
+    /// A version census of any tail size has shares that sum to one and
+    /// are sorted descending.
+    #[test]
+    fn version_census_normalised(tail in 1usize..400) {
+        let c = VersionCensus::with_tail(tail);
+        let total: f64 = c.versions().iter().map(|v| v.share).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for pair in c.versions().windows(2) {
+            prop_assert!(pair[0].share >= pair[1].share - 1e-12);
+        }
+        prop_assert_eq!(c.len(), tail + 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Snapshot structural invariants hold across seeds: every node's
+    /// org matches its AS's org, Tor nodes sit in the pseudo-AS, and
+    /// IPv4 nodes live inside their assigned prefix.
+    #[test]
+    fn snapshot_structurally_consistent(seed in 0u64..1000) {
+        let config = SnapshotConfig {
+            seed,
+            scale: 0.03,
+            tail_as_count: 50,
+            version_tail: 12,
+            ..SnapshotConfig::paper()
+        };
+        let s = Snapshot::generate(config);
+        for node in &s.nodes {
+            // Org consistency.
+            let rec = s.registry.as_record(node.asn).expect("registered AS");
+            prop_assert_eq!(rec.org, node.org);
+            // Index bounds.
+            prop_assert!((0.0..=1.0).contains(&node.latency_index));
+            prop_assert!((0.0..=1.0).contains(&node.uptime_index));
+            prop_assert!(node.link_speed_mbps > 0.0);
+            prop_assert!((node.version_idx as usize) < s.versions.len());
+            match node.addr {
+                NodeAddr::V4(addr) => {
+                    let pi = node.prefix_idx.expect("IPv4 node has a prefix") as usize;
+                    prop_assert!(rec.prefixes[pi].contains(addr));
+                }
+                NodeAddr::V6(_) => prop_assert!(node.prefix_idx.is_none()),
+                NodeAddr::Onion(_) => {
+                    prop_assert_eq!(node.asn, TOR_ASN);
+                }
+            }
+        }
+        // Per-AS counts from the index methods agree with a direct scan.
+        let direct = s
+            .nodes
+            .iter()
+            .filter(|n| n.asn == TOR_ASN)
+            .count();
+        prop_assert_eq!(s.nodes_in_as(TOR_ASN).len(), direct);
+    }
+
+    /// Population scale is linear: doubling the scale roughly doubles the
+    /// node count, and the AS ranking's head is stable.
+    #[test]
+    fn snapshot_scales_linearly(seed in 0u64..50) {
+        let small = Snapshot::generate(SnapshotConfig {
+            seed,
+            scale: 0.04,
+            tail_as_count: 50,
+            version_tail: 12,
+            ..SnapshotConfig::paper()
+        });
+        let large = Snapshot::generate(SnapshotConfig {
+            seed,
+            scale: 0.08,
+            tail_as_count: 50,
+            version_tail: 12,
+            ..SnapshotConfig::paper()
+        });
+        let ratio = large.node_count() as f64 / small.node_count() as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+        // Hetzner leads at any scale.
+        prop_assert_eq!(small.nodes_per_as()[0].0, large.nodes_per_as()[0].0);
+    }
+}

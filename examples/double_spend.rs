@@ -1,0 +1,128 @@
+//! Double-spend across a partition — the economic payoff behind every
+//! partitioning attack the paper analyses ("spatial partitioning …
+//! facilitates other major attacks including double-spending attacks").
+//!
+//! This example works at the ledger layer: a merchant on the isolated
+//! side of a partition accepts a payment that the main chain later
+//! reverses, and the [`btcpart::chain::ChainStore`] reorg machinery
+//! reports exactly which transactions were undone.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example double_spend
+//! ```
+
+use btcpart::chain::{
+    AccountId, Amount, Block, ChainStore, ConnectOutcome, Height, Transaction, TxOut,
+};
+
+fn main() {
+    let attacker = AccountId(666);
+    let merchant = AccountId(1);
+    let exchange = AccountId(2);
+
+    // Genesis funds the attacker.
+    let genesis = Block::genesis(attacker, Amount::COIN);
+    let coin = genesis.coinbase().outpoint(0);
+
+    // The merchant's node view of the chain.
+    let mut merchant_node = ChainStore::new(genesis.clone());
+    // The honest majority's view.
+    let mut main_chain = ChainStore::new(genesis.clone());
+
+    // --- During the partition -------------------------------------------
+    // On the isolated side, the attacker pays the merchant…
+    let pay_merchant = Transaction::new(
+        vec![coin],
+        vec![TxOut {
+            value: Amount::COIN,
+            owner: merchant,
+        }],
+        1,
+    );
+    let isolated_block = Block::build(
+        genesis.id(),
+        Height(1),
+        600,
+        attacker,
+        Amount::COIN,
+        vec![pay_merchant.clone()],
+        0,
+    );
+    merchant_node.connect(isolated_block).unwrap();
+    println!(
+        "merchant sees payment {} confirmed at height {}",
+        &pay_merchant.txid().to_hex()[..12],
+        merchant_node.best_height()
+    );
+    println!("merchant ships the goods…\n");
+
+    // …while on the main chain the attacker spends the SAME coin to an
+    // exchange and (with the paper's 30%+ of isolated hash power gone)
+    // the honest side keeps mining.
+    let pay_exchange = Transaction::new(
+        vec![coin],
+        vec![TxOut {
+            value: Amount::COIN,
+            owner: exchange,
+        }],
+        2,
+    );
+    let mut prev = genesis.id();
+    for height in 1..=3u64 {
+        let txs = if height == 1 {
+            vec![pay_exchange.clone()]
+        } else {
+            vec![]
+        };
+        let block = Block::build(
+            prev,
+            Height(height),
+            height * 600,
+            AccountId(0),
+            Amount::COIN,
+            txs,
+            100 + height,
+        );
+        prev = block.id();
+        main_chain.connect(block).unwrap();
+    }
+    println!(
+        "meanwhile the main chain reaches height {} carrying the conflicting spend {}",
+        main_chain.best_height(),
+        &pay_exchange.txid().to_hex()[..12]
+    );
+
+    // --- The partition heals ---------------------------------------------
+    // The merchant's node receives the longer main chain and reorgs.
+    println!("\npartition lifts; merchant node receives the main chain…");
+    let mut reversed = Vec::new();
+    for id in main_chain.active_chain().iter().skip(1) {
+        let block = main_chain.block(id).unwrap().clone();
+        if let ConnectOutcome::Reorged(info) = merchant_node.connect(block).unwrap() {
+            reversed.extend(info.reversed_txids.clone());
+            println!(
+                "reorg of depth {}: {} transaction(s) reversed",
+                info.depth(),
+                info.reversed_txids.len()
+            );
+        }
+    }
+
+    assert_eq!(reversed, vec![pay_merchant.txid()]);
+    println!(
+        "\nthe merchant's payment {} was reversed — the coin now belongs to the exchange.",
+        &reversed[0].to_hex()[..12]
+    );
+    println!(
+        "merchant node: height {}, {} total reversed transactions, deepest reorg {}",
+        merchant_node.best_height(),
+        merchant_node.total_reversed_txs(),
+        merchant_node.max_reorg_depth()
+    );
+    // The double-spent output is owned by the exchange on the active
+    // chain; the merchant's version is gone.
+    assert!(merchant_node.utxo().contains(&pay_exchange.outpoint(0)));
+    assert!(!merchant_node.utxo().contains(&pay_merchant.outpoint(0)));
+}

@@ -1,0 +1,60 @@
+//! Block-propagation measurement: how long the network takes to
+//! re-synchronize after each block — the Decker–Wattenhofer delay
+//! analysis the paper builds its temporal attack on (§V-B, §VII).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example propagation
+//! ```
+
+use btcpart::analysis::Histogram;
+use btcpart::crawler::propagation::{adaptive_thresholds, recovery_episodes, recovery_summary};
+use btcpart::crawler::Crawler;
+use btcpart::net::NetConfig;
+use btcpart::Scenario;
+
+fn main() {
+    // Compare the calibrated paper profile against a lossier network.
+    for (label, config) in [
+        ("paper profile", NetConfig::paper()),
+        (
+            "degraded (2x fetch delay, 25% loss)",
+            NetConfig {
+                fetch_delay_mean_ms: 300_000.0,
+                failure_rate: 0.25,
+                ..NetConfig::paper()
+            },
+        ),
+    ] {
+        let mut lab = Scenario::new()
+            .scale(0.1)
+            .seed(77)
+            .net_config(NetConfig { seed: 78, ..config })
+            .build();
+        lab.sim.run_for_secs(2 * 600);
+
+        // 10-second samples over four simulated hours.
+        let crawl = Crawler::new(10).crawl(&mut lab.sim, &lab.snapshot, 4 * 3600);
+        let (collapse, recovered) = adaptive_thresholds(&crawl.series);
+        let episodes = recovery_episodes(&crawl.series, collapse, recovered);
+        println!("== {label} ==");
+        if episodes.is_empty() {
+            println!("no recovery episodes detected\n");
+            continue;
+        }
+        let summary = recovery_summary(&episodes);
+        println!(
+            "{} blocks observed; recovery to steady-state sync: median {:.0} s, p90 {:.0} s, max {:.0} s",
+            episodes.len(),
+            summary.median(),
+            summary.quantile(0.9),
+            summary.max()
+        );
+        let mut hist = Histogram::new(0.0, 900.0, 18);
+        for e in &episodes {
+            hist.add(e.recovery_secs);
+        }
+        println!("{hist}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests for the extension scenarios built on top of the
+//! paper's core experiments: the nation-state ban, the 51 % takeover,
+//! difficulty/partition interaction, and the transaction layer under the
+//! measurement network profile.
+
+use btcpart::attacks::fifty_one::{run_fifty_one, FiftyOneConfig};
+use btcpart::attacks::spatial::nation_state_ban;
+use btcpart::chain::{partition_difficulty_timeline, RETARGET_EPOCH};
+use btcpart::net::NetConfig;
+use btcpart::topology::{Asn, Country};
+use btcpart::{Lab, Scenario};
+
+fn lab(seed: u64) -> Lab {
+    let mut lab = Scenario::new()
+        .scale(0.06)
+        .seed(seed)
+        .net_config(NetConfig {
+            seed: seed + 1,
+            ..NetConfig::paper()
+        })
+        .build();
+    lab.sim.run_for_secs(2 * 600);
+    lab
+}
+
+#[test]
+fn china_ban_matches_paper_hash_claim() {
+    let mut lab = lab(700);
+    let report = nation_state_ban(
+        &mut lab.sim,
+        &lab.snapshot,
+        &lab.census,
+        Country::China,
+        4 * 600,
+    );
+    // "60% of the mining traffic goes through China" (§III).
+    assert!(report.hash_share_cut >= 0.60, "{report:?}");
+    // China hosts a minority of full nodes but a majority of hash power —
+    // the asymmetry the paper's nation-state threat model highlights.
+    assert!(report.node_fraction < report.hash_share_cut);
+    assert!(report.outside_blocks > 0);
+}
+
+#[test]
+fn fifty_one_beats_minority_and_majority_ordering() {
+    let census = btcpart::mining::PoolCensus::paper_table_iv();
+
+    let mut majority_lab = lab(710);
+    let majority = run_fifty_one(&mut majority_lab.sim, &census, FiftyOneConfig::paper());
+
+    let mut minority_lab = lab(710);
+    let minority = run_fifty_one(
+        &mut minority_lab.sim,
+        &census,
+        FiftyOneConfig {
+            hijacked_ases: vec![Asn(58563)],
+            ..FiftyOneConfig::paper()
+        },
+    );
+    assert!(majority.captured_hash > 0.6);
+    assert!(minority.captured_hash < 0.1);
+    assert!(
+        majority.network_captured > minority.network_captured,
+        "majority {} vs minority {}",
+        majority.network_captured,
+        minority.network_captured
+    );
+}
+
+#[test]
+fn difficulty_window_covers_the_temporal_attack() {
+    // The temporal attack relies on difficulty not reacting inside the
+    // retarget window. Quantify: a 30 %-hash partition's first epoch
+    // takes 2016 · 2000 s ≈ 46.7 days — every attack in the paper fits
+    // comfortably inside it.
+    let timeline = partition_difficulty_timeline(0.30, 600.0, 3);
+    let first_epoch_days = timeline[0].1 / 86_400.0;
+    assert!(
+        first_epoch_days > 40.0,
+        "first epoch only {first_epoch_days:.1} days"
+    );
+    // The retarget mechanism is epoch-based, exactly 2016 blocks.
+    assert_eq!(RETARGET_EPOCH, 2016);
+}
+
+#[test]
+fn transaction_layer_works_under_measurement_profile() {
+    let mut lab = lab(720);
+    let n = lab.sim.node_count() as u32;
+    let txid = lab.sim.submit_tx(0, 42).unwrap();
+    lab.sim.run_for_secs(600);
+    let holders = (0..n).filter(|&i| lab.sim.tx_in_mempool(i, txid)).count();
+    // Lossy network with zombies: most (not all) nodes hear about it.
+    assert!(
+        holders as f64 > 0.5 * n as f64,
+        "tx reached only {holders}/{n}"
+    );
+    // It eventually confirms and the mempools drain.
+    lab.sim.run_for_secs(6 * 600);
+    assert!(lab.sim.tx_confirmed(txid));
+}
+
+#[test]
+fn traffic_stats_accumulate_and_partition_blocks_messages() {
+    let mut lab = lab(730);
+    lab.sim.run_for_secs(600);
+    let before = lab.sim.traffic();
+    assert!(before.invs > 0, "no announcements counted");
+    assert!(before.blocks > 0, "no block transfers counted");
+
+    let n = lab.sim.node_count() as u32;
+    lab.sim.set_partition(move |i| i % 2);
+    lab.sim.run_for_secs(600);
+    let after = lab.sim.traffic();
+    assert!(
+        after.blocked > before.blocked,
+        "partition never blocked a message"
+    );
+    assert!(after.bytes_proxy() > before.bytes_proxy());
+    let _ = n;
+}

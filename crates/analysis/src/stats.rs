@@ -14,6 +14,17 @@ use std::fmt;
 /// `NaN`/`±∞` are never meaningful for the measurement data this workspace
 /// handles.
 ///
+/// # Empty samples
+///
+/// Every query has a defined behavior on an empty sample, stated in its
+/// docs: the moment queries ([`mean`](Self::mean), [`std_dev`](Self::std_dev),
+/// [`sample_std_dev`](Self::sample_std_dev), [`sum`](Self::sum)) return
+/// `0.0`, while the order statistics ([`min`](Self::min), [`max`](Self::max),
+/// [`quantile`](Self::quantile), [`median`](Self::median)) panic because no
+/// neutral element exists for them. Artifact renderers that may see empty
+/// strata (e.g. the Tor family in a heavily down-scaled snapshot) should use
+/// the `try_*` variants, which return `None` instead of panicking.
+///
 /// # Examples
 ///
 /// ```
@@ -94,6 +105,16 @@ impl Summary {
         }
     }
 
+    /// Arithmetic mean, or `None` for an empty sample.
+    pub fn try_mean(&self) -> Option<f64> {
+        (!self.sorted.is_empty()).then_some(self.mean)
+    }
+
+    /// Population standard deviation, or `None` for an empty sample.
+    pub fn try_std_dev(&self) -> Option<f64> {
+        (!self.sorted.is_empty()).then(|| self.std_dev())
+    }
+
     /// Smallest observation.
     ///
     /// # Panics
@@ -103,6 +124,11 @@ impl Summary {
         *self.sorted.first().expect("min of empty sample")
     }
 
+    /// Smallest observation, or `None` for an empty sample.
+    pub fn try_min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
     /// Largest observation.
     ///
     /// # Panics
@@ -110,6 +136,11 @@ impl Summary {
     /// Panics if the sample is empty.
     pub fn max(&self) -> f64 {
         *self.sorted.last().expect("max of empty sample")
+    }
+
+    /// Largest observation, or `None` for an empty sample.
+    pub fn try_max(&self) -> Option<f64> {
+        self.sorted.last().copied()
     }
 
     /// Sum of all observations.
@@ -137,6 +168,17 @@ impl Summary {
         self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
     }
 
+    /// The `q`-quantile, or `None` for an empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` — an out-of-range quantile is a
+    /// caller bug regardless of sample size.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        (!self.sorted.is_empty()).then(|| self.quantile(q))
+    }
+
     /// Median (the 0.5-quantile).
     ///
     /// # Panics
@@ -144,6 +186,11 @@ impl Summary {
     /// Panics if the sample is empty.
     pub fn median(&self) -> f64 {
         self.quantile(0.5)
+    }
+
+    /// Median, or `None` for an empty sample.
+    pub fn try_median(&self) -> Option<f64> {
+        self.try_quantile(0.5)
     }
 
     /// Read-only view of the sorted observations.
@@ -322,6 +369,35 @@ mod tests {
     fn quantile_empty_panics() {
         let s = Summary::from_iter(std::iter::empty());
         let _ = s.quantile(0.5);
+    }
+
+    #[test]
+    fn try_variants_are_none_on_empty() {
+        let s = Summary::from_iter(std::iter::empty());
+        assert_eq!(s.try_mean(), None);
+        assert_eq!(s.try_std_dev(), None);
+        assert_eq!(s.try_min(), None);
+        assert_eq!(s.try_max(), None);
+        assert_eq!(s.try_quantile(0.9), None);
+        assert_eq!(s.try_median(), None);
+    }
+
+    #[test]
+    fn try_variants_match_panicking_queries() {
+        let s = Summary::from_iter([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.try_mean(), Some(s.mean()));
+        assert_eq!(s.try_std_dev(), Some(s.std_dev()));
+        assert_eq!(s.try_min(), Some(s.min()));
+        assert_eq!(s.try_max(), Some(s.max()));
+        assert_eq!(s.try_quantile(0.25), Some(s.quantile(0.25)));
+        assert_eq!(s.try_median(), Some(s.median()));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie")]
+    fn try_quantile_still_rejects_bad_q() {
+        let s = Summary::from_iter([1.0]);
+        let _ = s.try_quantile(1.5);
     }
 
     #[test]

@@ -13,20 +13,24 @@
 //! *behavioural* ablation numbers are printed by `repro` and recorded in
 //! EXPERIMENTS.md.
 
+use bp_bench::ReproConfig;
 use btcpart::attacks::temporal::grid::{GridConfig, GridSim};
 use btcpart::mining::PoolCensus;
 use btcpart::net::{NetConfig, Simulation};
-use btcpart::topology::{Snapshot, SnapshotConfig};
+use btcpart::topology::Snapshot;
+use btcpart::Scenario;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+/// The same quick-scale snapshot the artifact pipeline builds as its
+/// static shared input, so ablation numbers track the pipeline's.
 fn snapshot() -> Snapshot {
-    Snapshot::generate(SnapshotConfig {
-        scale: 0.05,
-        tail_as_count: 90,
-        version_tail: 20,
-        ..SnapshotConfig::paper()
-    })
+    let cfg = ReproConfig::quick();
+    Scenario::new()
+        .scale(cfg.scale)
+        .seed(cfg.seed)
+        .build_static()
+        .0
 }
 
 fn peer_degree(c: &mut Criterion) {

@@ -1,9 +1,13 @@
-//! One Criterion bench per paper table/figure: times the full regeneration
-//! of each artifact at reduced (5 %) scale. `cargo bench -p bp-bench`.
+//! One Criterion bench per paper artifact, driven through the same
+//! pipeline jobs `repro` runs: shared inputs (static snapshot, day and
+//! general crawls) are built once, then every job is timed in isolation
+//! over them at reduced scale. A final one-shot run of the whole
+//! pipeline prints its [`RunReport`] so per-job wall times and output
+//! sizes land in the bench log alongside the Criterion numbers.
+//! `cargo bench -p bp-bench`.
 
-use bp_bench::{day_crawl, general_crawl, ReproConfig};
-use btcpart::experiments::{combined, defense, logical, spatial, temporal};
-use btcpart::Scenario;
+use bp_bench::pipeline::{build_shared_inputs, default_jobs, run_job, Needs, JOBS};
+use bp_bench::{generate_with_report, ReproConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -15,89 +19,118 @@ fn config() -> ReproConfig {
     }
 }
 
-fn static_experiments(c: &mut Criterion) {
-    let cfg = config();
-    let (snapshot, census) = Scenario::new()
-        .scale(cfg.scale)
-        .seed(cfg.seed)
-        .build_static();
+/// Jobs that build their own labs/simulations per run; they are timed
+/// with a smaller sample count because one iteration costs seconds.
+const HEAVY_JOBS: [&str; 5] = [
+    "cascade",
+    "fifty_one",
+    "propagation",
+    "countermeasures",
+    "ablations",
+];
 
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(20);
-    group.bench_function("table1", |b| {
-        b.iter(|| black_box(spatial::table1(&snapshot)))
-    });
-    group.bench_function("table2", |b| {
-        b.iter(|| black_box(spatial::table2(&snapshot)))
-    });
-    group.bench_function("table3", |b| {
-        b.iter(|| black_box(spatial::table3(&snapshot)))
-    });
-    group.bench_function("table4", |b| {
-        b.iter(|| black_box(spatial::table4(&snapshot, &census)))
-    });
-    group.bench_function("fig3", |b| b.iter(|| black_box(spatial::fig3(&snapshot))));
-    group.bench_function("fig4", |b| b.iter(|| black_box(spatial::fig4(&snapshot))));
-    group.bench_function("table6", |b| b.iter(|| black_box(temporal::table6())));
-    group.bench_function("table8", |b| {
-        b.iter(|| black_box(logical::table8(&snapshot)))
-    });
-    group.bench_function("cve_exposure", |b| {
-        b.iter(|| black_box(logical::cve_exposure(&snapshot)))
-    });
-    group.bench_function("implications", |b| {
-        b.iter(|| black_box(combined::implications(&snapshot, &census)))
-    });
-    group.bench_function("countermeasure_sweeps", |b| {
+fn shared_input_builds(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("shared_inputs");
+    group.sample_size(10);
+    group.bench_function("static", |b| {
         b.iter(|| {
-            black_box(defense::blockaware_sweep());
-            black_box(defense::stratum_diversification())
+            black_box(build_shared_inputs(
+                &cfg,
+                Needs {
+                    static_env: true,
+                    day: false,
+                    general: false,
+                },
+                1,
+            ))
+        })
+    });
+    group.bench_function("day_crawl_1h", |b| {
+        b.iter(|| {
+            black_box(build_shared_inputs(
+                &cfg,
+                Needs {
+                    static_env: false,
+                    day: true,
+                    general: false,
+                },
+                1,
+            ))
+        })
+    });
+    group.bench_function("general_crawl_1h", |b| {
+        b.iter(|| {
+            black_box(build_shared_inputs(
+                &cfg,
+                Needs {
+                    static_env: false,
+                    day: false,
+                    general: true,
+                },
+                1,
+            ))
         })
     });
     group.finish();
 }
 
-fn grid_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    group.bench_function("fig7", |b| b.iter(|| black_box(temporal::fig7())));
-    group.finish();
-}
-
-fn crawl_experiments(c: &mut Criterion) {
+fn artifact_jobs(c: &mut Criterion) {
     let cfg = config();
-    // The crawl itself is the expensive part and is shared — bench it
-    // once, then the artifact builders over a precomputed crawl.
-    let mut group = c.benchmark_group("crawl");
-    group.sample_size(10);
-    group.bench_function("day_crawl_1h", |b| b.iter(|| black_box(day_crawl(&cfg))));
-    group.bench_function("general_crawl_1h", |b| {
-        b.iter(|| black_box(general_crawl(&cfg)))
-    });
-    group.finish();
+    // Everything precomputed once; each job then times exactly the
+    // artifact-rendering work it contributes to a `repro` run.
+    let (shared, _) = build_shared_inputs(
+        &cfg,
+        Needs {
+            static_env: true,
+            day: true,
+            general: true,
+        },
+        default_jobs(),
+    );
 
-    let (crawl, lab) = day_crawl(&cfg);
     let mut group = c.benchmark_group("experiments");
     group.sample_size(20);
-    group.bench_function("fig6", |b| {
-        b.iter(|| black_box(temporal::fig6(&crawl, "bench")))
-    });
-    group.bench_function("table5", |b| {
-        b.iter(|| black_box(temporal::table5(&crawl, 60)))
-    });
-    group.bench_function("table7", |b| {
-        b.iter(|| black_box(combined::table7(&crawl, &lab.snapshot)))
-    });
-    group.bench_function("fig8", |b| {
-        b.iter(|| black_box(combined::fig8(&crawl, &lab.snapshot)))
-    });
+    for job in JOBS.iter().filter(|j| !HEAVY_JOBS.contains(&j.id)) {
+        group.bench_function(job.id, |b| {
+            b.iter(|| black_box(run_job(&cfg, job.id, &shared).expect("known job")))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("experiments_heavy");
+    group.sample_size(10);
+    for id in HEAVY_JOBS {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_job(&cfg, id, &shared).expect("known job")))
+        });
+    }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    static_experiments,
-    grid_experiment,
-    crawl_experiments
-);
+fn full_pipeline(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("all_serial", |b| {
+        b.iter(|| black_box(generate_with_report(&cfg, &["all".to_string()], 1)))
+    });
+    group.bench_function("all_parallel", |b| {
+        b.iter(|| {
+            black_box(generate_with_report(
+                &cfg,
+                &["all".to_string()],
+                default_jobs(),
+            ))
+        })
+    });
+    group.finish();
+
+    // One-shot observability dump: the same RunReport `repro --timings`
+    // prints, so the bench log records per-job wall times and sizes.
+    let (_, report) = generate_with_report(&cfg, &["all".to_string()], default_jobs());
+    println!("{}", report.render());
+}
+
+criterion_group!(benches, shared_input_builds, artifact_jobs, full_pipeline);
 criterion_main!(benches);

@@ -1,13 +1,15 @@
 //! Microbenchmarks of the substrates the attacks run on: hashing, chain
 //! store, UTXO, routing, hijack planning and the event-driven simulator.
 
+use bp_bench::ReproConfig;
 use btcpart::bgp::{origin_hijack, AsGraph, HijackEngine, RouteMap};
 use btcpart::chain::{
     AccountId, Amount, Block, ChainStore, Hash256, Height, Mempool, Transaction, TxOut, UtxoSet,
 };
 use btcpart::mining::PoolCensus;
 use btcpart::net::{NetConfig, Simulation};
-use btcpart::topology::{Asn, Snapshot, SnapshotConfig};
+use btcpart::topology::{Asn, Snapshot};
+use btcpart::Scenario;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -134,24 +136,26 @@ fn chain_store(c: &mut Criterion) {
     group.finish();
 }
 
-fn snapshot_config() -> SnapshotConfig {
-    SnapshotConfig {
-        scale: 0.05,
-        tail_as_count: 90,
-        version_tail: 20,
-        ..SnapshotConfig::paper()
-    }
+/// The same quick-scale snapshot the artifact pipeline builds as its
+/// static shared input, so substrate numbers track the pipeline's.
+fn quick_snapshot() -> Snapshot {
+    let cfg = ReproConfig::quick();
+    Scenario::new()
+        .scale(cfg.scale)
+        .seed(cfg.seed)
+        .build_static()
+        .0
 }
 
 fn topology_and_bgp(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology");
     group.sample_size(20);
     group.bench_function("snapshot_generate_5pct", |b| {
-        b.iter(|| black_box(Snapshot::generate(snapshot_config())))
+        b.iter(|| black_box(quick_snapshot()))
     });
     group.finish();
 
-    let snapshot = Snapshot::generate(snapshot_config());
+    let snapshot = quick_snapshot();
     let graph = AsGraph::synthetic(&snapshot.registry, 7);
     let mut group = c.benchmark_group("bgp");
     group.sample_size(20);
@@ -169,7 +173,7 @@ fn topology_and_bgp(c: &mut Criterion) {
 }
 
 fn simulation(c: &mut Criterion) {
-    let snapshot = Snapshot::generate(snapshot_config());
+    let snapshot = quick_snapshot();
     let census = PoolCensus::paper_table_iv();
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);

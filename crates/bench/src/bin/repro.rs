@@ -5,58 +5,30 @@
 //! repro --quick        # everything at 5% scale (seconds)
 //! repro table5 fig4    # selected artifacts
 //! repro --scale 0.25 --out out/ all
+//! repro --quick --jobs 1 --timings all   # serial run with timing table
 //! ```
 //!
-//! CSV exports land in the `--out` directory (default `repro_out/`).
+//! Flags are order-insensitive: `--quick` selects the preset and the
+//! per-field flags (`--scale`, `--seed`, `--hours`) override it no
+//! matter where they appear. CSV exports land in the `--out` directory
+//! (default `repro_out/`); `--timings` also writes `timings.csv` there.
 
-use bp_bench::{generate, ReproConfig, ARTIFACT_IDS};
+use bp_bench::cli::parse_args;
+use bp_bench::pipeline::default_jobs;
+use bp_bench::{generate_with_report, ARTIFACT_IDS};
 use std::path::PathBuf;
 
 fn main() {
-    let mut config = ReproConfig::paper();
-    let mut out_dir = PathBuf::from("repro_out");
-    let mut ids: Vec<String> = Vec::new();
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => config = ReproConfig::quick(),
-            "--scale" => {
-                let v = args
-                    .next()
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .unwrap_or_else(|| die("--scale needs a number"));
-                config.scale = v;
-            }
-            "--hours" => {
-                let v = args
-                    .next()
-                    .and_then(|s| s.parse::<u64>().ok())
-                    .unwrap_or_else(|| die("--hours needs an integer"));
-                config.day_hours = v;
-                config.general_hours = v * 2;
-            }
-            "--seed" => {
-                config.seed = args
-                    .next()
-                    .and_then(|s| s.parse::<u64>().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
-            }
-            "--out" => {
-                out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
-            }
-            "--help" | "-h" => {
-                print_help();
-                return;
-            }
-            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
-            other => ids.push(other.to_string()),
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = parse_args(&args).unwrap_or_else(|msg| die(&msg));
+    if opts.help {
+        print_help();
+        return;
     }
-    if ids.is_empty() {
-        ids.push("all".to_string());
+    if opts.ids.is_empty() {
+        opts.ids.push("all".to_string());
     }
-    for id in &ids {
+    for id in &opts.ids {
         if id != "all" && !ARTIFACT_IDS.contains(&id.as_str()) {
             die(&format!(
                 "unknown artifact '{id}'; known: {}",
@@ -65,12 +37,15 @@ fn main() {
         }
     }
 
+    let jobs = opts.jobs.unwrap_or_else(default_jobs);
+    let config = opts.config;
     eprintln!(
-        "# generating {:?} at scale {} (day crawl: {} h)",
-        ids, config.scale, config.day_hours
+        "# generating {:?} at scale {} (day crawl: {} h, jobs: {jobs})",
+        opts.ids, config.scale, config.day_hours
     );
-    let artifacts = generate(&config, &ids);
+    let (artifacts, report) = generate_with_report(&config, &opts.ids, jobs);
 
+    let out_dir = PathBuf::from(&opts.out_dir);
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     for artifact in &artifacts {
         println!("{artifact}");
@@ -80,13 +55,23 @@ fn main() {
             eprintln!("# wrote {}", path.display());
         }
     }
+    if opts.timings {
+        eprint!("{}", report.render());
+        let path = out_dir.join("timings.csv");
+        std::fs::write(&path, report.timings_csv()).expect("write timings.csv");
+        eprintln!("# wrote {}", path.display());
+    }
     eprintln!("# {} artifacts generated", artifacts.len());
 }
 
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [--quick] [--scale F] [--hours H] [--seed S] [--out DIR] [IDS…]\n\n\
+         usage: repro [--quick] [--scale F] [--hours H] [--seed S]\n\
+         \x20             [--jobs N] [--timings] [--out DIR] [IDS…]\n\n\
+         --quick     5% scale preset; later or earlier per-field flags override it\n\
+         --jobs N    worker threads (default: one per core; output is identical)\n\
+         --timings   print per-job wall times and write timings.csv to --out\n\n\
          artifacts: {}",
         ARTIFACT_IDS.join(", ")
     );

@@ -1,0 +1,162 @@
+//! Argument parsing for the `repro` binary.
+//!
+//! Parsing is two-phase so flags are order-insensitive: presets
+//! (`--quick`) are applied first, then per-field overrides
+//! (`--scale`, `--seed`, `--hours`, `--jobs`, …) in the order given.
+//! `repro --scale 0.1 --quick all` and `repro --quick --scale 0.1 all`
+//! therefore produce the same configuration — previously `--quick`
+//! replaced the whole config and silently discarded earlier overrides.
+
+use crate::ReproConfig;
+
+/// Parsed command line for `repro`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// The resolved reproduction parameters.
+    pub config: ReproConfig,
+    /// Directory CSV artifacts are written to.
+    pub out_dir: String,
+    /// Requested artifact ids (may contain `"all"`).
+    pub ids: Vec<String>,
+    /// Worker threads; `None` means one per available core.
+    pub jobs: Option<usize>,
+    /// Print the per-job timing table and export `timings.csv`.
+    pub timings: bool,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let raw = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value for {flag}: {raw}"))
+}
+
+/// Parses `repro` arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    // Phase 1: presets. `--quick` selects the base config no matter
+    // where it appears on the line.
+    let mut config = if args.iter().any(|a| a == "--quick") {
+        ReproConfig::quick()
+    } else {
+        ReproConfig::paper()
+    };
+
+    let mut out_dir = "repro_out".to_string();
+    let mut ids = Vec::new();
+    let mut jobs = None;
+    let mut timings = false;
+    let mut help = false;
+
+    // Phase 2: per-field overrides, applied in the order given.
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--scale" => {
+                let scale: f64 = parse_value(arg, iter.next())?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(format!("--scale must be in (0, 1], got {scale}"));
+                }
+                config.scale = scale;
+            }
+            "--seed" => config.seed = parse_value(arg, iter.next())?,
+            "--hours" => {
+                let hours: u64 = parse_value(arg, iter.next())?;
+                if hours == 0 {
+                    return Err("--hours must be at least 1".to_string());
+                }
+                config.day_hours = hours;
+                config.general_hours = hours * 2;
+            }
+            "--jobs" => {
+                let n: usize = parse_value(arg, iter.next())?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+            }
+            "--timings" => timings = true,
+            "--out" => out_dir = parse_value(arg, iter.next())?,
+            "--help" | "-h" => help = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    Ok(CliOptions {
+        config,
+        out_dir,
+        ids,
+        jobs,
+        timings,
+        help,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn quick_then_override() {
+        let opts = parse_args(&argv(&["--quick", "--scale", "0.1", "all"])).unwrap();
+        assert_eq!(opts.config.scale, 0.1);
+        assert_eq!(
+            opts.config.general_hours,
+            ReproConfig::quick().general_hours
+        );
+        assert_eq!(opts.ids, vec!["all"]);
+    }
+
+    #[test]
+    fn override_then_quick_is_equivalent() {
+        let a = parse_args(&argv(&["--scale", "0.1", "--quick", "all"])).unwrap();
+        let b = parse_args(&argv(&["--quick", "--scale", "0.1", "all"])).unwrap();
+        assert_eq!(a, b);
+        // The override survives: --quick no longer resets earlier flags.
+        assert_eq!(a.config.scale, 0.1);
+    }
+
+    #[test]
+    fn seed_and_hours_survive_late_quick() {
+        let opts =
+            parse_args(&argv(&["--seed", "7", "--hours", "3", "--quick", "table1"])).unwrap();
+        assert_eq!(opts.config.seed, 7);
+        assert_eq!(opts.config.day_hours, 3);
+        assert_eq!(opts.config.general_hours, 6);
+        assert_eq!(opts.config.scale, ReproConfig::quick().scale);
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let opts = parse_args(&argv(&["all"])).unwrap();
+        assert_eq!(opts.config, ReproConfig::paper());
+        assert_eq!(opts.out_dir, "repro_out");
+        assert_eq!(opts.jobs, None);
+        assert!(!opts.timings);
+    }
+
+    #[test]
+    fn jobs_and_timings() {
+        let opts = parse_args(&argv(&["--jobs", "4", "--timings", "all"])).unwrap();
+        assert_eq!(opts.jobs, Some(4));
+        assert!(opts.timings);
+        assert!(parse_args(&argv(&["--jobs", "0"])).is_err());
+        assert!(parse_args(&argv(&["--jobs"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv(&["--scale", "2.0"])).is_err());
+        assert!(parse_args(&argv(&["--scale", "abc"])).is_err());
+        assert!(parse_args(&argv(&["--hours", "0"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+    }
+}

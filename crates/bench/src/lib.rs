@@ -1,16 +1,20 @@
 //! Shared helpers for the benchmark harness and the `repro` binary.
 //!
-//! Every paper artifact is regenerated through [`generate`]; the
-//! Criterion benches time the same code paths at reduced scale.
+//! Every paper artifact is regenerated through [`generate`] (a thin
+//! wrapper over the deterministic parallel [`pipeline`]); the Criterion
+//! benches time the same code paths at reduced scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use btcpart::attacks::temporal::TemporalAttackConfig;
+pub mod cli;
+pub mod pipeline;
+
 use btcpart::crawler::CrawlResult;
-use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
+use btcpart::experiments::{temporal, Artifact};
 use btcpart::net::NetConfig;
 use btcpart::{Lab, Scenario};
+use pipeline::RunReport;
 
 /// Reproduction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,132 +122,22 @@ pub const ARTIFACT_IDS: [&str; 21] = [
 ];
 
 /// Generates the artifacts selected by `ids` (every known id if the
-/// selection contains `"all"`). Crawl-backed artifacts share one crawl.
+/// selection contains `"all"`), in [`ARTIFACT_IDS`] presentation order.
+/// Shared inputs (static snapshot, crawls) are computed once; the
+/// independent artifact jobs fan out across all available cores. The
+/// output is byte-identical for any worker count.
 pub fn generate(config: &ReproConfig, ids: &[String]) -> Vec<Artifact> {
-    let want = |id: &str| -> bool { ids.iter().any(|x| x == id || x == "all") };
-    let mut artifacts = Vec::new();
+    generate_with_report(config, ids, pipeline::default_jobs()).0
+}
 
-    // Static artifacts need the snapshot only.
-    let (snapshot, census) = Scenario::new()
-        .scale(config.scale)
-        .seed(config.seed)
-        .build_static();
-    if want("table1") {
-        artifacts.push(spatial::table1(&snapshot));
-    }
-    if want("table2") {
-        artifacts.push(spatial::table2(&snapshot));
-    }
-    if want("table3") {
-        artifacts.push(spatial::table3(&snapshot));
-    }
-    if want("table4") {
-        artifacts.push(spatial::table4(&snapshot, &census));
-    }
-    if want("fig3") {
-        artifacts.push(spatial::fig3(&snapshot));
-    }
-    if want("fig4") {
-        artifacts.push(spatial::fig4(&snapshot));
-    }
-    if want("implications") {
-        artifacts.push(combined::implications(&snapshot, &census));
-    }
-    if want("table8") {
-        artifacts.push(logical::table8(&snapshot));
-        artifacts.push(logical::cve_exposure(&snapshot));
-    }
-    if want("table6") {
-        artifacts.push(temporal::table6());
-    }
-    if want("fig7") {
-        artifacts.push(temporal::fig7());
-    }
-
-    // Crawl-backed artifacts.
-    let need_day = ["fig6_day", "fig6_minute", "table5", "table7", "fig8"]
-        .iter()
-        .any(|id| want(id));
-    if need_day {
-        let (crawl, lab) = day_crawl(config);
-        if want("fig6_day") {
-            artifacts.push(temporal::fig6(&crawl, "day"));
-        }
-        if want("fig6_minute") {
-            // Figure 6(c) zooms into the consensus pruning between two
-            // successive blocks: a ~30-minute window of the 1-minute
-            // samples.
-            let len = crawl.series.len();
-            let window = len.saturating_sub(30)..len;
-            artifacts.push(temporal::fig6_windowed(&crawl, "minute", Some(window)));
-        }
-        if want("table5") {
-            artifacts.push(temporal::table5(&crawl, 60));
-        }
-        if want("table7") {
-            artifacts.push(combined::table7(&crawl, &lab.snapshot));
-        }
-        if want("fig8") {
-            artifacts.push(combined::fig8(&crawl, &lab.snapshot));
-        }
-    }
-    if want("fig6_general") {
-        let (crawl, _) = general_crawl(config);
-        artifacts.push(temporal::fig6(&crawl, "general"));
-    }
-    if want("propagation") {
-        let mut lab = measurement_lab(config);
-        lab.sim.run_for_secs(2 * 600);
-        artifacts.push(temporal::propagation(
-            &mut lab.sim,
-            &lab.snapshot,
-            config.day_hours.clamp(1, 4),
-        ));
-    }
-
-    if want("ablations") {
-        artifacts.push(ablation::relay_mode(config.seed));
-        artifacts.push(ablation::out_degree(config.seed));
-        artifacts.push(ablation::span_ratio(config.seed));
-    }
-    if want("cascade") {
-        let lab = measurement_lab(config);
-        artifacts.push(combined::cascade(&lab.sim, &lab.snapshot));
-    }
-    if want("fifty_one") {
-        let mut lab = measurement_lab(config);
-        lab.sim.run_for_secs(2 * 600);
-        artifacts.push(combined::fifty_one(&mut lab.sim, &lab.census));
-    }
-    if want("countermeasures") {
-        artifacts.push(defense::blockaware_sweep());
-        artifacts.push(defense::stratum_diversification());
-        let (def_snapshot, _) = Scenario::new()
-            .scale(config.scale)
-            .seed(config.seed)
-            .build_static();
-        artifacts.push(defense::route_purging(&def_snapshot));
-        let mut unprotected = measurement_lab(config);
-        unprotected.sim.run_for_secs(4 * 600);
-        let mut protected = measurement_lab(config);
-        protected.sim.run_for_secs(4 * 600);
-        // A long enough window that (a) post-capture staleness alarms
-        // fire — at 30 % hash the counterfeit inter-block gap averages
-        // 2,000 s, well past the 600 s threshold — and (b) the honest
-        // majority's hash advantage dominates short lucky streaks by the
-        // attacker.
-        artifacts.push(defense::blockaware_defense(
-            &mut unprotected.sim,
-            &mut protected.sim,
-            TemporalAttackConfig {
-                duration_secs: 12 * 600,
-                max_targets: (200.0 * config.scale).max(30.0) as usize,
-                ..TemporalAttackConfig::paper()
-            },
-        ));
-    }
-
-    artifacts
+/// [`generate`] with an explicit worker count, also returning the
+/// [`RunReport`] with per-job wall times and output sizes.
+pub fn generate_with_report(
+    config: &ReproConfig,
+    ids: &[String],
+    jobs: usize,
+) -> (Vec<Artifact>, RunReport) {
+    pipeline::run_pipeline(config, ids, jobs)
 }
 
 #[cfg(test)]

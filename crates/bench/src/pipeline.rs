@@ -1,0 +1,710 @@
+//! Deterministic parallel artifact pipeline.
+//!
+//! Every paper artifact is modelled as a *job* with explicit shared
+//! inputs (the static snapshot + census, the one-day crawl, the general
+//! crawl). Shared inputs are computed once — in parallel with each
+//! other where possible — then the independent artifact jobs fan out
+//! across a scoped thread pool. Results are reassembled in
+//! [`ARTIFACT_IDS`](crate::ARTIFACT_IDS) presentation order, so the
+//! output is byte-identical no matter how many worker threads run: each
+//! job derives all of its randomness from the seeded
+//! [`ReproConfig`](crate::ReproConfig), never from another job.
+//!
+//! The pipeline also collects an observability layer: per-job wall
+//! time, artifact body/CSV sizes and thread count land in a
+//! [`RunReport`] that `repro --timings` renders and exports as
+//! `timings.csv`, and that the Criterion benches reuse to track
+//! per-artifact cost over time.
+
+use crate::{day_crawl, general_crawl, measurement_lab, ReproConfig};
+use btcpart::attacks::temporal::TemporalAttackConfig;
+use btcpart::crawler::CrawlResult;
+use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
+use btcpart::mining::PoolCensus;
+use btcpart::topology::Snapshot;
+use btcpart::{Lab, Scenario};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The shared inputs a job may depend on. Each is computed at most once
+/// per pipeline run and handed to jobs by reference.
+#[derive(Debug, Default)]
+pub struct SharedInputs {
+    /// Snapshot + census without a simulation (spatial/logical jobs).
+    pub static_env: Option<(Snapshot, PoolCensus)>,
+    /// The one-day, 1-minute-sampled crawl and its lab (Figure 6(b,c),
+    /// Table V, Table VII, Figure 8).
+    pub day: Option<(CrawlResult, Lab)>,
+    /// The long, 10-minute-sampled crawl of Figure 6(a).
+    pub general: Option<(CrawlResult, Lab)>,
+}
+
+impl SharedInputs {
+    fn static_env(&self) -> (&Snapshot, &PoolCensus) {
+        let (s, c) = self
+            .static_env
+            .as_ref()
+            .expect("job requires the static snapshot input");
+        (s, c)
+    }
+
+    fn day(&self) -> (&CrawlResult, &Lab) {
+        let (c, l) = self
+            .day
+            .as_ref()
+            .expect("job requires the one-day crawl input");
+        (c, l)
+    }
+
+    fn general(&self) -> &CrawlResult {
+        &self
+            .general
+            .as_ref()
+            .expect("job requires the general crawl input")
+            .0
+    }
+}
+
+/// Which shared inputs a job reads (used to decide what to precompute).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Needs {
+    /// Static snapshot + census.
+    pub static_env: bool,
+    /// One-day crawl.
+    pub day: bool,
+    /// General (long) crawl.
+    pub general: bool,
+}
+
+const STATIC_ONLY: Needs = Needs {
+    static_env: true,
+    day: false,
+    general: false,
+};
+const DAY_ONLY: Needs = Needs {
+    static_env: false,
+    day: true,
+    general: false,
+};
+const NOTHING: Needs = Needs {
+    static_env: false,
+    day: false,
+    general: false,
+};
+
+/// Everything a job is allowed to see: the seeded configuration and the
+/// precomputed shared inputs. Jobs must derive all randomness from
+/// these — that is what makes the fan-out deterministic.
+pub struct JobCtx<'a> {
+    /// The reproduction parameters.
+    pub config: &'a ReproConfig,
+    /// The shared inputs computed for this run.
+    pub shared: &'a SharedInputs,
+}
+
+/// One artifact job: a stable id (matching [`ARTIFACT_IDS`]), its
+/// declared shared-input needs, and the driver. A job may emit more
+/// than one artifact (`table8` also emits the CVE exposure table,
+/// `countermeasures` emits four artifacts, `ablations` three).
+pub struct JobSpec {
+    /// Stable identifier, equal to the corresponding `ARTIFACT_IDS` entry.
+    pub id: &'static str,
+    /// Shared inputs the job reads.
+    pub needs: Needs,
+    run: fn(&JobCtx) -> Vec<Artifact>,
+}
+
+fn job_table1(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![spatial::table1(ctx.shared.static_env().0)]
+}
+fn job_table2(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![spatial::table2(ctx.shared.static_env().0)]
+}
+fn job_table3(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![spatial::table3(ctx.shared.static_env().0)]
+}
+fn job_table4(ctx: &JobCtx) -> Vec<Artifact> {
+    let (snapshot, census) = ctx.shared.static_env();
+    vec![spatial::table4(snapshot, census)]
+}
+fn job_fig3(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![spatial::fig3(ctx.shared.static_env().0)]
+}
+fn job_fig4(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![spatial::fig4(ctx.shared.static_env().0)]
+}
+fn job_fig6_general(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::fig6(ctx.shared.general(), "general")]
+}
+fn job_fig6_day(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::fig6(ctx.shared.day().0, "day")]
+}
+fn job_fig6_minute(ctx: &JobCtx) -> Vec<Artifact> {
+    // Figure 6(c) zooms into the consensus pruning between two
+    // successive blocks: a ~30-minute window of the 1-minute samples.
+    let crawl = ctx.shared.day().0;
+    let len = crawl.series.len();
+    let window = len.saturating_sub(30)..len;
+    vec![temporal::fig6_windowed(crawl, "minute", Some(window))]
+}
+fn job_table5(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::table5(ctx.shared.day().0, 60)]
+}
+fn job_table6(_ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::table6()]
+}
+fn job_fig7(_ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::fig7()]
+}
+fn job_table7(ctx: &JobCtx) -> Vec<Artifact> {
+    let (crawl, lab) = ctx.shared.day();
+    vec![combined::table7(crawl, &lab.snapshot)]
+}
+fn job_fig8(ctx: &JobCtx) -> Vec<Artifact> {
+    let (crawl, lab) = ctx.shared.day();
+    vec![combined::fig8(crawl, &lab.snapshot)]
+}
+fn job_table8(ctx: &JobCtx) -> Vec<Artifact> {
+    let snapshot = ctx.shared.static_env().0;
+    vec![logical::table8(snapshot), logical::cve_exposure(snapshot)]
+}
+fn job_implications(ctx: &JobCtx) -> Vec<Artifact> {
+    let (snapshot, census) = ctx.shared.static_env();
+    vec![combined::implications(snapshot, census)]
+}
+fn job_cascade(ctx: &JobCtx) -> Vec<Artifact> {
+    let lab = measurement_lab(ctx.config);
+    vec![combined::cascade(&lab.sim, &lab.snapshot)]
+}
+fn job_fifty_one(ctx: &JobCtx) -> Vec<Artifact> {
+    let mut lab = measurement_lab(ctx.config);
+    lab.sim.run_for_secs(2 * 600);
+    vec![combined::fifty_one(&mut lab.sim, &lab.census)]
+}
+fn job_propagation(ctx: &JobCtx) -> Vec<Artifact> {
+    let mut lab = measurement_lab(ctx.config);
+    lab.sim.run_for_secs(2 * 600);
+    vec![temporal::propagation(
+        &mut lab.sim,
+        &lab.snapshot,
+        ctx.config.day_hours.clamp(1, 4),
+    )]
+}
+fn job_countermeasures(ctx: &JobCtx) -> Vec<Artifact> {
+    let config = ctx.config;
+    // Reuse the pipeline's static snapshot instead of rebuilding an
+    // identical one (the serial dispatcher used to pay for a second
+    // `Scenario::build_static()` here).
+    let snapshot = ctx.shared.static_env().0;
+    let mut artifacts = vec![
+        defense::blockaware_sweep(),
+        defense::stratum_diversification(),
+        defense::route_purging(snapshot),
+    ];
+    let mut unprotected = measurement_lab(config);
+    unprotected.sim.run_for_secs(4 * 600);
+    let mut protected = measurement_lab(config);
+    protected.sim.run_for_secs(4 * 600);
+    // A long enough window that (a) post-capture staleness alarms
+    // fire — at 30 % hash the counterfeit inter-block gap averages
+    // 2,000 s, well past the 600 s threshold — and (b) the honest
+    // majority's hash advantage dominates short lucky streaks by the
+    // attacker.
+    artifacts.push(defense::blockaware_defense(
+        &mut unprotected.sim,
+        &mut protected.sim,
+        TemporalAttackConfig {
+            duration_secs: 12 * 600,
+            max_targets: (200.0 * config.scale).max(30.0) as usize,
+            ..TemporalAttackConfig::paper()
+        },
+    ));
+    artifacts
+}
+fn job_ablations(ctx: &JobCtx) -> Vec<Artifact> {
+    let seed = ctx.config.seed;
+    vec![
+        ablation::relay_mode(seed),
+        ablation::out_degree(seed),
+        ablation::span_ratio(seed),
+    ]
+}
+
+/// The full job table, in [`ARTIFACT_IDS`] presentation order.
+pub const JOBS: [JobSpec; 21] = [
+    JobSpec {
+        id: "table1",
+        needs: STATIC_ONLY,
+        run: job_table1,
+    },
+    JobSpec {
+        id: "table2",
+        needs: STATIC_ONLY,
+        run: job_table2,
+    },
+    JobSpec {
+        id: "table3",
+        needs: STATIC_ONLY,
+        run: job_table3,
+    },
+    JobSpec {
+        id: "table4",
+        needs: STATIC_ONLY,
+        run: job_table4,
+    },
+    JobSpec {
+        id: "fig3",
+        needs: STATIC_ONLY,
+        run: job_fig3,
+    },
+    JobSpec {
+        id: "fig4",
+        needs: STATIC_ONLY,
+        run: job_fig4,
+    },
+    JobSpec {
+        id: "fig6_general",
+        needs: Needs {
+            static_env: false,
+            day: false,
+            general: true,
+        },
+        run: job_fig6_general,
+    },
+    JobSpec {
+        id: "fig6_day",
+        needs: DAY_ONLY,
+        run: job_fig6_day,
+    },
+    JobSpec {
+        id: "fig6_minute",
+        needs: DAY_ONLY,
+        run: job_fig6_minute,
+    },
+    JobSpec {
+        id: "table5",
+        needs: DAY_ONLY,
+        run: job_table5,
+    },
+    JobSpec {
+        id: "table6",
+        needs: NOTHING,
+        run: job_table6,
+    },
+    JobSpec {
+        id: "fig7",
+        needs: NOTHING,
+        run: job_fig7,
+    },
+    JobSpec {
+        id: "table7",
+        needs: DAY_ONLY,
+        run: job_table7,
+    },
+    JobSpec {
+        id: "fig8",
+        needs: DAY_ONLY,
+        run: job_fig8,
+    },
+    JobSpec {
+        id: "table8",
+        needs: STATIC_ONLY,
+        run: job_table8,
+    },
+    JobSpec {
+        id: "implications",
+        needs: STATIC_ONLY,
+        run: job_implications,
+    },
+    JobSpec {
+        id: "cascade",
+        needs: NOTHING,
+        run: job_cascade,
+    },
+    JobSpec {
+        id: "fifty_one",
+        needs: NOTHING,
+        run: job_fifty_one,
+    },
+    JobSpec {
+        id: "propagation",
+        needs: NOTHING,
+        run: job_propagation,
+    },
+    JobSpec {
+        id: "countermeasures",
+        needs: STATIC_ONLY,
+        run: job_countermeasures,
+    },
+    JobSpec {
+        id: "ablations",
+        needs: NOTHING,
+        run: job_ablations,
+    },
+];
+
+/// Wall time and output sizes of one pipeline stage (a shared-input
+/// build or an artifact job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage id: an artifact id, or `static` / `day_crawl` /
+    /// `general_crawl` for shared inputs.
+    pub id: String,
+    /// Wall time of the stage.
+    pub wall: Duration,
+    /// Number of artifacts the stage produced (0 for shared inputs).
+    pub artifacts: usize,
+    /// Total rendered body size in bytes.
+    pub body_bytes: usize,
+    /// Total CSV export size in bytes.
+    pub csv_bytes: usize,
+}
+
+impl StageTiming {
+    fn for_artifacts(id: &str, wall: Duration, artifacts: &[Artifact]) -> Self {
+        Self {
+            id: id.to_string(),
+            wall,
+            artifacts: artifacts.len(),
+            body_bytes: artifacts.iter().map(|a| a.body.len()).sum(),
+            csv_bytes: artifacts
+                .iter()
+                .flat_map(|a| a.csv.iter())
+                .map(|(_, c)| c.len())
+                .sum(),
+        }
+    }
+}
+
+/// Observability record of one pipeline run: thread count, total wall
+/// time, and per-stage timings for the shared inputs and every job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Worker threads the job fan-out actually used.
+    pub threads: usize,
+    /// Total wall time of the pipeline (shared inputs + jobs).
+    pub total: Duration,
+    /// Shared-input build timings.
+    pub shared: Vec<StageTiming>,
+    /// Per-job timings, in presentation order.
+    pub jobs: Vec<StageTiming>,
+}
+
+impl RunReport {
+    /// Sum of all stage wall times — an estimate of what a fully serial
+    /// run would cost; `total` is what the parallel run actually cost.
+    pub fn serial_estimate(&self) -> Duration {
+        self.shared
+            .iter()
+            .chain(self.jobs.iter())
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// Estimated speedup of this run over a fully serial one.
+    pub fn speedup(&self) -> f64 {
+        let total = self.total.as_secs_f64();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.serial_estimate().as_secs_f64() / total
+    }
+
+    /// The `timings.csv` export: one row per stage.
+    pub fn timings_csv(&self) -> String {
+        let mut out = String::from("stage,kind,wall_ms,artifacts,body_bytes,csv_bytes\n");
+        for (kind, stage) in self
+            .shared
+            .iter()
+            .map(|s| ("shared", s))
+            .chain(self.jobs.iter().map(|s| ("job", s)))
+        {
+            out.push_str(&format!(
+                "{},{},{:.3},{},{},{}\n",
+                stage.id,
+                kind,
+                stage.wall.as_secs_f64() * 1e3,
+                stage.artifacts,
+                stage.body_bytes,
+                stage.csv_bytes
+            ));
+        }
+        out
+    }
+
+    /// Human-readable timing table for `repro --timings`.
+    pub fn render(&self) -> String {
+        use btcpart::analysis::table::{Align, TextTable};
+        let mut t = TextTable::new(
+            ["Stage", "Kind", "Wall (ms)", "Artifacts", "Body B", "CSV B"]
+                .map(String::from)
+                .to_vec(),
+        );
+        for col in 2..6 {
+            t.align(col, Align::Right);
+        }
+        for (kind, stage) in self
+            .shared
+            .iter()
+            .map(|s| ("shared", s))
+            .chain(self.jobs.iter().map(|s| ("job", s)))
+        {
+            t.row(vec![
+                stage.id.clone(),
+                kind.to_string(),
+                format!("{:.1}", stage.wall.as_secs_f64() * 1e3),
+                stage.artifacts.to_string(),
+                stage.body_bytes.to_string(),
+                stage.csv_bytes.to_string(),
+            ]);
+        }
+        format!(
+            "{}threads: {}   wall: {:.1} ms   serial estimate: {:.1} ms   speedup: {:.2}x\n",
+            t.render(),
+            self.threads,
+            self.total.as_secs_f64() * 1e3,
+            self.serial_estimate().as_secs_f64() * 1e3,
+            self.speedup()
+        )
+    }
+}
+
+/// The default worker count: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn selected_jobs<'a>(ids: &[String]) -> Vec<&'a JobSpec> {
+    JOBS.iter()
+        .filter(|job| ids.iter().any(|x| x == job.id || x == "all"))
+        .collect()
+}
+
+/// Computes exactly the shared inputs the selected jobs need. With more
+/// than one worker the three builds (static snapshot, day crawl,
+/// general crawl) run concurrently — they are independent seeded
+/// computations.
+pub fn build_shared_inputs(
+    config: &ReproConfig,
+    needs: Needs,
+    workers: usize,
+) -> (SharedInputs, Vec<StageTiming>) {
+    let timed = |id: &str, f: &dyn Fn() -> SharedPart| -> (SharedPart, StageTiming) {
+        let start = Instant::now();
+        let part = f();
+        (
+            part,
+            StageTiming {
+                id: id.to_string(),
+                wall: start.elapsed(),
+                artifacts: 0,
+                body_bytes: 0,
+                csv_bytes: 0,
+            },
+        )
+    };
+
+    enum SharedPart {
+        Static((Snapshot, PoolCensus)),
+        Day((CrawlResult, Lab)),
+        General((CrawlResult, Lab)),
+    }
+    type SharedBuilder = Box<dyn Fn() -> SharedPart + Send + Sync>;
+
+    let mut builders: Vec<(&str, SharedBuilder)> = Vec::new();
+    if needs.static_env {
+        let c = *config;
+        builders.push((
+            "static",
+            Box::new(move || {
+                SharedPart::Static(Scenario::new().scale(c.scale).seed(c.seed).build_static())
+            }),
+        ));
+    }
+    if needs.day {
+        let c = *config;
+        builders.push((
+            "day_crawl",
+            Box::new(move || SharedPart::Day(day_crawl(&c))),
+        ));
+    }
+    if needs.general {
+        let c = *config;
+        builders.push((
+            "general_crawl",
+            Box::new(move || SharedPart::General(general_crawl(&c))),
+        ));
+    }
+
+    let results: Vec<(SharedPart, StageTiming)> = if workers <= 1 || builders.len() <= 1 {
+        builders.iter().map(|(id, f)| timed(id, f)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = builders
+                .iter()
+                .map(|(id, f)| scope.spawn(move || timed(id, f)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    let mut shared = SharedInputs::default();
+    let mut timings = Vec::new();
+    for (part, timing) in results {
+        match part {
+            SharedPart::Static(v) => shared.static_env = Some(v),
+            SharedPart::Day(v) => shared.day = Some(v),
+            SharedPart::General(v) => shared.general = Some(v),
+        }
+        timings.push(timing);
+    }
+    (shared, timings)
+}
+
+/// Runs one job by id against precomputed shared inputs. Returns `None`
+/// for an unknown id. Used by the Criterion benches to time each
+/// artifact in isolation through the same code path `repro` uses.
+pub fn run_job(config: &ReproConfig, id: &str, shared: &SharedInputs) -> Option<Vec<Artifact>> {
+    let job = JOBS.iter().find(|j| j.id == id)?;
+    let ctx = JobCtx { config, shared };
+    Some((job.run)(&ctx))
+}
+
+/// Generates the artifacts selected by `ids` (every known id if the
+/// selection contains `"all"`) on `workers` threads, returning both the
+/// artifacts — in [`ARTIFACT_IDS`] presentation order, byte-identical
+/// for any worker count — and the [`RunReport`] describing the run.
+pub fn run_pipeline(
+    config: &ReproConfig,
+    ids: &[String],
+    workers: usize,
+) -> (Vec<Artifact>, RunReport) {
+    let start = Instant::now();
+    let selected = selected_jobs(ids);
+    let needs = selected.iter().fold(Needs::default(), |acc, job| Needs {
+        static_env: acc.static_env || job.needs.static_env,
+        day: acc.day || job.needs.day,
+        general: acc.general || job.needs.general,
+    });
+    let workers = workers.max(1);
+    let (shared, shared_timings) = build_shared_inputs(config, needs, workers);
+
+    // One result slot per job: the worker that runs job `i` fills slot
+    // `i`, so reassembly below is a straight in-order walk.
+    type JobSlot = Mutex<Option<(Vec<Artifact>, Duration)>>;
+    let n = selected.len();
+    let worker_count = workers.min(n.max(1));
+    let slots: Vec<JobSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let run_one = |index: usize| {
+        let job = selected[index];
+        let ctx = JobCtx {
+            config,
+            shared: &shared,
+        };
+        let job_start = Instant::now();
+        let artifacts = (job.run)(&ctx);
+        *slots[index].lock().unwrap() = Some((artifacts, job_start.elapsed()));
+    };
+
+    if worker_count <= 1 {
+        for i in 0..n {
+            run_one(i);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    run_one(i);
+                });
+            }
+        });
+    }
+
+    let mut artifacts = Vec::new();
+    let mut job_timings = Vec::new();
+    for (job, slot) in selected.iter().zip(slots) {
+        let (mut produced, wall) = slot
+            .into_inner()
+            .unwrap()
+            .expect("every scheduled job stores a result");
+        job_timings.push(StageTiming::for_artifacts(job.id, wall, &produced));
+        artifacts.append(&mut produced);
+    }
+
+    let report = RunReport {
+        threads: worker_count,
+        total: start.elapsed(),
+        shared: shared_timings,
+        jobs: job_timings,
+    };
+    (artifacts, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_table_matches_artifact_ids() {
+        let job_ids: Vec<&str> = JOBS.iter().map(|j| j.id).collect();
+        assert_eq!(job_ids, crate::ARTIFACT_IDS.to_vec());
+    }
+
+    #[test]
+    fn needs_union_skips_unused_shared_inputs() {
+        let config = ReproConfig {
+            scale: 0.02,
+            ..ReproConfig::quick()
+        };
+        let (shared, timings) = build_shared_inputs(
+            &config,
+            Needs {
+                static_env: true,
+                day: false,
+                general: false,
+            },
+            1,
+        );
+        assert!(shared.static_env.is_some());
+        assert!(shared.day.is_none());
+        assert!(shared.general.is_none());
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].id, "static");
+    }
+
+    #[test]
+    fn report_counts_bytes_and_estimates_speedup() {
+        let config = ReproConfig {
+            scale: 0.02,
+            ..ReproConfig::quick()
+        };
+        let ids = vec!["table1".to_string(), "table2".to_string()];
+        let (artifacts, report) = run_pipeline(&config, &ids, 2);
+        assert_eq!(artifacts.len(), 2);
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.jobs.iter().all(|j| j.body_bytes > 0));
+        assert!(report.speedup() > 0.0);
+        let csv = report.timings_csv();
+        assert!(csv.starts_with("stage,kind,wall_ms"));
+        // Header + shared static + 2 jobs.
+        assert_eq!(csv.lines().count(), 4);
+        assert!(report.render().contains("threads: 2"));
+    }
+
+    #[test]
+    fn unknown_job_id_is_none() {
+        let config = ReproConfig::quick();
+        let shared = SharedInputs::default();
+        assert!(run_job(&config, "nope", &shared).is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic re-runs of inputs proptest once shrank to (see
+//! `properties.proptest-regressions`), kept as plain tests so they run
+//! even when the property suite is skipped.
+
+use bp_mining::PoolCensus;
+use bp_net::{NetConfig, Simulation};
+use bp_topology::{Snapshot, SnapshotConfig};
+
+fn tiny_snapshot(seed: u64) -> Snapshot {
+    Snapshot::generate(SnapshotConfig {
+        seed,
+        scale: 0.015,
+        tail_as_count: 30,
+        version_tail: 8,
+        up_fraction: 1.0,
+        ..SnapshotConfig::paper()
+    })
+}
+
+/// `partition_heal_reconverges` once failed at `seed = 47, cut = 4`:
+/// after healing a 4-way partition, a tail of nodes stayed lagged.
+#[test]
+fn partition_heal_reconverges_seed_47_cut_4() {
+    let (seed, cut) = (47u64, 4u32);
+    let snap = tiny_snapshot(seed);
+    let config = NetConfig {
+        seed,
+        ..NetConfig::fast_test()
+    };
+    let mut sim = Simulation::new(&snap, &PoolCensus::paper_table_iv(), config);
+    let n = sim.node_count() as u32;
+    sim.run_for_secs(600);
+    sim.set_partition(move |i| i % cut);
+    sim.run_for_secs(2 * 600);
+    sim.clear_partition();
+    let healed_at = sim.stats().blocks_mined;
+    let mut waited = 0;
+    while sim.stats().blocks_mined < healed_at + 3 && waited < 30 {
+        sim.run_for_secs(600);
+        waited += 1;
+    }
+    sim.run_for_secs(300);
+    let lags = sim.lags();
+    let behind = lags.iter().filter(|&&l| l > 1).count();
+    assert!(
+        (behind as f64) < 0.1 * n as f64,
+        "{behind}/{n} nodes stuck after heal"
+    );
+}

@@ -1,0 +1,19 @@
+//! Deterministic re-runs of inputs proptest once shrank to (see
+//! `properties.proptest-regressions`), kept as plain tests so they run
+//! even when the property suite is skipped.
+
+use bp_topology::VersionCensus;
+
+/// `version_census_normalised` once failed at `tail = 1`: with no
+/// minor variants to spread the remainder over, shares did not sum to
+/// one. The remainder is now absorbed into the last variant.
+#[test]
+fn version_census_tail_of_one_is_normalised() {
+    let c = VersionCensus::with_tail(1);
+    let total: f64 = c.versions().iter().map(|v| v.share).sum();
+    assert!((total - 1.0).abs() < 1e-9, "total share {total}");
+    for pair in c.versions().windows(2) {
+        assert!(pair[0].share >= pair[1].share - 1e-12);
+    }
+    assert_eq!(c.len(), 6);
+}

@@ -1,0 +1,89 @@
+//! The parallel artifact pipeline must be invisible in the output:
+//! `repro --quick all` produces byte-identical artifacts whether it
+//! runs on one worker or many, and in the same presentation order.
+
+use bp_bench::pipeline::default_jobs;
+use bp_bench::{generate_with_report, ReproConfig, ARTIFACT_IDS};
+
+fn test_config() -> ReproConfig {
+    // Small enough to keep the full 21-job run fast, large enough to
+    // exercise every job (crawls, attacks, defenses).
+    ReproConfig {
+        scale: 0.03,
+        day_hours: 1,
+        general_hours: 1,
+        ..ReproConfig::quick()
+    }
+}
+
+#[test]
+fn all_artifacts_identical_serial_vs_parallel() {
+    let config = test_config();
+    let ids = vec!["all".to_string()];
+    let (serial, serial_report) = generate_with_report(&config, &ids, 1);
+    let (parallel, parallel_report) = generate_with_report(&config, &ids, 4);
+
+    assert_eq!(serial_report.threads, 1);
+    assert!(parallel_report.threads > 1);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.body, b.body,
+            "body of {} differs across worker counts",
+            a.id
+        );
+        assert_eq!(a.csv, b.csv, "csv of {} differs across worker counts", a.id);
+    }
+}
+
+#[test]
+fn artifacts_come_out_in_presentation_order() {
+    let config = test_config();
+    let ids = vec!["all".to_string()];
+    let (artifacts, _) = generate_with_report(&config, &ids, default_jobs());
+
+    // Each artifact's job position must be non-decreasing over the output:
+    // jobs finish in any order, but results are reassembled in table order.
+    let job_pos = |artifact_id: &str| -> usize {
+        // Jobs can emit artifacts whose ids differ from the job id
+        // (e.g. table8 also emits cve_exposure); map via known extras.
+        let owning_job = match artifact_id {
+            "cve_exposure" => "table8",
+            "blockaware_sweep"
+            | "stratum_diversification"
+            | "route_purging"
+            | "blockaware_defense" => "countermeasures",
+            "ablation_relay" | "ablation_degree" | "ablation_span" => "ablations",
+            other => other,
+        };
+        ARTIFACT_IDS
+            .iter()
+            .position(|&id| id == owning_job)
+            .unwrap_or_else(|| panic!("artifact {artifact_id} maps to no job"))
+    };
+    let positions: Vec<usize> = artifacts.iter().map(|a| job_pos(&a.id)).collect();
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    assert_eq!(positions, sorted, "artifacts are out of presentation order");
+}
+
+#[test]
+fn subset_selection_matches_full_run_artifacts() {
+    let config = test_config();
+    let (full, _) = generate_with_report(&config, &["all".to_string()], 2);
+    let subset_ids = vec!["table1".to_string(), "fig6_day".to_string()];
+    let (subset, report) = generate_with_report(&config, &subset_ids, 2);
+
+    assert_eq!(subset.len(), 2);
+    // The subset run computes only the shared inputs it needs.
+    let shared_ids: Vec<&str> = report.shared.iter().map(|s| s.id.as_str()).collect();
+    assert!(shared_ids.contains(&"static"));
+    assert!(shared_ids.contains(&"day_crawl"));
+    assert!(!shared_ids.contains(&"general_crawl"));
+    // And each artifact equals its counterpart from the full run.
+    for artifact in &subset {
+        let counterpart = full.iter().find(|a| a.id == artifact.id).unwrap();
+        assert_eq!(artifact, counterpart);
+    }
+}

@@ -194,6 +194,10 @@ pub struct GridSim {
     /// Highest honest block id.
     honest_best: u64,
     genesis: u64,
+    /// Counterfeit blocks released so far (observability only).
+    counterfeit_released: u64,
+    /// Snapshots evaluated by sweep runs (observability only).
+    sweep_snapshots: u64,
 }
 
 impl GridSim {
@@ -248,6 +252,8 @@ impl GridSim {
             next_fork_label: 0,
             honest_best: genesis,
             genesis,
+            counterfeit_released: 0,
+            sweep_snapshots: 0,
         }
     }
 
@@ -447,6 +453,7 @@ impl GridSim {
             self.blocks[&self.attacker_tip].fork
         };
         let id = self.mine(parent, true, Some(label));
+        self.counterfeit_released += 1;
         self.attacker_tip = id;
         self.attacker_started = true;
         let (ar, ac) = self.config.attacker_cell;
@@ -516,15 +523,19 @@ impl GridSim {
     /// Runs the Figure 7 experiment: panels at the three paper steps,
     /// each chosen as the locally most-captured moment in a ±25-step
     /// window (fork capture is transient, so a fixed instant can land
-    /// between counterfeit pulses).
-    pub fn figure7_run(mut self) -> Vec<GridSnapshot> {
+    /// between counterfeit pulses). Takes `&mut self` so callers can read
+    /// the simulator's counters ([`export_metrics`](Self::export_metrics))
+    /// after the sweep.
+    pub fn figure7_run(&mut self) -> Vec<GridSnapshot> {
         let mut out = Vec::new();
         for target in [151u64, 201, 251] {
             self.run_to(target.saturating_sub(25));
             let mut best = self.snapshot();
+            self.sweep_snapshots += 1;
             while self.step_count() < target + 25 {
                 self.tick();
                 let snap = self.snapshot();
+                self.sweep_snapshots += 1;
                 if snap.counterfeit_fraction() > best.counterfeit_fraction() {
                     best = snap;
                 }
@@ -534,6 +545,18 @@ impl GridSim {
             out.push(panel);
         }
         out
+    }
+
+    /// Exports the grid's iteration counters into a metrics registry
+    /// under `prefix` (e.g. `temporal.grid`). Read-only.
+    pub fn export_metrics(&self, reg: &bp_obs::Registry, prefix: &str) {
+        reg.add(&format!("{prefix}.steps"), self.step);
+        reg.add(&format!("{prefix}.blocks"), self.blocks.len() as u64 - 1);
+        reg.add(
+            &format!("{prefix}.counterfeit_released"),
+            self.counterfeit_released,
+        );
+        reg.add(&format!("{prefix}.sweep_snapshots"), self.sweep_snapshots);
     }
 }
 

@@ -142,14 +142,32 @@ impl TemporalModel {
     ///
     /// Panics unless `0 < p < 1` and `m > 0`.
     pub fn min_time_to_isolate(&self, m: u64, p: f64, max_t_secs: u64) -> Option<u64> {
+        self.min_time_to_isolate_counted(m, p, max_t_secs).0
+    }
+
+    /// [`min_time_to_isolate`](Self::min_time_to_isolate) plus the number
+    /// of bisection steps it took — the cost driver behind a Table VI
+    /// sweep, exposed for the observability layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` and `m > 0`.
+    pub fn min_time_to_isolate_counted(
+        &self,
+        m: u64,
+        p: f64,
+        max_t_secs: u64,
+    ) -> (Option<u64>, u64) {
         assert!(p > 0.0 && p < 1.0, "p must lie strictly in (0, 1)");
         assert!(m > 0, "must target at least one node");
         let target = p.ln();
         if self.ln_isolation_bound(m, max_t_secs) < target {
-            return None;
+            return (None, 0);
         }
+        let mut steps = 0u64;
         let (mut lo, mut hi) = (m, max_t_secs);
         while lo < hi {
+            steps += 1;
             let mid = lo + (hi - lo) / 2;
             if self.ln_isolation_bound(m, mid) >= target {
                 hi = mid;
@@ -157,23 +175,47 @@ impl TemporalModel {
                 lo = mid + 1;
             }
         }
-        Some(lo)
+        (Some(lo), steps)
     }
 
     /// Generates the full Table VI grid: rows are λ values (this model's
     /// λ is ignored), columns are target node counts.
     pub fn table_vi(lambdas: &[f64], node_counts: &[u64], p: f64) -> Vec<(f64, Vec<Option<u64>>)> {
-        lambdas
+        Self::table_vi_metered(lambdas, node_counts, p, None)
+    }
+
+    /// [`table_vi`](Self::table_vi), recording `temporal.model.cells` and
+    /// `temporal.model.bisection_steps` into `reg` when given. The table
+    /// itself is identical with or without a registry.
+    pub fn table_vi_metered(
+        lambdas: &[f64],
+        node_counts: &[u64],
+        p: f64,
+        reg: Option<&bp_obs::Registry>,
+    ) -> Vec<(f64, Vec<Option<u64>>)> {
+        let mut cells = 0u64;
+        let mut bisection_steps = 0u64;
+        let table = lambdas
             .iter()
             .map(|&lambda| {
                 let model = TemporalModel::new(lambda);
                 let row = node_counts
                     .iter()
-                    .map(|&m| model.min_time_to_isolate(m, p, 1_000_000))
+                    .map(|&m| {
+                        let (t, steps) = model.min_time_to_isolate_counted(m, p, 1_000_000);
+                        cells += 1;
+                        bisection_steps += steps;
+                        t
+                    })
                     .collect();
                 (lambda, row)
             })
-            .collect()
+            .collect();
+        if let Some(reg) = reg {
+            reg.add("temporal.model.cells", cells);
+            reg.add("temporal.model.bisection_steps", bisection_steps);
+        }
+        table
     }
 }
 

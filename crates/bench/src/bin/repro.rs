@@ -12,10 +12,13 @@
 //! per-field flags (`--scale`, `--seed`, `--hours`) override it no
 //! matter where they appear. CSV exports land in the `--out` directory
 //! (default `repro_out/`); `--timings` also writes `timings.csv` there.
+//! `--metrics DIR` writes the deterministic `metrics.json` /
+//! `metrics.csv` plus the wall-time `BENCH_pipeline.json` to `DIR`
+//! without changing any artifact output (see `EXPERIMENTS.md`).
 
 use bp_bench::cli::parse_args;
 use bp_bench::pipeline::default_jobs;
-use bp_bench::{generate_with_report, ARTIFACT_IDS};
+use bp_bench::{bench_json, generate_with_metrics, generate_with_report, ARTIFACT_IDS};
 use std::path::PathBuf;
 
 fn main() {
@@ -43,7 +46,11 @@ fn main() {
         "# generating {:?} at scale {} (day crawl: {} h, jobs: {jobs})",
         opts.ids, config.scale, config.day_hours
     );
-    let (artifacts, report) = generate_with_report(&config, &opts.ids, jobs);
+    let registry = opts.metrics.as_ref().map(|_| btcpart::obs::Registry::new());
+    let (artifacts, report) = match &registry {
+        Some(reg) => generate_with_metrics(&config, &opts.ids, jobs, reg),
+        None => generate_with_report(&config, &opts.ids, jobs),
+    };
 
     let out_dir = PathBuf::from(&opts.out_dir);
     std::fs::create_dir_all(&out_dir).expect("create output directory");
@@ -61,6 +68,30 @@ fn main() {
         std::fs::write(&path, report.timings_csv()).expect("write timings.csv");
         eprintln!("# wrote {}", path.display());
     }
+    if let (Some(dir), Some(reg)) = (&opts.metrics, &registry) {
+        let metrics_dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&metrics_dir).expect("create metrics directory");
+        let snapshot = reg.snapshot();
+        let profile = if config == bp_bench::ReproConfig::quick() {
+            "quick"
+        } else if config == bp_bench::ReproConfig::paper() {
+            "paper"
+        } else {
+            "custom"
+        };
+        for (name, contents) in [
+            ("metrics.json", snapshot.to_json()),
+            ("metrics.csv", snapshot.to_csv()),
+            (
+                "BENCH_pipeline.json",
+                bench_json(profile, &config, &report, &snapshot),
+            ),
+        ] {
+            let path = metrics_dir.join(name);
+            std::fs::write(&path, contents).expect("write metrics export");
+            eprintln!("# wrote {}", path.display());
+        }
+    }
     eprintln!("# {} artifacts generated", artifacts.len());
 }
 
@@ -68,10 +99,12 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--scale F] [--hours H] [--seed S]\n\
-         \x20             [--jobs N] [--timings] [--out DIR] [IDS…]\n\n\
-         --quick     5% scale preset; later or earlier per-field flags override it\n\
-         --jobs N    worker threads (default: one per core; output is identical)\n\
-         --timings   print per-job wall times and write timings.csv to --out\n\n\
+         \x20             [--jobs N] [--timings] [--metrics DIR] [--out DIR] [IDS…]\n\n\
+         --quick        5% scale preset; later or earlier per-field flags override it\n\
+         --jobs N       worker threads (default: one per core; output is identical)\n\
+         --timings      print per-job wall times and write timings.csv to --out\n\
+         --metrics DIR  write metrics.json, metrics.csv and BENCH_pipeline.json\n\
+         \x20              to DIR (artifact output is unchanged)\n\n\
          artifacts: {}",
         ARTIFACT_IDS.join(", ")
     );

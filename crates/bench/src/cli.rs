@@ -22,6 +22,9 @@ pub struct CliOptions {
     pub jobs: Option<usize>,
     /// Print the per-job timing table and export `timings.csv`.
     pub timings: bool,
+    /// Directory for `metrics.json` / `metrics.csv` /
+    /// `BENCH_pipeline.json`; `None` disables metrics collection.
+    pub metrics: Option<String>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -46,6 +49,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut ids = Vec::new();
     let mut jobs = None;
     let mut timings = false;
+    let mut metrics = None;
     let mut help = false;
 
     // Phase 2: per-field overrides, applied in the order given.
@@ -77,6 +81,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 jobs = Some(n);
             }
             "--timings" => timings = true,
+            "--metrics" => metrics = Some(parse_value(arg, iter.next())?),
             "--out" => out_dir = parse_value(arg, iter.next())?,
             "--help" | "-h" => help = true,
             other if other.starts_with("--") => {
@@ -92,6 +97,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         ids,
         jobs,
         timings,
+        metrics,
         help,
     })
 }
@@ -150,6 +156,15 @@ mod tests {
         assert!(opts.timings);
         assert!(parse_args(&argv(&["--jobs", "0"])).is_err());
         assert!(parse_args(&argv(&["--jobs"])).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_takes_a_directory() {
+        let opts = parse_args(&argv(&["--quick", "--metrics", "mdir", "all"])).unwrap();
+        assert_eq!(opts.metrics.as_deref(), Some("mdir"));
+        assert!(parse_args(&argv(&["--metrics"])).is_err());
+        // Default: off.
+        assert_eq!(parse_args(&argv(&["all"])).unwrap().metrics, None);
     }
 
     #[test]

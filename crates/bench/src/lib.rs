@@ -72,26 +72,44 @@ pub fn measurement_lab(config: &ReproConfig) -> Lab {
 /// Runs the one-day, 1-minute-sampled crawl shared by Figure 6(b,c),
 /// Table V, Table VII and Figure 8.
 pub fn day_crawl(config: &ReproConfig) -> (CrawlResult, Lab) {
+    day_crawl_metered(config, None)
+}
+
+/// [`day_crawl`], recording crawler sampling cost into `reg` when given.
+pub fn day_crawl_metered(
+    config: &ReproConfig,
+    reg: Option<&bp_obs::Registry>,
+) -> (CrawlResult, Lab) {
     let mut lab = measurement_lab(config);
-    let crawl = temporal::run_crawl(
+    let crawl = temporal::run_crawl_metered(
         &mut lab.sim,
         &lab.snapshot,
         2 * 600,
         config.day_hours * 3600,
         60,
+        reg,
     );
     (crawl, lab)
 }
 
 /// Runs the long, 10-minute-sampled crawl of Figure 6(a).
 pub fn general_crawl(config: &ReproConfig) -> (CrawlResult, Lab) {
+    general_crawl_metered(config, None)
+}
+
+/// [`general_crawl`], recording crawler sampling cost into `reg` when given.
+pub fn general_crawl_metered(
+    config: &ReproConfig,
+    reg: Option<&bp_obs::Registry>,
+) -> (CrawlResult, Lab) {
     let mut lab = measurement_lab(config);
-    let crawl = temporal::run_crawl(
+    let crawl = temporal::run_crawl_metered(
         &mut lab.sim,
         &lab.snapshot,
         2 * 600,
         config.general_hours * 3600,
         600,
+        reg,
     );
     (crawl, lab)
 }
@@ -138,6 +156,82 @@ pub fn generate_with_report(
     jobs: usize,
 ) -> (Vec<Artifact>, RunReport) {
     pipeline::run_pipeline(config, ids, jobs)
+}
+
+/// [`generate_with_report`], recording run metrics into `reg`
+/// (`repro --metrics`). Artifacts are byte-identical with or without a
+/// registry — see [`pipeline::run_pipeline_metered`].
+pub fn generate_with_metrics(
+    config: &ReproConfig,
+    ids: &[String],
+    jobs: usize,
+    reg: &bp_obs::Registry,
+) -> (Vec<Artifact>, RunReport) {
+    pipeline::run_pipeline_metered(config, ids, jobs, Some(reg))
+}
+
+/// Renders the `BENCH_pipeline.json` benchmark record: the run profile,
+/// per-stage wall times from the [`RunReport`], and the key simulation
+/// counters from the metrics snapshot. Wall times vary run to run; the
+/// `counters` section is deterministic for a given config.
+pub fn bench_json(
+    profile: &str,
+    config: &ReproConfig,
+    report: &RunReport,
+    snapshot: &bp_obs::Snapshot,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v1\",\n");
+    let _ = writeln!(out, "  \"profile\": \"{profile}\",");
+    let _ = writeln!(out, "  \"scale\": {},", config.scale);
+    let _ = writeln!(out, "  \"seed\": {},", config.seed);
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(
+        out,
+        "  \"total_wall_ms\": {:.3},",
+        report.total.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  \"serial_estimate_ms\": {:.3},",
+        report.serial_estimate().as_secs_f64() * 1e3
+    );
+    out.push_str("  \"stages\": [\n");
+    let stages: Vec<_> = report
+        .shared
+        .iter()
+        .map(|s| ("shared", s))
+        .chain(report.jobs.iter().map(|s| ("job", s)))
+        .collect();
+    for (i, (kind, stage)) in stages.iter().enumerate() {
+        let sep = if i + 1 == stages.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"kind\": \"{}\", \"wall_ms\": {:.3}, \"artifacts\": {}, \"body_bytes\": {}, \"csv_bytes\": {}}}{}",
+            stage.id, kind, stage.wall.as_secs_f64() * 1e3, stage.artifacts, stage.body_bytes, stage.csv_bytes, sep
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"counters\": {");
+    let counters: Vec<_> = snapshot.counters().collect();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{name}\": {value}");
+    }
+    out.push_str(if counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"gauges\": {");
+    let gauges: Vec<_> = snapshot.gauges().collect();
+    for (i, (name, value)) in gauges.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{name}\": {value}");
+    }
+    out.push_str(if gauges.is_empty() { "}\n" } else { "\n  }\n" });
+    out.push_str("}\n");
+    out
 }
 
 #[cfg(test)]

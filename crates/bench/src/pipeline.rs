@@ -8,7 +8,7 @@
 //! [`ARTIFACT_IDS`](crate::ARTIFACT_IDS) presentation order, so the
 //! output is byte-identical no matter how many worker threads run: each
 //! job derives all of its randomness from the seeded
-//! [`ReproConfig`](crate::ReproConfig), never from another job.
+//! [`ReproConfig`], never from another job.
 //!
 //! The pipeline also collects an observability layer: per-job wall
 //! time, artifact body/CSV sizes and thread count land in a
@@ -16,7 +16,7 @@
 //! `timings.csv`, and that the Criterion benches reuse to track
 //! per-artifact cost over time.
 
-use crate::{day_crawl, general_crawl, measurement_lab, ReproConfig};
+use crate::{day_crawl_metered, general_crawl_metered, measurement_lab, ReproConfig};
 use btcpart::attacks::temporal::TemporalAttackConfig;
 use btcpart::crawler::CrawlResult;
 use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
@@ -102,9 +102,13 @@ pub struct JobCtx<'a> {
     pub config: &'a ReproConfig,
     /// The shared inputs computed for this run.
     pub shared: &'a SharedInputs,
+    /// Optional metrics registry (`repro --metrics`). Jobs that count
+    /// internal work record into it; `None` costs nothing. Recording
+    /// never changes artifact output — see the `bp-obs` crate docs.
+    pub metrics: Option<&'a bp_obs::Registry>,
 }
 
-/// One artifact job: a stable id (matching [`ARTIFACT_IDS`]), its
+/// One artifact job: a stable id (matching [`ARTIFACT_IDS`](crate::ARTIFACT_IDS)), its
 /// declared shared-input needs, and the driver. A job may emit more
 /// than one artifact (`table8` also emits the CVE exposure table,
 /// `countermeasures` emits four artifacts, `ablations` three).
@@ -152,11 +156,11 @@ fn job_fig6_minute(ctx: &JobCtx) -> Vec<Artifact> {
 fn job_table5(ctx: &JobCtx) -> Vec<Artifact> {
     vec![temporal::table5(ctx.shared.day().0, 60)]
 }
-fn job_table6(_ctx: &JobCtx) -> Vec<Artifact> {
-    vec![temporal::table6()]
+fn job_table6(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::table6_metered(ctx.metrics)]
 }
-fn job_fig7(_ctx: &JobCtx) -> Vec<Artifact> {
-    vec![temporal::fig7()]
+fn job_fig7(ctx: &JobCtx) -> Vec<Artifact> {
+    vec![temporal::fig7_metered(ctx.metrics)]
 }
 fn job_table7(ctx: &JobCtx) -> Vec<Artifact> {
     let (crawl, lab) = ctx.shared.day();
@@ -232,7 +236,7 @@ fn job_ablations(ctx: &JobCtx) -> Vec<Artifact> {
     ]
 }
 
-/// The full job table, in [`ARTIFACT_IDS`] presentation order.
+/// The full job table, in [`ARTIFACT_IDS`](crate::ARTIFACT_IDS) presentation order.
 pub const JOBS: [JobSpec; 21] = [
     JobSpec {
         id: "table1",
@@ -493,6 +497,18 @@ pub fn build_shared_inputs(
     needs: Needs,
     workers: usize,
 ) -> (SharedInputs, Vec<StageTiming>) {
+    build_shared_inputs_metered(config, needs, workers, None)
+}
+
+/// [`build_shared_inputs`], recording crawl metrics into `reg` when
+/// given. After the builds finish, each crawl simulation's counters are
+/// exported under the `net.day.*` / `net.general.*` prefixes.
+pub fn build_shared_inputs_metered(
+    config: &ReproConfig,
+    needs: Needs,
+    workers: usize,
+    reg: Option<&bp_obs::Registry>,
+) -> (SharedInputs, Vec<StageTiming>) {
     let timed = |id: &str, f: &dyn Fn() -> SharedPart| -> (SharedPart, StageTiming) {
         let start = Instant::now();
         let part = f();
@@ -513,7 +529,7 @@ pub fn build_shared_inputs(
         Day((CrawlResult, Lab)),
         General((CrawlResult, Lab)),
     }
-    type SharedBuilder = Box<dyn Fn() -> SharedPart + Send + Sync>;
+    type SharedBuilder<'b> = Box<dyn Fn() -> SharedPart + Send + Sync + 'b>;
 
     let mut builders: Vec<(&str, SharedBuilder)> = Vec::new();
     if needs.static_env {
@@ -529,14 +545,14 @@ pub fn build_shared_inputs(
         let c = *config;
         builders.push((
             "day_crawl",
-            Box::new(move || SharedPart::Day(day_crawl(&c))),
+            Box::new(move || SharedPart::Day(day_crawl_metered(&c, reg))),
         ));
     }
     if needs.general {
         let c = *config;
         builders.push((
             "general_crawl",
-            Box::new(move || SharedPart::General(general_crawl(&c))),
+            Box::new(move || SharedPart::General(general_crawl_metered(&c, reg))),
         ));
     }
 
@@ -562,6 +578,17 @@ pub fn build_shared_inputs(
         }
         timings.push(timing);
     }
+    if let Some(reg) = reg {
+        if let Some((_, lab)) = &shared.day {
+            lab.sim.export_metrics(reg, "net.day");
+        }
+        if let Some((_, lab)) = &shared.general {
+            lab.sim.export_metrics(reg, "net.general");
+        }
+        for timing in &timings {
+            reg.record_span(&format!("pipeline.shared.{}", timing.id), timing.wall);
+        }
+    }
     (shared, timings)
 }
 
@@ -570,18 +597,36 @@ pub fn build_shared_inputs(
 /// artifact in isolation through the same code path `repro` uses.
 pub fn run_job(config: &ReproConfig, id: &str, shared: &SharedInputs) -> Option<Vec<Artifact>> {
     let job = JOBS.iter().find(|j| j.id == id)?;
-    let ctx = JobCtx { config, shared };
+    let ctx = JobCtx {
+        config,
+        shared,
+        metrics: None,
+    };
     Some((job.run)(&ctx))
 }
 
 /// Generates the artifacts selected by `ids` (every known id if the
 /// selection contains `"all"`) on `workers` threads, returning both the
-/// artifacts — in [`ARTIFACT_IDS`] presentation order, byte-identical
+/// artifacts — in [`ARTIFACT_IDS`](crate::ARTIFACT_IDS) presentation order, byte-identical
 /// for any worker count — and the [`RunReport`] describing the run.
 pub fn run_pipeline(
     config: &ReproConfig,
     ids: &[String],
     workers: usize,
+) -> (Vec<Artifact>, RunReport) {
+    run_pipeline_metered(config, ids, workers, None)
+}
+
+/// [`run_pipeline`], recording metrics into `reg` when given: crawl
+/// simulation counters (`net.day.*` / `net.general.*`), per-stage spans
+/// (`pipeline.shared.<id>` / `pipeline.job.<id>`), and pipeline-level
+/// totals (`pipeline.jobs`, `pipeline.artifacts`, byte counts). The
+/// artifacts are byte-identical with or without a registry.
+pub fn run_pipeline_metered(
+    config: &ReproConfig,
+    ids: &[String],
+    workers: usize,
+    reg: Option<&bp_obs::Registry>,
 ) -> (Vec<Artifact>, RunReport) {
     let start = Instant::now();
     let selected = selected_jobs(ids);
@@ -591,7 +636,7 @@ pub fn run_pipeline(
         general: acc.general || job.needs.general,
     });
     let workers = workers.max(1);
-    let (shared, shared_timings) = build_shared_inputs(config, needs, workers);
+    let (shared, shared_timings) = build_shared_inputs_metered(config, needs, workers, reg);
 
     // One result slot per job: the worker that runs job `i` fills slot
     // `i`, so reassembly below is a straight in-order walk.
@@ -605,10 +650,15 @@ pub fn run_pipeline(
         let ctx = JobCtx {
             config,
             shared: &shared,
+            metrics: reg,
         };
         let job_start = Instant::now();
         let artifacts = (job.run)(&ctx);
-        *slots[index].lock().unwrap() = Some((artifacts, job_start.elapsed()));
+        let wall = job_start.elapsed();
+        if let Some(reg) = reg {
+            reg.record_span(&format!("pipeline.job.{}", job.id), wall);
+        }
+        *slots[index].lock().unwrap() = Some((artifacts, wall));
     };
 
     if worker_count <= 1 {
@@ -647,6 +697,21 @@ pub fn run_pipeline(
         shared: shared_timings,
         jobs: job_timings,
     };
+    if let Some(reg) = reg {
+        reg.add("pipeline.jobs", report.jobs.len() as u64);
+        reg.add("pipeline.artifacts", artifacts.len() as u64);
+        reg.add(
+            "pipeline.body_bytes",
+            report.jobs.iter().map(|j| j.body_bytes as u64).sum(),
+        );
+        reg.add(
+            "pipeline.csv_bytes",
+            report.jobs.iter().map(|j| j.csv_bytes as u64).sum(),
+        );
+        // Thread count is run metadata, not a metric: it lives in the
+        // RunReport / BENCH_pipeline.json so metrics.json stays
+        // identical across worker counts.
+    }
     (artifacts, report)
 }
 

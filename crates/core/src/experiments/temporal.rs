@@ -22,8 +22,28 @@ pub fn run_crawl(
     duration_secs: u64,
     sample_period_secs: u64,
 ) -> CrawlResult {
+    run_crawl_metered(
+        sim,
+        snapshot,
+        warmup_secs,
+        duration_secs,
+        sample_period_secs,
+        None,
+    )
+}
+
+/// [`run_crawl`], recording crawler sampling cost into `reg` when given.
+/// The crawl result is identical with or without a registry.
+pub fn run_crawl_metered(
+    sim: &mut Simulation,
+    snapshot: &Snapshot,
+    warmup_secs: u64,
+    duration_secs: u64,
+    sample_period_secs: u64,
+    reg: Option<&bp_obs::Registry>,
+) -> CrawlResult {
     sim.run_for_secs(warmup_secs);
-    Crawler::new(sample_period_secs).crawl(sim, snapshot, duration_secs)
+    Crawler::new(sample_period_secs).crawl_with_metrics(sim, snapshot, duration_secs, reg)
 }
 
 /// Figure 6 — the stacked consensus series (one panel; the paper's three
@@ -125,7 +145,13 @@ pub const TABLE6_TARGETS: [u64; 7] = [100, 300, 500, 800, 1000, 1200, 1500];
 /// Table VI — minimum timing constraint `T` to isolate `m` nodes with
 /// probability ≥ 0.8 under rate λ.
 pub fn table6() -> Artifact {
-    let grid = TemporalModel::table_vi(&TABLE6_LAMBDAS, &TABLE6_TARGETS, 0.8);
+    table6_metered(None)
+}
+
+/// [`table6`], recording model evaluation counts (`temporal.model.cells`,
+/// `temporal.model.bisection_steps`) into `reg` when given.
+pub fn table6_metered(reg: Option<&bp_obs::Registry>) -> Artifact {
+    let grid = TemporalModel::table_vi_metered(&TABLE6_LAMBDAS, &TABLE6_TARGETS, 0.8, reg);
     let mut headers = vec!["λ \\ m".to_string()];
     headers.extend(TABLE6_TARGETS.iter().map(|m| m.to_string()));
     let mut t = TextTable::new(headers);
@@ -189,7 +215,17 @@ pub fn propagation(sim: &mut Simulation, snapshot: &Snapshot, hours: u64) -> Art
 
 /// Figure 7 — the grid fork simulation panels at steps 151, 201, 251.
 pub fn fig7() -> Artifact {
-    let snapshots = GridSim::new(GridConfig::figure7()).figure7_run();
+    fig7_metered(None)
+}
+
+/// [`fig7`], exporting grid-sim counters under `temporal.grid.*` when
+/// `reg` is given.
+pub fn fig7_metered(reg: Option<&bp_obs::Registry>) -> Artifact {
+    let mut grid_sim = GridSim::new(GridConfig::figure7());
+    let snapshots = grid_sim.figure7_run();
+    if let Some(reg) = reg {
+        grid_sim.export_metrics(reg, "temporal.grid");
+    }
     let mut body = String::new();
     for snap in &snapshots {
         body.push_str(&snap.render());

@@ -37,6 +37,7 @@
 //! | [`net`] | event-driven P2P simulation |
 //! | [`crawler`] | Bitnodes-style measurement |
 //! | [`attacks`] | the four partitioning attacks + countermeasures |
+//! | [`obs`] | deterministic metrics: counters, histograms, span timers |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +49,7 @@ pub use bp_chain as chain;
 pub use bp_crawler as crawler;
 pub use bp_mining as mining;
 pub use bp_net as net;
+pub use bp_obs as obs;
 pub use bp_topology as topology;
 
 pub mod experiments;

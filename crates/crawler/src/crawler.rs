@@ -58,6 +58,22 @@ impl Crawler {
         snapshot: &Snapshot,
         duration_secs: u64,
     ) -> CrawlResult {
+        self.crawl_with_metrics(sim, snapshot, duration_secs, None)
+    }
+
+    /// [`crawl`](Self::crawl), recording the crawler's own sampling cost
+    /// into `reg` when given: `crawler.samples` / `crawler.lag_cells`
+    /// counters and a `crawler.sample` wall-clock span per sample (the
+    /// span excludes the simulation's own run time, so it isolates what
+    /// the lag collection costs). The crawl result is identical with or
+    /// without a registry.
+    pub fn crawl_with_metrics(
+        &self,
+        sim: &mut Simulation,
+        snapshot: &Snapshot,
+        duration_secs: u64,
+        reg: Option<&bp_obs::Registry>,
+    ) -> CrawlResult {
         let steps = duration_secs / self.sample_period_secs;
         let mut series = LagSeries::new();
         let mut matrix = LagMatrix::new(sim.node_count());
@@ -65,6 +81,7 @@ impl Crawler {
 
         for _ in 0..steps {
             sim.run_for_secs(self.sample_period_secs);
+            let sample_span = reg.map(|r| r.span("crawler.sample"));
             let lags = sim.lags();
             series.push(LagSample::from_lags(sim.now(), &lags));
             matrix.push_row(&lags);
@@ -77,6 +94,11 @@ impl Crawler {
                 }
             }
             synced_by_as.push(by_as);
+            if let Some(reg) = reg {
+                reg.inc("crawler.samples");
+                reg.add("crawler.lag_cells", lags.len() as u64);
+            }
+            drop(sample_span);
         }
 
         CrawlResult {
@@ -200,5 +222,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_rejected() {
         let _ = Crawler::new(0);
+    }
+
+    #[test]
+    fn metered_crawl_matches_unmetered() {
+        let (snap, mut sim) = setup();
+        let (_, mut sim2) = setup();
+        let crawler = Crawler::new(60);
+        let reg = bp_obs::Registry::new();
+        let metered = crawler.crawl_with_metrics(&mut sim, &snap, 1800, Some(&reg));
+        let plain = crawler.crawl(&mut sim2, &snap, 1800);
+        assert_eq!(metered.series.samples(), plain.series.samples());
+        assert_eq!(metered.synced_by_as, plain.synced_by_as);
+        let snap2 = reg.snapshot();
+        assert_eq!(snap2.counter("crawler.samples"), 30);
+        assert_eq!(
+            snap2.counter("crawler.lag_cells"),
+            30 * sim.node_count() as u64
+        );
+        assert_eq!(snap2.span_stats("crawler.sample").unwrap().count, 30);
     }
 }

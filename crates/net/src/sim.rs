@@ -90,6 +90,12 @@ pub struct NetConfig {
     pub churn_off_scale: f64,
     /// Per-tick probability for an offline node to come back.
     pub churn_on_prob: f64,
+    /// Blocks below `network_best − finalization_depth` are considered
+    /// final: their relay bookkeeping (per-node `seen_invs`, the global
+    /// block→tx map) is pruned on churn ticks so long simulations run in
+    /// bounded memory. Must exceed any reorg depth the scenario can
+    /// produce; `0` disables pruning.
+    pub finalization_depth: u64,
 }
 
 impl NetConfig {
@@ -111,6 +117,7 @@ impl NetConfig {
             churn_period_secs: 60,
             churn_off_scale: 0.03,
             churn_on_prob: 0.25,
+            finalization_depth: 100,
         }
     }
 
@@ -130,7 +137,57 @@ impl NetConfig {
             churn_period_secs: 60,
             churn_off_scale: 0.0,
             churn_on_prob: 1.0,
+            finalization_depth: 100,
         }
+    }
+
+    /// Checks every parameter for the ranges the simulation assumes.
+    ///
+    /// Out-of-range values used to misbehave silently — most nastily,
+    /// `zombie_fraction > 1` made zombie sampling loop forever, and a
+    /// probability outside `[0, 1]` skewed the loss/churn models without
+    /// any error. [`Simulation::new`] calls this and panics on `Err`.
+    pub fn validate(&self) -> Result<(), String> {
+        fn probability(name: &str, v: f64) -> Result<(), String> {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability in [0, 1], got {v}"));
+            }
+            Ok(())
+        }
+        probability("failure_rate", self.failure_rate)?;
+        probability("zombie_fraction", self.zombie_fraction)?;
+        probability("churn_on_prob", self.churn_on_prob)?;
+        if !self.churn_off_scale.is_finite() || self.churn_off_scale < 0.0 {
+            return Err(format!(
+                "churn_off_scale must be finite and >= 0, got {}",
+                self.churn_off_scale
+            ));
+        }
+        if self.out_degree == 0 {
+            return Err("out_degree must be >= 1".to_string());
+        }
+        if !self.diffusion_mean_ms.is_finite() || self.diffusion_mean_ms <= 0.0 {
+            return Err(format!(
+                "diffusion_mean_ms must be finite and > 0, got {}",
+                self.diffusion_mean_ms
+            ));
+        }
+        if !self.fetch_delay_mean_ms.is_finite() || self.fetch_delay_mean_ms < 0.0 {
+            return Err(format!(
+                "fetch_delay_mean_ms must be finite and >= 0, got {}",
+                self.fetch_delay_mean_ms
+            ));
+        }
+        if !self.block_interval_secs.is_finite() || self.block_interval_secs <= 0.0 {
+            return Err(format!(
+                "block_interval_secs must be finite and > 0, got {}",
+                self.block_interval_secs
+            ));
+        }
+        if self.churn_period_secs == 0 {
+            return Err("churn_period_secs must be >= 1".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -234,6 +291,62 @@ impl TrafficStats {
     }
 }
 
+/// Bucket bounds for the reorg-depth histogram (blocks).
+pub const REORG_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Hot-path observability counters, kept as plain integers so recording
+/// costs one add and never touches the RNG stream — simulation results
+/// are bit-identical whether or not anyone exports these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMetrics {
+    /// `Inv` events popped from the queue.
+    pub events_inv: u64,
+    /// `GetData` events popped from the queue.
+    pub events_getdata: u64,
+    /// `Block` events popped from the queue.
+    pub events_block: u64,
+    /// `Tx` events popped from the queue.
+    pub events_tx: u64,
+    /// `Mine` events popped from the queue.
+    pub events_mine: u64,
+    /// `Churn` events popped from the queue.
+    pub events_churn: u64,
+    /// High-water mark of the event-queue depth.
+    pub queue_depth_hwm: usize,
+    /// Calls to the announcement fan-out.
+    pub announce_calls: u64,
+    /// Individual `inv` messages scheduled by the fan-out.
+    pub invs_scheduled: u64,
+    /// Distribution of node-level reorg depths.
+    pub reorg_depth: bp_obs::Histogram,
+    /// `seen_invs` entries dropped by finalization pruning.
+    pub pruned_seen_invs: u64,
+    /// Stale `requested` entries (lost getdatas) dropped by pruning.
+    pub pruned_requested: u64,
+    /// Block→tx map entries dropped by finalization pruning.
+    pub pruned_block_txs: u64,
+}
+
+impl Default for SimMetrics {
+    fn default() -> Self {
+        Self {
+            events_inv: 0,
+            events_getdata: 0,
+            events_block: 0,
+            events_tx: 0,
+            events_mine: 0,
+            events_churn: 0,
+            queue_depth_hwm: 0,
+            announce_calls: 0,
+            invs_scheduled: 0,
+            reorg_depth: bp_obs::Histogram::with_bounds(REORG_DEPTH_BOUNDS),
+            pruned_seen_invs: 0,
+            pruned_requested: 0,
+            pruned_block_txs: 0,
+        }
+    }
+}
+
 /// The network simulation.
 ///
 /// # Examples
@@ -259,6 +372,9 @@ pub struct Simulation {
     nodes: Vec<SimNode>,
     /// Pool gateway node per mining entity.
     gateways: Vec<u32>,
+    /// Per-node gateway bit (`gateway_flags[i]` ⇔ `gateways` contains `i`),
+    /// so the per-victim `is_gateway` check is O(1) instead of O(pools).
+    gateway_flags: Vec<bool>,
     arrivals: ArrivalProcess,
     /// Partition group per node; messages across groups are dropped.
     groups: Vec<u32>,
@@ -274,6 +390,10 @@ pub struct Simulation {
     tx_groups: HashMap<u64, u64>,
     /// Transactions included per mined block.
     block_txs: HashMap<BlockId, Vec<u64>>,
+    /// Transactions on the canonical chain, maintained incrementally as
+    /// the canonical tip advances or reorganises (survives pruning of
+    /// `block_txs`, and makes `tx_confirmed` O(1) instead of a chain walk).
+    confirmed_txs: HashSet<u64>,
     /// Canonical (honest best) tip for reversal accounting.
     canonical_tip: BlockId,
     /// User transactions reversed by canonical-chain reorgs.
@@ -285,6 +405,8 @@ pub struct Simulation {
     conflicts_rejected: u64,
     /// Next transaction id.
     next_txid: u64,
+    /// Hot-path observability counters (always on; exported on demand).
+    metrics: SimMetrics,
 }
 
 impl Simulation {
@@ -295,8 +417,12 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if fewer than `out_degree + 1` nodes are up.
+    /// Panics if the config fails [`NetConfig::validate`] or fewer than
+    /// `out_degree + 1` nodes are up.
     pub fn new(snapshot: &Snapshot, census: &PoolCensus, config: NetConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid NetConfig: {e}"));
         let mut rng = StdRng::seed_from_u64(config.seed);
         let index = BlockIndex::new();
 
@@ -373,6 +499,11 @@ impl Simulation {
             })
             .collect();
 
+        let mut gateway_flags = vec![false; n];
+        for &g in &gateways {
+            gateway_flags[g as usize] = true;
+        }
+
         let genesis_tip = index.genesis();
         // Mining pools run dedicated relay infrastructure (the paper's
         // §V-D Falcon discussion): their gateway nodes fetch and process
@@ -393,6 +524,7 @@ impl Simulation {
             index,
             nodes,
             gateways,
+            gateway_flags,
             arrivals,
             groups,
             partitioned: false,
@@ -403,11 +535,13 @@ impl Simulation {
             participant_ids,
             tx_groups: HashMap::new(),
             block_txs: HashMap::new(),
+            confirmed_txs: HashSet::new(),
             canonical_tip: genesis_tip,
             reversed_txs: 0,
             node_reversals: 0,
             conflicts_rejected: 0,
             next_txid: 1,
+            metrics: SimMetrics::default(),
         };
         sim.schedule_next_mine();
         sim
@@ -494,7 +628,7 @@ impl Simulation {
     /// Whether a node is a mining-pool gateway (the stratum-side node a
     /// pool mines through).
     pub fn is_gateway(&self, node: u32) -> bool {
-        self.gateways.contains(&node)
+        self.gateway_flags[node as usize]
     }
 
     /// Peers of a node.
@@ -536,6 +670,15 @@ impl Simulation {
 
     /// Whether a transaction is confirmed on the canonical chain.
     pub fn tx_confirmed(&self, txid: u64) -> bool {
+        self.confirmed_txs.contains(&txid)
+    }
+
+    /// Reference implementation of [`Simulation::tx_confirmed`]: walks the
+    /// whole canonical chain scanning each block's transaction list. Kept
+    /// to validate the incremental confirmed-set bookkeeping (tests assert
+    /// the two agree); only meaningful while `block_txs` is unpruned, i.e.
+    /// with `finalization_depth = 0` or chains shorter than the depth.
+    pub fn tx_confirmed_by_walk(&self, txid: u64) -> bool {
         let mut cur = self.canonical_tip;
         loop {
             if let Some(txs) = self.block_txs.get(&cur) {
@@ -548,6 +691,68 @@ impl Simulation {
                 _ => return false,
             }
         }
+    }
+
+    /// Number of transactions currently confirmed on the canonical chain.
+    pub fn confirmed_tx_count(&self) -> usize {
+        self.confirmed_txs.len()
+    }
+
+    /// Relay-bookkeeping footprint, for memory-bound assertions:
+    /// `(total seen_invs entries across nodes, block→tx map entries)`.
+    pub fn relay_state_footprint(&self) -> (usize, usize) {
+        let seen: usize = self.nodes.iter().map(|n| n.seen_invs.len()).sum();
+        (seen, self.block_txs.len())
+    }
+
+    /// Hot-path observability counters collected so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Exports counters, traffic and fork statistics into a metrics
+    /// registry under `prefix` (e.g. `net.day`). Read-only: recording
+    /// into the registry cannot perturb the simulation.
+    pub fn export_metrics(&self, reg: &bp_obs::Registry, prefix: &str) {
+        let m = &self.metrics;
+        reg.add(&format!("{prefix}.events.inv"), m.events_inv);
+        reg.add(&format!("{prefix}.events.getdata"), m.events_getdata);
+        reg.add(&format!("{prefix}.events.block"), m.events_block);
+        reg.add(&format!("{prefix}.events.tx"), m.events_tx);
+        reg.add(&format!("{prefix}.events.mine"), m.events_mine);
+        reg.add(&format!("{prefix}.events.churn"), m.events_churn);
+        reg.max_gauge(
+            &format!("{prefix}.queue.depth_hwm"),
+            m.queue_depth_hwm as f64,
+        );
+        reg.add(&format!("{prefix}.relay.announce_calls"), m.announce_calls);
+        reg.add(&format!("{prefix}.relay.invs_scheduled"), m.invs_scheduled);
+        reg.merge_histogram(&format!("{prefix}.reorg.depth"), &m.reorg_depth);
+        reg.add(&format!("{prefix}.prune.seen_invs"), m.pruned_seen_invs);
+        reg.add(&format!("{prefix}.prune.requested"), m.pruned_requested);
+        reg.add(&format!("{prefix}.prune.block_txs"), m.pruned_block_txs);
+        let t = &self.traffic;
+        reg.add(&format!("{prefix}.traffic.invs"), t.invs);
+        reg.add(&format!("{prefix}.traffic.getdatas"), t.getdatas);
+        reg.add(&format!("{prefix}.traffic.blocks"), t.blocks);
+        reg.add(&format!("{prefix}.traffic.txs"), t.txs);
+        reg.add(&format!("{prefix}.traffic.lost"), t.lost);
+        reg.add(&format!("{prefix}.traffic.blocked"), t.blocked);
+        let s = &self.stats;
+        reg.add(&format!("{prefix}.forks.reorgs"), s.reorgs);
+        reg.add(&format!("{prefix}.forks.blocks_mined"), s.blocks_mined);
+        reg.add(&format!("{prefix}.forks.stale"), s.stale_forks);
+        reg.max_gauge(&format!("{prefix}.forks.max_depth"), s.max_depth as f64);
+        reg.add(
+            &format!("{prefix}.tx.confirmed"),
+            self.confirmed_txs.len() as u64,
+        );
+        reg.add(&format!("{prefix}.tx.reversed"), self.reversed_txs);
+        reg.add(&format!("{prefix}.tx.node_reversals"), self.node_reversals);
+        reg.add(
+            &format!("{prefix}.tx.conflicts_rejected"),
+            self.conflicts_rejected,
+        );
     }
 
     /// User transactions reversed by canonical-chain reorgs so far —
@@ -688,6 +893,7 @@ impl Simulation {
             if at > deadline {
                 break;
             }
+            self.metrics.queue_depth_hwm = self.metrics.queue_depth_hwm.max(self.queue.len());
             let (_, event) = self.queue.pop().expect("peeked event exists");
             self.handle(event);
         }
@@ -704,11 +910,21 @@ impl Simulation {
 
     fn schedule_next_mine(&mut self) {
         let (dt_secs, _) = self.arrivals.next_block(&mut self.rng);
+        // Round, don't truncate: truncation shaved up to 1 ms off every
+        // inter-block gap, biasing the mining process slightly fast.
         self.queue
-            .schedule_in((dt_secs * 1000.0) as u64, NetEvent::Mine);
+            .schedule_in((dt_secs * 1000.0).round() as u64, NetEvent::Mine);
     }
 
     fn handle(&mut self, event: NetEvent) {
+        match &event {
+            NetEvent::Inv { .. } => self.metrics.events_inv += 1,
+            NetEvent::GetData { .. } => self.metrics.events_getdata += 1,
+            NetEvent::Block { .. } => self.metrics.events_block += 1,
+            NetEvent::Tx { .. } => self.metrics.events_tx += 1,
+            NetEvent::Mine => self.metrics.events_mine += 1,
+            NetEvent::Churn => self.metrics.events_churn += 1,
+        }
         match event {
             NetEvent::Tx { from, to, tx } => self.handle_tx(from, to, tx),
             NetEvent::Mine => self.handle_mine(),
@@ -771,19 +987,35 @@ impl Simulation {
         self.schedule_next_mine();
     }
 
-    /// Tracks the canonical chain and counts transactions reversed when
-    /// it reorganises.
+    /// Tracks the canonical chain, counts transactions reversed when it
+    /// reorganises, and keeps the incremental confirmed-transaction set
+    /// in sync (only blocks between the old and new tip are touched, so
+    /// the cost is proportional to the tip movement, not chain length).
     fn update_canonical(&mut self, candidate: BlockId) {
         let cand_meta = *self.index.get(&candidate).expect("mined block exists");
         let cur_meta = *self.index.get(&self.canonical_tip).expect("tip exists");
         if cand_meta.height <= cur_meta.height {
             return;
         }
-        if !self.index.is_ancestor(&self.canonical_tip, &candidate) {
+        if self.index.is_ancestor(&self.canonical_tip, &candidate) {
+            // Pure advance: confirm everything from the new tip down to
+            // (excluding) the old tip.
+            let mut cur = candidate;
+            while cur != self.canonical_tip {
+                if let Some(txs) = self.block_txs.get(&cur) {
+                    self.confirmed_txs.extend(txs.iter().copied());
+                }
+                match self.index.get(&cur) {
+                    Some(meta) if meta.prev != bp_chain::Hash256::ZERO => cur = meta.prev,
+                    _ => break,
+                }
+            }
+        } else {
             // Reorg: transactions confirmed on the abandoned branch but
             // absent from the new one are reversed.
             let old_branch = self.index.ancestry(&self.canonical_tip).unwrap_or_default();
             let new_branch = self.index.ancestry(&candidate).unwrap_or_default();
+            let old_ids: HashSet<BlockId> = old_branch.iter().map(|m| m.id).collect();
             let new_ids: HashSet<BlockId> = new_branch.iter().map(|m| m.id).collect();
             let new_txs: HashSet<u64> = new_branch
                 .iter()
@@ -791,12 +1023,27 @@ impl Simulation {
                 .flatten()
                 .copied()
                 .collect();
-            for meta in old_branch {
+            for meta in &old_branch {
                 if new_ids.contains(&meta.id) {
                     break; // common ancestor reached
                 }
                 if let Some(txs) = self.block_txs.get(&meta.id) {
-                    self.reversed_txs += txs.iter().filter(|t| !new_txs.contains(t)).count() as u64;
+                    for t in txs {
+                        if !new_txs.contains(t) {
+                            self.reversed_txs += 1;
+                            self.confirmed_txs.remove(t);
+                        }
+                    }
+                }
+            }
+            // Confirm the new branch above the common ancestor (ancestry
+            // is tip-first).
+            for meta in &new_branch {
+                if old_ids.contains(&meta.id) {
+                    break;
+                }
+                if let Some(txs) = self.block_txs.get(&meta.id) {
+                    self.confirmed_txs.extend(txs.iter().copied());
                 }
             }
         }
@@ -867,8 +1114,36 @@ impl Simulation {
                 }
             }
         }
+        self.prune_finalized();
         self.queue
             .schedule_in(self.config.churn_period_secs * 1000, NetEvent::Churn);
+    }
+
+    /// Drops relay bookkeeping for blocks buried deeper than the
+    /// finalization depth. Without this, `seen_invs` and `block_txs` grow
+    /// with every block ever relayed and long simulations leak memory;
+    /// nothing below the horizon can be re-announced or reorged away
+    /// (assuming `finalization_depth` exceeds the deepest possible reorg),
+    /// so dropping the entries cannot change behaviour.
+    fn prune_finalized(&mut self) {
+        let depth = self.config.finalization_depth;
+        if depth == 0 || self.network_best.0 <= depth {
+            return;
+        }
+        let horizon = self.network_best.0 - depth;
+        let index = &self.index;
+        let keep = |b: &BlockId| index.get(b).is_none_or(|m| m.height.0 >= horizon);
+        for node in &mut self.nodes {
+            let before = node.seen_invs.len();
+            node.seen_invs.retain(&keep);
+            self.metrics.pruned_seen_invs += (before - node.seen_invs.len()) as u64;
+            let before = node.requested.len();
+            node.requested.retain(&keep);
+            self.metrics.pruned_requested += (before - node.requested.len()) as u64;
+        }
+        let before = self.block_txs.len();
+        self.block_txs.retain(|b, _| keep(b));
+        self.metrics.pruned_block_txs += (before - self.block_txs.len()) as u64;
     }
 
     fn pick_peer(&mut self, node: u32) -> Option<u32> {
@@ -921,6 +1196,7 @@ impl Simulation {
                 if reorg_depth > 0 {
                     self.stats.reorgs += 1;
                     self.stats.max_depth = self.stats.max_depth.max(reorg_depth);
+                    self.metrics.reorg_depth.record(reorg_depth);
                     // Any transactions this node had confirmed on the
                     // abandoned branch are reversed from its view.
                     let new_tip = self.nodes[node as usize].view.best_tip();
@@ -940,6 +1216,8 @@ impl Simulation {
 
     fn announce(&mut self, from: u32, block: BlockId) {
         let peers = self.nodes[from as usize].peers.clone();
+        self.metrics.announce_calls += 1;
+        self.metrics.invs_scheduled += peers.len() as u64;
         match self.config.relay_mode {
             RelayMode::Diffusion => {
                 for to in peers {
@@ -1347,6 +1625,195 @@ mod tests {
             s.run_for_secs(10);
         }
         assert_eq!(s.now().as_secs(), 1000);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_configs() {
+        assert!(NetConfig::paper().validate().is_ok());
+        assert!(NetConfig::fast_test().validate().is_ok());
+        let bad = [
+            NetConfig {
+                zombie_fraction: 1.5,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                failure_rate: -0.1,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                churn_on_prob: f64::NAN,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                churn_off_scale: -1.0,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                out_degree: 0,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                diffusion_mean_ms: 0.0,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                fetch_delay_mean_ms: f64::INFINITY,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                block_interval_secs: -600.0,
+                ..NetConfig::fast_test()
+            },
+            NetConfig {
+                churn_period_secs: 0,
+                ..NetConfig::fast_test()
+            },
+        ];
+        for config in bad {
+            assert!(config.validate().is_err(), "accepted {config:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NetConfig")]
+    fn simulation_rejects_invalid_config() {
+        // Pre-validation, zombie_fraction > 1 made the zombie sampler
+        // loop forever; now construction fails fast.
+        let snap = tiny_snapshot();
+        let config = NetConfig {
+            zombie_fraction: 1.5,
+            ..NetConfig::fast_test()
+        };
+        let _ = Simulation::new(&snap, &PoolCensus::paper_table_iv(), config);
+    }
+
+    #[test]
+    fn gateway_flags_match_gateway_list() {
+        let s = sim();
+        let mut flagged = 0;
+        for i in 0..s.node_count() as u32 {
+            assert_eq!(s.is_gateway(i), s.gateways.contains(&i), "node {i}");
+            flagged += s.is_gateway(i) as usize;
+        }
+        assert!(flagged > 0, "no gateway nodes at all");
+    }
+
+    #[test]
+    fn confirmed_set_agrees_with_chain_walk() {
+        // Drive a partition + heal so the canonical chain advances AND
+        // reorganises, then check the incremental set against the
+        // reference walk for every transaction ever submitted.
+        let snap = tiny_snapshot();
+        let config = NetConfig {
+            finalization_depth: 0, // keep block_txs complete for the walk
+            ..NetConfig::fast_test()
+        };
+        let mut s = Simulation::new(&snap, &PoolCensus::paper_table_iv(), config);
+        s.run_for_secs(60);
+        let mut txids = Vec::new();
+        for g in 0..20u64 {
+            if let Some(t) = s.submit_tx((g % 7) as u32, g) {
+                txids.push(t);
+            }
+        }
+        s.set_partition(|i| i % 2);
+        for g in 100..104u64 {
+            txids.extend(s.submit_tx(0, g));
+            txids.extend(s.submit_tx(1, g));
+        }
+        s.run_for_secs(8 * 600);
+        s.clear_partition();
+        s.run_for_secs(6 * 600);
+        assert!(
+            txids.iter().any(|&t| s.tx_confirmed(t)),
+            "nothing confirmed"
+        );
+        for &t in &txids {
+            assert_eq!(
+                s.tx_confirmed(t),
+                s.tx_confirmed_by_walk(t),
+                "confirmed-set bookkeeping diverged for tx {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_bounds_relay_state_without_changing_results() {
+        // A long run so the chain passes the finalization depth many
+        // times over (~6 blocks/hour from the census hash rate).
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        let pruned_cfg = NetConfig {
+            finalization_depth: 6,
+            ..NetConfig::fast_test()
+        };
+        let unpruned_cfg = NetConfig {
+            finalization_depth: 0,
+            ..NetConfig::fast_test()
+        };
+        let mut pruned = Simulation::new(&snap, &census, pruned_cfg);
+        let mut unpruned = Simulation::new(&snap, &census, unpruned_cfg);
+        let secs = 8 * 3600;
+        pruned.run_for_secs(secs);
+        unpruned.run_for_secs(secs);
+
+        // Pruning must not perturb the simulation itself.
+        assert_eq!(pruned.network_best(), unpruned.network_best());
+        assert_eq!(pruned.lags(), unpruned.lags());
+        assert_eq!(pruned.stats(), unpruned.stats());
+
+        // …but it must bound the relay bookkeeping.
+        let (seen_p, txs_p) = pruned.relay_state_footprint();
+        let (seen_u, txs_u) = unpruned.relay_state_footprint();
+        assert!(pruned.metrics().pruned_seen_invs > 0, "nothing pruned");
+        assert!(
+            seen_p < seen_u,
+            "seen_invs not reduced: {seen_p} vs {seen_u}"
+        );
+        assert!(txs_p <= txs_u);
+        let blocks = pruned.stats().blocks_mined;
+        let n = pruned.node_count();
+        assert!(
+            blocks > 20,
+            "too few blocks mined ({blocks}) to exercise pruning"
+        );
+        // Bounded: per-node seen_invs stays near the finalization window
+        // (depth 6 plus the blocks mined since the last churn tick), far
+        // below the total number of blocks ever relayed.
+        assert!(
+            seen_p <= n * 20,
+            "seen_invs {seen_p} not bounded (n={n}, blocks={blocks})"
+        );
+    }
+
+    #[test]
+    fn metrics_count_events_without_perturbing_results() {
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        let mut a = Simulation::new(&snap, &census, NetConfig::fast_test());
+        let mut b = Simulation::new(&snap, &census, NetConfig::fast_test());
+        a.run_for_secs(1800);
+        b.run_for_secs(1800);
+        // Metrics are as deterministic as the simulation itself…
+        assert_eq!(a.metrics(), b.metrics());
+        // …and exporting them twice (or not at all) changes nothing.
+        let reg = bp_obs::Registry::new();
+        a.export_metrics(&reg, "net");
+        a.run_for_secs(600);
+        b.run_for_secs(600);
+        assert_eq!(a.lags(), b.lags());
+        assert_eq!(a.metrics(), b.metrics());
+        let m = a.metrics();
+        assert!(m.events_mine > 0);
+        assert!(m.events_inv > 0);
+        assert!(m.queue_depth_hwm > 0);
+        assert_eq!(
+            m.events_churn,
+            1 + a.now().as_secs() / a.config.churn_period_secs
+        );
+        let snap2 = reg.snapshot();
+        assert!(snap2.counter("net.events.inv") > 0);
+        assert!(snap2.counter("net.traffic.invs") > 0);
     }
 
     #[test]

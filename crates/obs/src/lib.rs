@@ -1,0 +1,52 @@
+//! # bp-obs — deterministic observability for the simulator stack
+//!
+//! A zero-dependency metrics layer shared by every `bp-*` crate:
+//! monotonic counters, gauges, fixed-bucket histograms and wall-clock
+//! span timers, collected in a thread-safe [`Registry`] and rendered to
+//! a stable text table, `metrics.json` and `metrics.csv`.
+//!
+//! ## Determinism contract
+//!
+//! The whole point of this crate is that *observing a simulation must
+//! not change it*, and that the observations themselves are
+//! reproducible:
+//!
+//! * recording a metric never touches an RNG, never allocates event-
+//!   queue entries, and never branches simulation logic — the simulated
+//!   results are bit-identical with metrics on or off;
+//! * counters, gauges and histograms derive only from seeded
+//!   computation, so two runs of the same seeded workload produce
+//!   byte-identical [`Snapshot::to_json`] / [`Snapshot::to_csv`]
+//!   output, regardless of thread count (all recording operations are
+//!   commutative and the rendering order is the sorted key order);
+//! * span timers measure *wall time* and are therefore excluded from
+//!   the deterministic JSON/CSV exports — only their (deterministic)
+//!   hit counts appear there. The measured durations feed the
+//!   benchmarking side (`timings.csv`, `BENCH_pipeline.json`) where
+//!   run-to-run variance is expected.
+//!
+//! ## Usage
+//!
+//! ```
+//! use bp_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.inc("net.events.inv");
+//! reg.add("net.traffic.lost", 3);
+//! reg.max_gauge("net.queue.depth_hwm", 17.0);
+//! reg.observe("net.reorg.depth", &[1, 2, 4, 8], 3);
+//! {
+//!     let _span = reg.span("pipeline.job.table1");
+//!     // ... timed work ...
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("net.events.inv"), 1);
+//! assert!(snap.to_json().contains("\"net.traffic.lost\": 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+
+pub use registry::{Histogram, Registry, Snapshot, SpanGuard, SpanStats};

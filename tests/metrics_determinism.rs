@@ -1,0 +1,96 @@
+//! The observability layer must be invisible in the output and itself
+//! deterministic: metering a run changes no artifact byte, and two
+//! metered runs of the same config produce identical `metrics.json` /
+//! `metrics.csv` (span wall times are excluded from both by design).
+
+use bp_bench::{bench_json, generate_with_metrics, generate_with_report, ReproConfig};
+use btcpart::obs::Registry;
+
+fn test_config() -> ReproConfig {
+    ReproConfig {
+        scale: 0.03,
+        day_hours: 1,
+        general_hours: 1,
+        ..ReproConfig::quick()
+    }
+}
+
+/// A selection that exercises every metered subsystem: the day and
+/// general crawls (net + crawler counters), table6 (temporal model),
+/// fig7 (grid sim) and a couple of static jobs.
+fn metered_ids() -> Vec<String> {
+    ["table1", "fig6_general", "fig6_day", "table6", "fig7"]
+        .map(String::from)
+        .to_vec()
+}
+
+#[test]
+fn metered_run_has_byte_identical_artifacts() {
+    let config = test_config();
+    let ids = metered_ids();
+    let (plain, _) = generate_with_report(&config, &ids, 2);
+    let reg = Registry::new();
+    let (metered, _) = generate_with_metrics(&config, &ids, 2, &reg);
+
+    assert_eq!(plain.len(), metered.len());
+    for (a, b) in plain.iter().zip(metered.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.body, b.body, "body of {} differs when metered", a.id);
+        assert_eq!(a.csv, b.csv, "csv of {} differs when metered", a.id);
+    }
+    assert!(!reg.snapshot().is_empty(), "metered run recorded nothing");
+}
+
+#[test]
+fn two_metered_runs_render_identical_metrics() {
+    let config = test_config();
+    let ids = metered_ids();
+    let reg1 = Registry::new();
+    let (_, report1) = generate_with_metrics(&config, &ids, 4, &reg1);
+    let reg2 = Registry::new();
+    let (_, report2) = generate_with_metrics(&config, &ids, 1, &reg2);
+
+    let snap1 = reg1.snapshot();
+    let snap2 = reg2.snapshot();
+    assert_eq!(
+        snap1.to_json(),
+        snap2.to_json(),
+        "metrics.json differs across runs / worker counts"
+    );
+    assert_eq!(snap1.to_csv(), snap2.to_csv());
+
+    // The BENCH record's deterministic sections agree too (wall times
+    // legitimately differ, so compare the counter maps, not the file).
+    let b1 = bench_json("quick", &config, &report1, &snap1);
+    let b2 = bench_json("quick", &config, &report2, &snap2);
+    let counters = |s: &str| -> String {
+        let start = s.find("\"counters\"").expect("counters section");
+        s[start..].to_string()
+    };
+    assert_eq!(counters(&b1), counters(&b2));
+}
+
+#[test]
+fn metrics_cover_all_metered_subsystems() {
+    let config = test_config();
+    let reg = Registry::new();
+    let (_, _) = generate_with_metrics(&config, &metered_ids(), 2, &reg);
+    let snap = reg.snapshot();
+
+    // Net simulation counters from both crawls.
+    assert!(snap.counter("net.day.events.block") > 0);
+    assert!(snap.counter("net.general.events.block") > 0);
+    assert!(snap.gauge("net.day.queue.depth_hwm").unwrap_or(0.0) > 0.0);
+    // Crawler sampling counters (summed over both crawls).
+    assert!(snap.counter("crawler.samples") > 0);
+    assert!(snap.counter("crawler.lag_cells") > 0);
+    // Temporal model + grid sim counters.
+    assert!(snap.counter("temporal.model.cells") > 0);
+    assert!(snap.counter("temporal.model.bisection_steps") > 0);
+    assert!(snap.counter("temporal.grid.steps") > 0);
+    // Pipeline-level stage spans and totals.
+    assert_eq!(snap.span_stats("pipeline.job.table6").unwrap().count, 1);
+    assert!(snap.span_stats("pipeline.shared.day_crawl").is_some());
+    assert_eq!(snap.counter("pipeline.jobs"), 5);
+    assert!(snap.counter("pipeline.artifacts") >= 5);
+}

@@ -1,0 +1,111 @@
+//! Microbenches for the simulator's hot data structures: the calendar
+//! event queue against the binary-heap reference it replaced, and the
+//! generation-stamped dense set against the `HashSet<BlockId>` the
+//! per-node relay state used to be. These are the two structures the
+//! day-scale simulation hits tens of millions of times, so regressions
+//! here show up directly in `BENCH_pipeline.json` wall times.
+//! `cargo bench -p bp-bench --bench hotpath`.
+
+use btcpart::chain::{BlockId, Hash256};
+use btcpart::net::{DenseSet, EventQueue, HeapQueue, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+/// Events per queue benchmark iteration: enough churn to exercise the
+/// wheel's slot advance, late path and a few cascades.
+const QUEUE_EVENTS: usize = 50_000;
+
+/// A deterministic schedule mimicking the simulator's mix: mostly
+/// short relay delays, occasional long timers (churn, mining).
+fn delays(n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            if rng.random_bool(0.95) {
+                rng.random_range(0..5_000)
+            } else {
+                rng.random_range(0..2_000_000)
+            }
+        })
+        .collect()
+}
+
+fn queue_schedule_pop(c: &mut Criterion) {
+    let plan = delays(QUEUE_EVENTS);
+    let mut group = c.benchmark_group("queue");
+    group.sample_size(20);
+    group.bench_function("calendar_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for (i, &d) in plan.iter().enumerate() {
+                q.schedule(SimTime(q.now().0 + d), i as u64);
+                if i % 4 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+    group.bench_function("heap_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q: HeapQueue<u64> = HeapQueue::new();
+            for (i, &d) in plan.iter().enumerate() {
+                q.schedule(SimTime(q.now().0 + d), i as u64);
+                if i % 4 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Keys per dense-set benchmark iteration, probed 8× each — the
+/// inv-per-peer fan-in the relay pays per block.
+const SET_KEYS: u32 = 2_000;
+
+fn dense_set_ops(c: &mut Criterion) {
+    let ids: Vec<BlockId> = (0..SET_KEYS)
+        .map(|i| Hash256::digest(&i.to_le_bytes()))
+        .collect();
+    let mut group = c.benchmark_group("seen_set");
+    group.sample_size(20);
+    group.bench_function("dense_insert_probe_clear", |b| {
+        b.iter(|| {
+            let mut set = DenseSet::new();
+            for k in 0..SET_KEYS {
+                set.insert(k);
+                for probe in 0..8 {
+                    black_box(set.contains(k.saturating_sub(probe)));
+                }
+            }
+            set.clear();
+            black_box(set.len())
+        })
+    });
+    group.bench_function("hashset_blockid_insert_probe_clear", |b| {
+        b.iter(|| {
+            let mut set: HashSet<BlockId> = HashSet::new();
+            for k in 0..SET_KEYS {
+                set.insert(ids[k as usize]);
+                for probe in 0..8 {
+                    black_box(set.contains(&ids[k.saturating_sub(probe) as usize]));
+                }
+            }
+            set.clear();
+            black_box(set.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_schedule_pop, dense_set_ops);
+criterion_main!(benches);

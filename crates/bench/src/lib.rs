@@ -181,7 +181,7 @@ pub fn bench_json(
     snapshot: &bp_obs::Snapshot,
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v2\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile}\",");
     let _ = writeln!(out, "  \"scale\": {},", config.scale);
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
@@ -195,6 +195,11 @@ pub fn bench_json(
         out,
         "  \"serial_estimate_ms\": {:.3},",
         report.serial_estimate().as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  \"shared_overlap_ms\": {:.3},",
+        report.shared_overlap.as_secs_f64() * 1e3
     );
     out.push_str("  \"stages\": [\n");
     let stages: Vec<_> = report

@@ -25,27 +25,76 @@ use btcpart::topology::Snapshot;
 use btcpart::{Lab, Scenario};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The shared inputs a job may depend on. Each is computed at most once
-/// per pipeline run and handed to jobs by reference.
+/// per pipeline run and handed to jobs by reference. The fields are
+/// write-once cells so the overlapped scheduler can publish each input
+/// from its builder thread while artifact jobs that do not need it are
+/// already running (see [`run_pipeline_metered`]).
 #[derive(Debug, Default)]
 pub struct SharedInputs {
     /// Snapshot + census without a simulation (spatial/logical jobs).
-    pub static_env: Option<(Snapshot, PoolCensus)>,
+    static_env: OnceLock<(Snapshot, PoolCensus)>,
     /// The one-day, 1-minute-sampled crawl and its lab (Figure 6(b,c),
     /// Table V, Table VII, Figure 8).
-    pub day: Option<(CrawlResult, Lab)>,
+    day: OnceLock<(CrawlResult, Lab)>,
     /// The long, 10-minute-sampled crawl of Figure 6(a).
-    pub general: Option<(CrawlResult, Lab)>,
+    general: OnceLock<(CrawlResult, Lab)>,
 }
 
 impl SharedInputs {
+    /// Whether the static snapshot + census has been built.
+    pub fn has_static_env(&self) -> bool {
+        self.static_env.get().is_some()
+    }
+
+    /// Whether the one-day crawl has been built.
+    pub fn has_day(&self) -> bool {
+        self.day.get().is_some()
+    }
+
+    /// Whether the general (long) crawl has been built.
+    pub fn has_general(&self) -> bool {
+        self.general.get().is_some()
+    }
+
+    /// Publishes the static snapshot + census.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input was already set — each shared input is built
+    /// exactly once per run.
+    pub fn set_static_env(&self, value: (Snapshot, PoolCensus)) {
+        assert!(
+            self.static_env.set(value).is_ok(),
+            "static input built twice"
+        );
+    }
+
+    /// Publishes the one-day crawl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input was already set.
+    pub fn set_day(&self, value: (CrawlResult, Lab)) {
+        assert!(self.day.set(value).is_ok(), "day crawl built twice");
+    }
+
+    /// Publishes the general crawl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input was already set.
+    pub fn set_general(&self, value: (CrawlResult, Lab)) {
+        assert!(self.general.set(value).is_ok(), "general crawl built twice");
+    }
+
     fn static_env(&self) -> (&Snapshot, &PoolCensus) {
         let (s, c) = self
             .static_env
-            .as_ref()
+            .get()
             .expect("job requires the static snapshot input");
         (s, c)
     }
@@ -53,7 +102,7 @@ impl SharedInputs {
     fn day(&self) -> (&CrawlResult, &Lab) {
         let (c, l) = self
             .day
-            .as_ref()
+            .get()
             .expect("job requires the one-day crawl input");
         (c, l)
     }
@@ -61,7 +110,7 @@ impl SharedInputs {
     fn general(&self) -> &CrawlResult {
         &self
             .general
-            .as_ref()
+            .get()
             .expect("job requires the general crawl input")
             .0
     }
@@ -93,6 +142,67 @@ const NOTHING: Needs = Needs {
     day: false,
     general: false,
 };
+
+impl Needs {
+    /// Whether every input `want` requires is marked available in `self`.
+    fn covers(&self, want: Needs) -> bool {
+        (!want.static_env || self.static_env)
+            && (!want.day || self.day)
+            && (!want.general || self.general)
+    }
+
+    /// Claim order for the overlapped scheduler: jobs whose inputs are
+    /// ready soonest go first, so the fan-out overlaps the remaining
+    /// shared builds (the static snapshot is the cheapest build, the
+    /// general crawl the longest).
+    fn weight(&self) -> u8 {
+        if self.general {
+            3
+        } else if self.day {
+            2
+        } else if self.static_env {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// A monotone readiness gate over [`Needs`]: builder threads publish
+/// inputs as they land, job workers block until the inputs they declared
+/// are all available.
+struct ReadyGate {
+    ready: Mutex<Needs>,
+    cv: Condvar,
+}
+
+impl ReadyGate {
+    /// Creates a gate; inputs no selected job needs start out "ready"
+    /// so nothing ever waits on a build that will not run.
+    fn new(initial: Needs) -> Self {
+        Self {
+            ready: Mutex::new(initial),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Re-reads which inputs `shared` now holds and wakes waiters.
+    fn publish(&self, shared: &SharedInputs) {
+        let mut ready = self.ready.lock().unwrap();
+        ready.static_env |= shared.has_static_env();
+        ready.day |= shared.has_day();
+        ready.general |= shared.has_general();
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every input in `want` is available.
+    fn wait_for(&self, want: Needs) {
+        let mut ready = self.ready.lock().unwrap();
+        while !ready.covers(want) {
+            ready = self.cv.wait(ready).unwrap();
+        }
+    }
+}
 
 /// Everything a job is allowed to see: the seeded configuration and the
 /// precomputed shared inputs. Jobs must derive all randomness from
@@ -394,6 +504,10 @@ pub struct RunReport {
     pub shared: Vec<StageTiming>,
     /// Per-job timings, in presentation order.
     pub jobs: Vec<StageTiming>,
+    /// How long artifact jobs ran concurrently with shared-input builds
+    /// — the wall time the overlapped scheduler reclaimed from the old
+    /// build-then-fan-out barrier. Zero for serial runs.
+    pub shared_overlap: Duration,
 }
 
 impl RunReport {
@@ -465,12 +579,14 @@ impl RunReport {
             ]);
         }
         format!(
-            "{}threads: {}   wall: {:.1} ms   serial estimate: {:.1} ms   speedup: {:.2}x\n",
+            "{}threads: {}   wall: {:.1} ms   serial estimate: {:.1} ms   \
+             speedup: {:.2}x   shared overlap: {:.1} ms\n",
             t.render(),
             self.threads,
             self.total.as_secs_f64() * 1e3,
             self.serial_estimate().as_secs_f64() * 1e3,
-            self.speedup()
+            self.speedup(),
+            self.shared_overlap.as_secs_f64() * 1e3
         )
     }
 }
@@ -509,29 +625,28 @@ pub fn build_shared_inputs_metered(
     workers: usize,
     reg: Option<&bp_obs::Registry>,
 ) -> (SharedInputs, Vec<StageTiming>) {
-    let timed = |id: &str, f: &dyn Fn() -> SharedPart| -> (SharedPart, StageTiming) {
-        let start = Instant::now();
-        let part = f();
-        (
-            part,
-            StageTiming {
-                id: id.to_string(),
-                wall: start.elapsed(),
-                artifacts: 0,
-                body_bytes: 0,
-                csv_bytes: 0,
-            },
-        )
-    };
+    let shared = SharedInputs::default();
+    let timings = build_shared_barrier(&shared, config, needs, workers, reg);
+    (shared, timings)
+}
 
-    enum SharedPart {
-        Static((Snapshot, PoolCensus)),
-        Day((CrawlResult, Lab)),
-        General((CrawlResult, Lab)),
-    }
-    type SharedBuilder<'b> = Box<dyn Fn() -> SharedPart + Send + Sync + 'b>;
+/// One precomputed shared input, tagged by kind.
+enum SharedPart {
+    Static((Snapshot, PoolCensus)),
+    Day((CrawlResult, Lab)),
+    General((CrawlResult, Lab)),
+}
 
-    let mut builders: Vec<(&str, SharedBuilder)> = Vec::new();
+type SharedBuilder<'b> = Box<dyn Fn() -> SharedPart + Send + Sync + 'b>;
+
+/// The builders for exactly the inputs `needs` asks for, in the fixed
+/// `static` / `day_crawl` / `general_crawl` stage order.
+fn shared_builders<'b>(
+    config: &ReproConfig,
+    needs: Needs,
+    reg: Option<&'b bp_obs::Registry>,
+) -> Vec<(&'static str, SharedBuilder<'b>)> {
+    let mut builders: Vec<(&'static str, SharedBuilder<'b>)> = Vec::new();
     if needs.static_env {
         let c = *config;
         builders.push((
@@ -555,6 +670,56 @@ pub fn build_shared_inputs_metered(
             Box::new(move || SharedPart::General(general_crawl_metered(&c, reg))),
         ));
     }
+    builders
+}
+
+/// Stores a finished shared part into `shared`, exporting the crawl
+/// simulation's counters first when a registry is given (counter keys
+/// are prefix-disjoint, so export order cannot affect the snapshot).
+fn publish_part(shared: &SharedInputs, part: SharedPart, reg: Option<&bp_obs::Registry>) {
+    match part {
+        SharedPart::Static(v) => shared.set_static_env(v),
+        SharedPart::Day(v) => {
+            if let Some(reg) = reg {
+                v.1.sim.export_metrics(reg, "net.day");
+            }
+            shared.set_day(v);
+        }
+        SharedPart::General(v) => {
+            if let Some(reg) = reg {
+                v.1.sim.export_metrics(reg, "net.general");
+            }
+            shared.set_general(v);
+        }
+    }
+}
+
+/// Builds every needed shared input into `shared` and returns the stage
+/// timings; does not return until all builds finish (the barrier form —
+/// [`run_pipeline_metered`] overlaps builds with jobs instead when it
+/// has more than one worker).
+fn build_shared_barrier(
+    shared: &SharedInputs,
+    config: &ReproConfig,
+    needs: Needs,
+    workers: usize,
+    reg: Option<&bp_obs::Registry>,
+) -> Vec<StageTiming> {
+    let builders = shared_builders(config, needs, reg);
+    let timed = |id: &str, f: &SharedBuilder| -> (SharedPart, StageTiming) {
+        let start = Instant::now();
+        let part = f();
+        (
+            part,
+            StageTiming {
+                id: id.to_string(),
+                wall: start.elapsed(),
+                artifacts: 0,
+                body_bytes: 0,
+                csv_bytes: 0,
+            },
+        )
+    };
 
     let results: Vec<(SharedPart, StageTiming)> = if workers <= 1 || builders.len() <= 1 {
         builders.iter().map(|(id, f)| timed(id, f)).collect()
@@ -568,28 +733,15 @@ pub fn build_shared_inputs_metered(
         })
     };
 
-    let mut shared = SharedInputs::default();
     let mut timings = Vec::new();
     for (part, timing) in results {
-        match part {
-            SharedPart::Static(v) => shared.static_env = Some(v),
-            SharedPart::Day(v) => shared.day = Some(v),
-            SharedPart::General(v) => shared.general = Some(v),
+        publish_part(shared, part, reg);
+        if let Some(reg) = reg {
+            reg.record_span(&format!("pipeline.shared.{}", timing.id), timing.wall);
         }
         timings.push(timing);
     }
-    if let Some(reg) = reg {
-        if let Some((_, lab)) = &shared.day {
-            lab.sim.export_metrics(reg, "net.day");
-        }
-        if let Some((_, lab)) = &shared.general {
-            lab.sim.export_metrics(reg, "net.general");
-        }
-        for timing in &timings {
-            reg.record_span(&format!("pipeline.shared.{}", timing.id), timing.wall);
-        }
-    }
-    (shared, timings)
+    timings
 }
 
 /// Runs one job by id against precomputed shared inputs. Returns `None`
@@ -619,9 +771,19 @@ pub fn run_pipeline(
 
 /// [`run_pipeline`], recording metrics into `reg` when given: crawl
 /// simulation counters (`net.day.*` / `net.general.*`), per-stage spans
-/// (`pipeline.shared.<id>` / `pipeline.job.<id>`), and pipeline-level
-/// totals (`pipeline.jobs`, `pipeline.artifacts`, byte counts). The
-/// artifacts are byte-identical with or without a registry.
+/// (`pipeline.shared.<id>` / `pipeline.job.<id>` /
+/// `pipeline.shared_overlap`), and pipeline-level totals
+/// (`pipeline.jobs`, `pipeline.artifacts`, byte counts). The artifacts
+/// are byte-identical with or without a registry.
+///
+/// With two or more workers there is no barrier between the shared
+/// builds and the job fan-out: each shared input builds on its own
+/// thread and is published through a write-once cell the moment it is
+/// ready, while the job workers claim jobs in readiness order (no-input
+/// jobs first, then static, day, general) and block on a readiness
+/// gate only until their declared inputs land. Scheduling never changes the
+/// output: every job still derives all randomness from the seeded
+/// config, and results are reassembled in presentation order.
 pub fn run_pipeline_metered(
     config: &ReproConfig,
     ids: &[String],
@@ -636,13 +798,13 @@ pub fn run_pipeline_metered(
         general: acc.general || job.needs.general,
     });
     let workers = workers.max(1);
-    let (shared, shared_timings) = build_shared_inputs_metered(config, needs, workers, reg);
+    let n = selected.len();
+    let worker_count = workers.min(n.max(1));
 
+    let shared = SharedInputs::default();
     // One result slot per job: the worker that runs job `i` fills slot
     // `i`, so reassembly below is a straight in-order walk.
     type JobSlot = Mutex<Option<(Vec<Artifact>, Duration)>>;
-    let n = selected.len();
-    let worker_count = workers.min(n.max(1));
     let slots: Vec<JobSlot> = (0..n).map(|_| Mutex::new(None)).collect();
 
     let run_one = |index: usize| {
@@ -661,23 +823,104 @@ pub fn run_pipeline_metered(
         *slots[index].lock().unwrap() = Some((artifacts, wall));
     };
 
-    if worker_count <= 1 {
+    let (shared_timings, shared_overlap) = if worker_count <= 1 {
+        // Serial: every shared input first, then the jobs in
+        // presentation order. Nothing overlaps. (The builds themselves
+        // may still parallelize when `workers > 1` but only one job
+        // was selected.)
+        let timings = build_shared_barrier(&shared, config, needs, workers, reg);
         for i in 0..n {
             run_one(i);
         }
+        (timings, Duration::ZERO)
     } else {
+        // Overlapped: shared inputs build on their own threads while
+        // the job workers already chew through whatever is ready.
+        let builders = shared_builders(config, needs, reg);
+        let gate = ReadyGate::new(Needs {
+            static_env: !needs.static_env,
+            day: !needs.day,
+            general: !needs.general,
+        });
+        let builder_slots: Vec<Mutex<Option<StageTiming>>> =
+            (0..builders.len()).map(|_| Mutex::new(None)).collect();
+        // Overlap endpoints: the first moment a job actually ran and
+        // the last moment a builder was still running.
+        let first_job_start: Mutex<Option<Instant>> = Mutex::new(None);
+        let last_build_end: Mutex<Option<Instant>> = Mutex::new(None);
+
+        let mut exec_order: Vec<usize> = (0..n).collect();
+        exec_order.sort_by_key(|&i| selected[i].needs.weight());
         let cursor = AtomicUsize::new(0);
+
         std::thread::scope(|scope| {
+            for (bi, (id, build)) in builders.iter().enumerate() {
+                let gate = &gate;
+                let shared = &shared;
+                let builder_slots = &builder_slots;
+                let last_build_end = &last_build_end;
+                scope.spawn(move || {
+                    let build_start = Instant::now();
+                    let part = build();
+                    let wall = build_start.elapsed();
+                    publish_part(shared, part, reg);
+                    gate.publish(shared);
+                    if let Some(reg) = reg {
+                        reg.record_span(&format!("pipeline.shared.{id}"), wall);
+                    }
+                    *builder_slots[bi].lock().unwrap() = Some(StageTiming {
+                        id: id.to_string(),
+                        wall,
+                        artifacts: 0,
+                        body_bytes: 0,
+                        csv_bytes: 0,
+                    });
+                    // Mutex writes serialize, so the final value is the
+                    // chronologically last builder finish.
+                    *last_build_end.lock().unwrap() = Some(Instant::now());
+                });
+            }
             for _ in 0..worker_count {
                 scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
                         break;
+                    }
+                    let i = exec_order[k];
+                    gate.wait_for(selected[i].needs);
+                    {
+                        let mut first = first_job_start.lock().unwrap();
+                        if first.is_none() {
+                            *first = Some(Instant::now());
+                        }
                     }
                     run_one(i);
                 });
             }
         });
+
+        let timings: Vec<StageTiming> = builder_slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap()
+                    .expect("every shared build stores a timing")
+            })
+            .collect();
+        let overlap = match (
+            *first_job_start.lock().unwrap(),
+            *last_build_end.lock().unwrap(),
+        ) {
+            (Some(job0), Some(build_end)) => build_end.saturating_duration_since(job0),
+            _ => Duration::ZERO,
+        };
+        (timings, overlap)
+    };
+    if let Some(reg) = reg {
+        // Recorded on both paths so the span *count* in metrics.json is
+        // identical for any worker count (span wall times are excluded
+        // from the deterministic exports by design).
+        reg.record_span("pipeline.shared_overlap", shared_overlap);
     }
 
     let mut artifacts = Vec::new();
@@ -696,6 +939,7 @@ pub fn run_pipeline_metered(
         total: start.elapsed(),
         shared: shared_timings,
         jobs: job_timings,
+        shared_overlap,
     };
     if let Some(reg) = reg {
         reg.add("pipeline.jobs", report.jobs.len() as u64);
@@ -740,11 +984,45 @@ mod tests {
             },
             1,
         );
-        assert!(shared.static_env.is_some());
-        assert!(shared.day.is_none());
-        assert!(shared.general.is_none());
+        assert!(shared.has_static_env());
+        assert!(!shared.has_day());
+        assert!(!shared.has_general());
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].id, "static");
+    }
+
+    #[test]
+    fn overlapped_run_matches_serial_run() {
+        let config = ReproConfig {
+            scale: 0.02,
+            day_hours: 1,
+            general_hours: 1,
+            ..ReproConfig::quick()
+        };
+        // A mix that exercises every readiness class: no-input jobs,
+        // static jobs, and both crawls.
+        let ids = ["table1", "fig6_general", "fig6_day", "table6", "ablations"]
+            .map(String::from)
+            .to_vec();
+        let (serial, serial_report) = run_pipeline(&config, &ids, 1);
+        let (overlapped, overlapped_report) = run_pipeline(&config, &ids, 4);
+        assert_eq!(serial.len(), overlapped.len());
+        for (a, b) in serial.iter().zip(overlapped.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.body, b.body, "body of {} differs when overlapped", a.id);
+            assert_eq!(a.csv, b.csv, "csv of {} differs when overlapped", a.id);
+        }
+        assert_eq!(serial_report.shared_overlap, Duration::ZERO);
+        // Both reports cover the same stages in the same order.
+        let stage_ids = |r: &RunReport| -> Vec<String> {
+            r.shared
+                .iter()
+                .chain(r.jobs.iter())
+                .map(|s| s.id.clone())
+                .collect()
+        };
+        assert_eq!(stage_ids(&serial_report), stage_ids(&overlapped_report));
+        assert!(overlapped_report.render().contains("shared overlap"));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Generation-stamped dense sets over small integer keys.
+//!
+//! The simulator's per-node relay state (`seen_invs`, `requested`) is a
+//! set of block indices that is queried tens of millions of times per
+//! day-scale run and cleared wholesale on churn. A `HashSet<BlockId>`
+//! pays a 32-byte SipHash per probe; a [`DenseSet`] is one bounds check
+//! and one `u32` compare, and `clear` is a single generation bump
+//! instead of a walk over the backing store.
+
+/// A set of `u32` keys backed by a generation-stamped vector.
+///
+/// `stamps[k] == gen` means `k` is in the set. Clearing increments
+/// `gen`, invalidating every stamp in O(1). The backing vector grows
+/// lazily to the largest key inserted, so memory is bounded by the
+/// global block-index size, shared across the set's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct DenseSet {
+    stamps: Vec<u32>,
+    gen: u32,
+    len: usize,
+}
+
+impl DenseSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            stamps: Vec::new(),
+            gen: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of keys in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        self.stamps.get(key as usize) == Some(&self.gen)
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, key: u32) -> bool {
+        let idx = key as usize;
+        if idx >= self.stamps.len() {
+            self.stamps.resize(idx + 1, 0);
+        }
+        if self.stamps[idx] == self.gen {
+            return false;
+        }
+        self.stamps[idx] = self.gen;
+        self.len += 1;
+        true
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u32) -> bool {
+        match self.stamps.get_mut(key as usize) {
+            Some(stamp) if *stamp == self.gen => {
+                *stamp = 0;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Clears the set in O(1) by bumping the generation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        if self.gen == u32::MAX {
+            // Generation wrap: reset every stamp so stale marks from the
+            // first generation cannot alias. Amortized over 2^32 clears.
+            self.stamps.clear();
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Iterates the keys in the set in ascending order.
+    ///
+    /// O(capacity), not O(len) — intended for cold paths (pruning,
+    /// assertions), never the per-message hot path.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| **s == self.gen)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Removes every key for which `keep` returns `false`, returning the
+    /// number removed. O(capacity); cold-path only.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) -> usize {
+        let mut removed = 0;
+        for (i, stamp) in self.stamps.iter_mut().enumerate() {
+            if *stamp == self.gen && !keep(i as u32) {
+                *stamp = 0;
+                removed += 1;
+            }
+        }
+        self.len -= removed;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = DenseSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_is_generation_bump() {
+        let mut s = DenseSet::new();
+        for k in 0..100 {
+            s.insert(k);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        for k in 0..100 {
+            assert!(!s.contains(k), "{k} leaked across clear");
+        }
+        assert!(s.insert(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_and_retain_visit_live_keys_in_order() {
+        let mut s = DenseSet::new();
+        for k in [9, 2, 7, 4] {
+            s.insert(k);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 4, 7, 9]);
+        let removed = s.retain(|k| k % 2 == 0);
+        assert_eq!(removed, 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn matches_hashset_under_random_ops() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut dense = DenseSet::new();
+        let mut reference: HashSet<u32> = HashSet::new();
+        for _ in 0..20_000 {
+            let key = rng.random_range(0..512u32);
+            match rng.random_range(0..10u32) {
+                0..=4 => assert_eq!(dense.insert(key), reference.insert(key)),
+                5..=7 => assert_eq!(dense.remove(key), reference.remove(&key)),
+                8 => assert_eq!(dense.contains(key), reference.contains(&key)),
+                _ => {
+                    if rng.random_bool(0.05) {
+                        dense.clear();
+                        reference.clear();
+                    }
+                }
+            }
+            assert_eq!(dense.len(), reference.len());
+        }
+    }
+}

@@ -7,10 +7,20 @@
 //! node a lightweight chain view over it (see [`crate::view`]). The
 //! full-fidelity `ChainStore` (UTXO, reorg undo, reversed transactions)
 //! remains in use for the focused attack simulations in `bp-attacks`.
+//!
+//! Blocks are append-only, so each one also gets a small *dense index*
+//! (`0` = genesis, then insertion order). The simulator keys its hot
+//! per-node relay state by dense index — a `u32` probe into a
+//! [`crate::dense::DenseSet`] — instead of hashing 32-byte ids, and the
+//! per-height buckets make finalization pruning a range walk instead of
+//! a full-map scan.
 
 use crate::engine::SimTime;
+use crate::fxhash::FxHashMap;
 use bp_chain::{BlockId, Hash256, Height};
-use std::collections::HashMap;
+
+/// Sentinel dense index meaning "no such block" (genesis's parent).
+pub const NO_BLOCK: u32 = u32::MAX;
 
 /// Metadata of one simulated block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,12 +38,22 @@ pub struct BlockMeta {
     pub producer: u32,
     /// Whether the block was produced by an adversary (counterfeit chain).
     pub counterfeit: bool,
+    /// This block's dense index (position in insertion order; genesis
+    /// is 0).
+    pub dense: u32,
+    /// The parent's dense index ([`NO_BLOCK`] for genesis).
+    pub prev_dense: u32,
 }
 
 /// The global append-only block index.
 #[derive(Debug, Clone)]
 pub struct BlockIndex {
-    blocks: HashMap<BlockId, BlockMeta>,
+    /// All blocks in insertion order; `metas[m.dense] == m`.
+    metas: Vec<BlockMeta>,
+    by_id: FxHashMap<BlockId, u32>,
+    /// Dense indices per height (`by_height[h]` holds every block at
+    /// height `h`, in insertion order).
+    by_height: Vec<Vec<u32>>,
     genesis: BlockId,
 }
 
@@ -48,11 +68,15 @@ impl BlockIndex {
             found_at: SimTime::ZERO,
             producer: u32::MAX,
             counterfeit: false,
+            dense: 0,
+            prev_dense: NO_BLOCK,
         };
-        let mut blocks = HashMap::new();
-        blocks.insert(genesis_id, genesis);
+        let mut by_id = FxHashMap::default();
+        by_id.insert(genesis_id, 0);
         Self {
-            blocks,
+            metas: vec![genesis],
+            by_id,
+            by_height: vec![vec![0]],
             genesis: genesis_id,
         }
     }
@@ -64,7 +88,7 @@ impl BlockIndex {
 
     /// Number of blocks ever mined (including genesis).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.metas.len()
     }
 
     /// Whether only genesis exists. Never empty.
@@ -74,7 +98,29 @@ impl BlockIndex {
 
     /// Looks up block metadata.
     pub fn get(&self, id: &BlockId) -> Option<&BlockMeta> {
-        self.blocks.get(id)
+        self.by_id.get(id).map(|&d| &self.metas[d as usize])
+    }
+
+    /// The dense index of `id`, if known.
+    pub fn dense_of(&self, id: &BlockId) -> Option<u32> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Metadata by dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` was never issued by this index.
+    pub fn meta_at(&self, dense: u32) -> &BlockMeta {
+        &self.metas[dense as usize]
+    }
+
+    /// Dense indices of every block at `height` (empty above the tip).
+    pub fn at_height(&self, height: Height) -> &[u32] {
+        self.by_height
+            .get(height.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Mines a new block on `parent`, returning its metadata.
@@ -89,10 +135,11 @@ impl BlockIndex {
         producer: u32,
         counterfeit: bool,
     ) -> BlockMeta {
-        let parent_meta = *self
-            .blocks
+        let prev_dense = *self
+            .by_id
             .get(&parent)
             .expect("parent block must exist in the index");
+        let parent_meta = self.metas[prev_dense as usize];
         let height = parent_meta.height.next();
         // Derive a unique id from the block's identity tuple.
         let mut buf = Vec::with_capacity(64);
@@ -102,6 +149,7 @@ impl BlockIndex {
         buf.extend(producer.to_le_bytes());
         buf.push(counterfeit as u8);
         let id = Hash256::digest(&buf);
+        let dense = self.metas.len() as u32;
         let meta = BlockMeta {
             id,
             prev: parent,
@@ -109,8 +157,16 @@ impl BlockIndex {
             found_at,
             producer,
             counterfeit,
+            dense,
+            prev_dense,
         };
-        self.blocks.insert(id, meta);
+        self.metas.push(meta);
+        self.by_id.insert(id, dense);
+        let h = height.0 as usize;
+        if h >= self.by_height.len() {
+            self.by_height.resize_with(h + 1, Vec::new);
+        }
+        self.by_height[h].push(dense);
         meta
     }
 
@@ -118,37 +174,37 @@ impl BlockIndex {
     ///
     /// Returns `None` if `id` is unknown.
     pub fn ancestry(&self, id: &BlockId) -> Option<Vec<BlockMeta>> {
-        let mut path = Vec::new();
-        let mut cur = *self.blocks.get(id)?;
+        let mut cur = *self.get(id)?;
+        let mut path = Vec::with_capacity(cur.height.0 as usize + 1);
         loop {
             path.push(cur);
-            if cur.id == self.genesis {
+            if cur.prev_dense == NO_BLOCK {
                 return Some(path);
             }
-            cur = *self.blocks.get(&cur.prev)?;
+            cur = self.metas[cur.prev_dense as usize];
         }
     }
 
     /// Whether `ancestor` lies on the chain ending at `tip`.
     pub fn is_ancestor(&self, ancestor: &BlockId, tip: &BlockId) -> bool {
-        let Some(anc) = self.blocks.get(ancestor) else {
+        let (Some(anc), Some(tip)) = (self.get(ancestor), self.get(tip)) else {
             return false;
         };
-        let mut cur = match self.blocks.get(tip) {
-            Some(m) => *m,
-            None => return false,
-        };
+        self.is_ancestor_dense(anc.dense, tip.dense)
+    }
+
+    /// [`Self::is_ancestor`] over dense indices.
+    pub fn is_ancestor_dense(&self, ancestor: u32, tip: u32) -> bool {
+        let anc_height = self.metas[ancestor as usize].height;
+        let mut cur = self.metas[tip as usize];
         loop {
-            if cur.id == *ancestor {
+            if cur.dense == ancestor {
                 return true;
             }
-            if cur.height <= anc.height {
+            if cur.height <= anc_height || cur.prev_dense == NO_BLOCK {
                 return false;
             }
-            cur = match self.blocks.get(&cur.prev) {
-                Some(m) => *m,
-                None => return false,
-            };
+            cur = self.metas[cur.prev_dense as usize];
         }
     }
 }
@@ -168,6 +224,8 @@ mod tests {
         let idx = BlockIndex::new();
         let g = idx.get(&idx.genesis()).unwrap();
         assert_eq!(g.height, Height::GENESIS);
+        assert_eq!(g.dense, 0);
+        assert_eq!(g.prev_dense, NO_BLOCK);
         assert_eq!(idx.len(), 1);
     }
 
@@ -182,6 +240,20 @@ mod tests {
     }
 
     #[test]
+    fn dense_indices_follow_insertion_order() {
+        let mut idx = BlockIndex::new();
+        let b1 = idx.mine(idx.genesis(), SimTime(1), 0, false);
+        let b2 = idx.mine(b1.id, SimTime(2), 0, false);
+        assert_eq!(b1.dense, 1);
+        assert_eq!(b2.dense, 2);
+        assert_eq!(b2.prev_dense, b1.dense);
+        assert_eq!(idx.dense_of(&b2.id), Some(2));
+        assert_eq!(idx.meta_at(1), &b1);
+        assert_eq!(idx.at_height(Height(1)), &[1]);
+        assert_eq!(idx.at_height(Height(99)), &[] as &[u32]);
+    }
+
+    #[test]
     fn ids_are_unique_across_forks() {
         let mut idx = BlockIndex::new();
         let a = idx.mine(idx.genesis(), SimTime(1), 0, false);
@@ -189,6 +261,7 @@ mod tests {
         let c = idx.mine(idx.genesis(), SimTime(2), 0, false);
         assert_ne!(a.id, b.id);
         assert_ne!(a.id, c.id);
+        assert_eq!(idx.at_height(Height(1)), &[1, 2, 3]);
     }
 
     #[test]

@@ -30,12 +30,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod engine;
+pub mod fxhash;
 pub mod index;
 pub mod sim;
 pub mod view;
 
-pub use engine::{EventQueue, SimTime};
+pub use dense::DenseSet;
+pub use engine::{EventQueue, HeapQueue, QueueStats, SimTime};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{BlockIndex, BlockMeta};
 pub use sim::{ForkStats, NetConfig, RelayMode, Simulation, TrafficStats, ADVERSARY_PRODUCER};
 pub use view::{NodeView, ViewOutcome};

@@ -22,8 +22,10 @@
 //!   counterfeit block injection (temporal attack), and direct adversary
 //!   connections.
 
+use crate::dense::DenseSet;
 use crate::engine::{EventQueue, SimTime};
-use crate::index::BlockIndex;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::index::{BlockIndex, NO_BLOCK};
 use crate::view::{NodeView, ViewOutcome};
 use bp_analysis::dist::Exponential;
 use bp_chain::{BlockId, Height};
@@ -31,7 +33,7 @@ use bp_mining::{ArrivalProcess, PoolCensus};
 use bp_topology::{NodeId, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Synthetic producer id for adversary-mined blocks.
 pub const ADVERSARY_PRODUCER: u32 = u32::MAX - 1;
@@ -197,23 +199,26 @@ impl Default for NetConfig {
     }
 }
 
+/// Events carry blocks by *dense* index (see [`BlockIndex`]): a `u32`
+/// instead of a 32-byte hash, so the queue moves less memory and every
+/// receiver-side membership check is a vector probe.
 #[derive(Debug, Clone)]
 enum NetEvent {
     Inv {
         from: u32,
         to: u32,
-        block: BlockId,
+        block: u32,
     },
     GetData {
         from: u32,
         to: u32,
-        block: BlockId,
+        block: u32,
         retries: u8,
     },
     Block {
         from: u32,
         to: u32,
-        block: BlockId,
+        block: u32,
         forced: bool,
     },
     /// A relayed transaction (transactions are small; inv/getdata is
@@ -237,13 +242,15 @@ struct SimNode {
     link_factor: f64,
     /// Mean lazy-fetch delay for this node (ms).
     fetch_mean_ms: f64,
-    requested: HashSet<BlockId>,
-    /// Blocks whose announcements this node has already forwarded.
-    seen_invs: HashSet<BlockId>,
+    /// Blocks (by dense index) with an outstanding fetch.
+    requested: DenseSet,
+    /// Blocks (by dense index) whose announcements this node has already
+    /// forwarded.
+    seen_invs: DenseSet,
     /// Unconfirmed transactions this node holds.
-    mempool: HashSet<u64>,
+    mempool: FxHashSet<u64>,
     /// First-seen conflict rule: which tx claims each conflict group.
-    claimed_groups: HashMap<u64, u64>,
+    claimed_groups: FxHashMap<u64, u64>,
 }
 
 /// Aggregate fork statistics.
@@ -319,9 +326,13 @@ pub struct SimMetrics {
     pub invs_scheduled: u64,
     /// Distribution of node-level reorg depths.
     pub reorg_depth: bp_obs::Histogram,
-    /// `seen_invs` entries dropped by finalization pruning.
+    /// `seen_invs` entries retired when their node accepted the block
+    /// (the entry is dead from that point — relay dedup only consults
+    /// `seen_invs` for unknown blocks) plus entries dropped by the
+    /// finalization sweep. Zero when `finalization_depth = 0`.
     pub pruned_seen_invs: u64,
-    /// Stale `requested` entries (lost getdatas) dropped by pruning.
+    /// Outstanding `requested` entries (in-flight or lost getdatas)
+    /// abandoned at churn ticks or dropped by the finalization sweep.
     pub pruned_requested: u64,
     /// Block→tx map entries dropped by finalization pruning.
     pub pruned_block_txs: u64,
@@ -387,15 +398,24 @@ pub struct Simulation {
     /// Topology node id of each sim participant (sim index → NodeId).
     participant_ids: Vec<NodeId>,
     /// Transaction registry: txid → conflict group.
-    tx_groups: HashMap<u64, u64>,
-    /// Transactions included per mined block.
-    block_txs: HashMap<BlockId, Vec<u64>>,
+    tx_groups: FxHashMap<u64, u64>,
+    /// Transactions included per mined block, keyed by dense index.
+    block_txs: FxHashMap<u32, Vec<u64>>,
     /// Transactions on the canonical chain, maintained incrementally as
     /// the canonical tip advances or reorganises (survives pruning of
     /// `block_txs`, and makes `tx_confirmed` O(1) instead of a chain walk).
-    confirmed_txs: HashSet<u64>,
+    confirmed_txs: FxHashSet<u64>,
     /// Canonical (honest best) tip for reversal accounting.
     canonical_tip: BlockId,
+    /// Dense index of `canonical_tip`.
+    canonical_dense: u32,
+    /// Heights strictly below this watermark have already been swept by
+    /// finalization pruning (the sweep is skipped until the horizon
+    /// advances past it).
+    pruned_below: u64,
+    /// Reused fan-out buffer so `announce`/`relay_tx` never clone the
+    /// peer list on the hot path.
+    announce_scratch: Vec<u32>,
     /// User transactions reversed by canonical-chain reorgs.
     reversed_txs: u64,
     /// Node-level reversal events: a (node, transaction) pair where the
@@ -444,10 +464,10 @@ impl Simulation {
                 relay_quality: p.relay_quality(),
                 link_factor: (p.link_speed_mbps / 25.0).clamp(0.2, 5.0),
                 fetch_mean_ms: config.fetch_delay_mean_ms * (2.0 - p.relay_quality()),
-                requested: HashSet::new(),
-                seen_invs: HashSet::new(),
-                mempool: HashSet::new(),
-                claimed_groups: HashMap::new(),
+                requested: DenseSet::new(),
+                seen_invs: DenseSet::new(),
+                mempool: FxHashSet::default(),
+                claimed_groups: FxHashMap::default(),
             })
             .collect();
 
@@ -533,10 +553,13 @@ impl Simulation {
             traffic: TrafficStats::default(),
             mining_paused: false,
             participant_ids,
-            tx_groups: HashMap::new(),
-            block_txs: HashMap::new(),
-            confirmed_txs: HashSet::new(),
+            tx_groups: FxHashMap::default(),
+            block_txs: FxHashMap::default(),
+            confirmed_txs: FxHashSet::default(),
             canonical_tip: genesis_tip,
+            canonical_dense: 0,
+            pruned_below: 0,
+            announce_scratch: Vec::new(),
             reversed_txs: 0,
             node_reversals: 0,
             conflicts_rejected: 0,
@@ -586,10 +609,18 @@ impl Simulation {
 
     /// Per-node lag behind the network best, in blocks.
     pub fn lags(&self) -> Vec<u64> {
-        self.nodes
-            .iter()
-            .map(|n| n.view.lag(self.network_best))
-            .collect()
+        let mut out = Vec::new();
+        self.lags_into(&mut out);
+        out
+    }
+
+    /// Writes per-node lags into `out` (cleared first) — the
+    /// allocation-free form of [`Simulation::lags`] for samplers that
+    /// poll in a tight loop (the crawler reuses one buffer across
+    /// thousands of samples).
+    pub fn lags_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.nodes.iter().map(|n| n.view.lag(self.network_best)));
     }
 
     /// A node's current tip.
@@ -610,9 +641,8 @@ impl Simulation {
     /// Whether a node currently follows a counterfeit (adversary) chain.
     pub fn follows_counterfeit(&self, node: u32) -> bool {
         self.index
-            .get(&self.nodes[node as usize].view.best_tip())
-            .map(|m| m.counterfeit)
-            .unwrap_or(false)
+            .meta_at(self.nodes[node as usize].view.best_dense())
+            .counterfeit
     }
 
     /// Whether a node is online right now.
@@ -679,17 +709,17 @@ impl Simulation {
     /// the two agree); only meaningful while `block_txs` is unpruned, i.e.
     /// with `finalization_depth = 0` or chains shorter than the depth.
     pub fn tx_confirmed_by_walk(&self, txid: u64) -> bool {
-        let mut cur = self.canonical_tip;
+        let mut cur = *self.index.meta_at(self.canonical_dense);
         loop {
-            if let Some(txs) = self.block_txs.get(&cur) {
+            if let Some(txs) = self.block_txs.get(&cur.dense) {
                 if txs.contains(&txid) {
                     return true;
                 }
             }
-            match self.index.get(&cur) {
-                Some(meta) if meta.prev != bp_chain::Hash256::ZERO => cur = meta.prev,
-                _ => return false,
+            if cur.prev_dense == NO_BLOCK {
+                return false;
             }
+            cur = *self.index.meta_at(cur.prev_dense);
         }
     }
 
@@ -725,6 +755,12 @@ impl Simulation {
             &format!("{prefix}.queue.depth_hwm"),
             m.queue_depth_hwm as f64,
         );
+        let q = self.queue.stats();
+        reg.add(&format!("{prefix}.queue.scheduled"), q.scheduled);
+        reg.add(&format!("{prefix}.queue.wheel"), q.wheel);
+        reg.add(&format!("{prefix}.queue.late"), q.late);
+        reg.add(&format!("{prefix}.queue.overflow"), q.overflow);
+        reg.add(&format!("{prefix}.queue.cascaded"), q.cascaded);
         reg.add(&format!("{prefix}.relay.announce_calls"), m.announce_calls);
         reg.add(&format!("{prefix}.relay.invs_scheduled"), m.invs_scheduled);
         reg.merge_histogram(&format!("{prefix}.reorg.depth"), &m.reorg_depth);
@@ -775,28 +811,29 @@ impl Simulation {
     }
 
     /// Transactions confirmed on the old branch that are absent from the
-    /// new branch, for a reorg from `old_tip` to `new_tip`.
-    fn count_reversed(&self, old_tip: BlockId, new_tip: BlockId) -> u64 {
-        let Some(new_branch) = self.index.ancestry(&new_tip) else {
+    /// new branch, for a reorg from `old_tip` to `new_tip` (dense
+    /// indices).
+    fn count_reversed(&self, old_tip: u32, new_tip: u32) -> u64 {
+        let Some(new_branch) = self.index.ancestry(&self.index.meta_at(new_tip).id) else {
             return 0;
         };
-        let new_ids: HashSet<BlockId> = new_branch.iter().map(|m| m.id).collect();
-        let new_txs: HashSet<u64> = new_branch
+        let new_ids: FxHashSet<u32> = new_branch.iter().map(|m| m.dense).collect();
+        let new_txs: FxHashSet<u64> = new_branch
             .iter()
-            .filter_map(|m| self.block_txs.get(&m.id))
+            .filter_map(|m| self.block_txs.get(&m.dense))
             .flatten()
             .copied()
             .collect();
         let mut reversed = 0u64;
-        let mut cur = old_tip;
-        while !new_ids.contains(&cur) {
-            if let Some(txs) = self.block_txs.get(&cur) {
+        let mut cur = *self.index.meta_at(old_tip);
+        while !new_ids.contains(&cur.dense) {
+            if let Some(txs) = self.block_txs.get(&cur.dense) {
                 reversed += txs.iter().filter(|t| !new_txs.contains(t)).count() as u64;
             }
-            match self.index.get(&cur) {
-                Some(meta) if meta.prev != bp_chain::Hash256::ZERO => cur = meta.prev,
-                _ => break,
+            if cur.prev_dense == NO_BLOCK {
+                break;
             }
+            cur = *self.index.meta_at(cur.prev_dense);
         }
         reversed
     }
@@ -848,14 +885,23 @@ impl Simulation {
 
     /// Pushes a block directly to a node over an adversary-maintained
     /// connection: bypasses partitions and link failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is unknown to the index (push something mined
+    /// via [`Simulation::mine_counterfeit`] or observed in the network).
     pub fn push_block(&mut self, to: u32, block: BlockId) {
+        let dense = self
+            .index
+            .dense_of(&block)
+            .expect("pushed block must exist in the index");
         let delay = self.config.min_latency_ms + 20;
         self.queue.schedule_in(
             delay,
             NetEvent::Block {
                 from: u32::MAX,
                 to,
-                block,
+                block: dense,
                 forced: true,
             },
         );
@@ -879,7 +925,7 @@ impl Simulation {
                 NetEvent::Block {
                     from: u32::MAX,
                     to,
-                    block: meta.id,
+                    block: meta.dense,
                     forced: true,
                 },
             );
@@ -901,9 +947,18 @@ impl Simulation {
     }
 
     /// Runs for `secs` simulated seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deadline would overflow the `u64` millisecond clock
+    /// (`now + secs × 1000`) — failing fast instead of silently wrapping
+    /// the deadline into the past and running nothing.
     pub fn run_for_secs(&mut self, secs: u64) {
-        let deadline = self.queue.now() + secs * 1000;
-        self.run_until(deadline);
+        let deadline = secs
+            .checked_mul(1000)
+            .and_then(|ms| self.queue.now().0.checked_add(ms))
+            .unwrap_or_else(|| panic!("run_for_secs({secs}) overflows the u64 millisecond clock"));
+        self.run_until(SimTime(deadline));
     }
 
     // ---- internals --------------------------------------------------------
@@ -979,10 +1034,10 @@ impl Simulation {
                 txs
             };
             if !included.is_empty() {
-                self.block_txs.insert(meta.id, included);
+                self.block_txs.insert(meta.dense, included);
             }
-            self.update_canonical(meta.id);
-            self.accept_block(gateway, meta.id, None);
+            self.update_canonical(meta);
+            self.accept_block(gateway, meta.dense, None);
         }
         self.schedule_next_mine();
     }
@@ -991,43 +1046,45 @@ impl Simulation {
     /// reorganises, and keeps the incremental confirmed-transaction set
     /// in sync (only blocks between the old and new tip are touched, so
     /// the cost is proportional to the tip movement, not chain length).
-    fn update_canonical(&mut self, candidate: BlockId) {
-        let cand_meta = *self.index.get(&candidate).expect("mined block exists");
-        let cur_meta = *self.index.get(&self.canonical_tip).expect("tip exists");
-        if cand_meta.height <= cur_meta.height {
+    fn update_canonical(&mut self, cand: crate::index::BlockMeta) {
+        let cur_meta = *self.index.meta_at(self.canonical_dense);
+        if cand.height <= cur_meta.height {
             return;
         }
-        if self.index.is_ancestor(&self.canonical_tip, &candidate) {
+        if self
+            .index
+            .is_ancestor_dense(self.canonical_dense, cand.dense)
+        {
             // Pure advance: confirm everything from the new tip down to
             // (excluding) the old tip.
-            let mut cur = candidate;
-            while cur != self.canonical_tip {
-                if let Some(txs) = self.block_txs.get(&cur) {
+            let mut cur = cand;
+            while cur.dense != self.canonical_dense {
+                if let Some(txs) = self.block_txs.get(&cur.dense) {
                     self.confirmed_txs.extend(txs.iter().copied());
                 }
-                match self.index.get(&cur) {
-                    Some(meta) if meta.prev != bp_chain::Hash256::ZERO => cur = meta.prev,
-                    _ => break,
+                if cur.prev_dense == NO_BLOCK {
+                    break;
                 }
+                cur = *self.index.meta_at(cur.prev_dense);
             }
         } else {
             // Reorg: transactions confirmed on the abandoned branch but
             // absent from the new one are reversed.
             let old_branch = self.index.ancestry(&self.canonical_tip).unwrap_or_default();
-            let new_branch = self.index.ancestry(&candidate).unwrap_or_default();
-            let old_ids: HashSet<BlockId> = old_branch.iter().map(|m| m.id).collect();
-            let new_ids: HashSet<BlockId> = new_branch.iter().map(|m| m.id).collect();
-            let new_txs: HashSet<u64> = new_branch
+            let new_branch = self.index.ancestry(&cand.id).unwrap_or_default();
+            let old_ids: FxHashSet<u32> = old_branch.iter().map(|m| m.dense).collect();
+            let new_ids: FxHashSet<u32> = new_branch.iter().map(|m| m.dense).collect();
+            let new_txs: FxHashSet<u64> = new_branch
                 .iter()
-                .filter_map(|m| self.block_txs.get(&m.id))
+                .filter_map(|m| self.block_txs.get(&m.dense))
                 .flatten()
                 .copied()
                 .collect();
             for meta in &old_branch {
-                if new_ids.contains(&meta.id) {
+                if new_ids.contains(&meta.dense) {
                     break; // common ancestor reached
                 }
-                if let Some(txs) = self.block_txs.get(&meta.id) {
+                if let Some(txs) = self.block_txs.get(&meta.dense) {
                     for t in txs {
                         if !new_txs.contains(t) {
                             self.reversed_txs += 1;
@@ -1039,23 +1096,27 @@ impl Simulation {
             // Confirm the new branch above the common ancestor (ancestry
             // is tip-first).
             for meta in &new_branch {
-                if old_ids.contains(&meta.id) {
+                if old_ids.contains(&meta.dense) {
                     break;
                 }
-                if let Some(txs) = self.block_txs.get(&meta.id) {
+                if let Some(txs) = self.block_txs.get(&meta.dense) {
                     self.confirmed_txs.extend(txs.iter().copied());
                 }
             }
         }
-        self.canonical_tip = candidate;
+        self.canonical_tip = cand.id;
+        self.canonical_dense = cand.dense;
     }
 
     fn relay_tx(&mut self, from: u32, tx: u64) {
-        let peers = self.nodes[from as usize].peers.clone();
-        for to in peers {
+        let mut scratch = std::mem::take(&mut self.announce_scratch);
+        scratch.clear();
+        scratch.extend_from_slice(&self.nodes[from as usize].peers);
+        for &to in &scratch {
             let delay = self.edge_delay(from, to);
             self.queue.schedule_in(delay, NetEvent::Tx { from, to, tx });
         }
+        self.announce_scratch = scratch;
     }
 
     fn handle_tx(&mut self, from: u32, to: u32, tx: u64) {
@@ -1090,6 +1151,10 @@ impl Simulation {
 
     fn handle_churn(&mut self) {
         for i in 0..self.nodes.len() {
+            // Outstanding fetches are abandoned at each churn tick (the
+            // retry budget resets); these are the dropped `requested`
+            // entries the prune counters report.
+            self.metrics.pruned_requested += self.nodes[i].requested.len() as u64;
             self.nodes[i].requested.clear();
             if self.nodes[i].online {
                 let p_off = self.config.churn_off_scale
@@ -1101,7 +1166,7 @@ impl Simulation {
                 self.nodes[i].online = true;
                 // Resync: a random peer announces its tip to us.
                 if let Some(peer) = self.pick_peer(i as u32) {
-                    let tip = self.nodes[peer as usize].view.best_tip();
+                    let tip = self.nodes[peer as usize].view.best_dense();
                     let delay = self.edge_delay(peer, i as u32);
                     self.queue.schedule_in(
                         delay,
@@ -1120,30 +1185,39 @@ impl Simulation {
     }
 
     /// Drops relay bookkeeping for blocks buried deeper than the
-    /// finalization depth. Without this, `seen_invs` and `block_txs` grow
-    /// with every block ever relayed and long simulations leak memory;
-    /// nothing below the horizon can be re-announced or reorged away
-    /// (assuming `finalization_depth` exceeds the deepest possible reorg),
-    /// so dropping the entries cannot change behaviour.
+    /// finalization depth. Entries for blocks a node has *accepted* are
+    /// already retired at accept time (see [`Simulation::accept_block`]);
+    /// this sweep catches what remains — announcements to nodes that
+    /// never fetched (zombies, lost getdatas) — so long simulations run
+    /// in bounded state. Nothing below the horizon can be re-announced
+    /// or reorged away (assuming `finalization_depth` exceeds the
+    /// deepest possible reorg), so dropping the entries cannot change
+    /// behaviour. The sweep is skipped until the horizon actually
+    /// advances, keeping churn ticks cheap.
     fn prune_finalized(&mut self) {
         let depth = self.config.finalization_depth;
         if depth == 0 || self.network_best.0 <= depth {
             return;
         }
         let horizon = self.network_best.0 - depth;
+        if horizon <= self.pruned_below {
+            return;
+        }
+        self.pruned_below = horizon;
         let index = &self.index;
-        let keep = |b: &BlockId| index.get(b).is_none_or(|m| m.height.0 >= horizon);
+        let metrics = &mut self.metrics;
+        let keep = |d: u32| index.meta_at(d).height.0 >= horizon;
         for node in &mut self.nodes {
-            let before = node.seen_invs.len();
-            node.seen_invs.retain(&keep);
-            self.metrics.pruned_seen_invs += (before - node.seen_invs.len()) as u64;
-            let before = node.requested.len();
-            node.requested.retain(&keep);
-            self.metrics.pruned_requested += (before - node.requested.len()) as u64;
+            if !node.seen_invs.is_empty() {
+                metrics.pruned_seen_invs += node.seen_invs.retain(keep) as u64;
+            }
+            if !node.requested.is_empty() {
+                metrics.pruned_requested += node.requested.retain(keep) as u64;
+            }
         }
         let before = self.block_txs.len();
-        self.block_txs.retain(|b, _| keep(b));
-        self.metrics.pruned_block_txs += (before - self.block_txs.len()) as u64;
+        self.block_txs.retain(|&d, _| keep(d));
+        metrics.pruned_block_txs += (before - self.block_txs.len()) as u64;
     }
 
     fn pick_peer(&mut self, node: u32) -> Option<u32> {
@@ -1177,12 +1251,12 @@ impl Simulation {
     /// peer that sent the block, if any — missing ancestors are fetched
     /// from it, since a relaying peer always holds the full ancestry of
     /// what it relays.
-    fn accept_block(&mut self, node: u32, block: BlockId, source: Option<u32>) {
-        let old_tip = self.nodes[node as usize].view.best_tip();
+    fn accept_block(&mut self, node: u32, block: u32, source: Option<u32>) {
+        let old_tip = self.nodes[node as usize].view.best_dense();
         let outcome = {
             let n = &mut self.nodes[node as usize];
-            n.requested.remove(&block);
-            n.view.offer(&self.index, block)
+            n.requested.remove(block);
+            n.view.offer_dense(&self.index, block)
         };
         // Confirmed transactions leave the mempool.
         if let Some(txs) = self.block_txs.get(&block) {
@@ -1190,6 +1264,18 @@ impl Simulation {
             for tx in txs {
                 n.mempool.remove(tx);
             }
+        }
+        // Unless the parent is still missing, the node now holds the
+        // block and its relay-dedup entry is dead — `handle_inv` only
+        // consults `seen_invs` for unknown blocks — so retire it here
+        // instead of carrying it to the finalization sweep. Gated like
+        // the sweep so `finalization_depth = 0` keeps the bookkeeping
+        // complete for reference runs.
+        if self.config.finalization_depth > 0
+            && !matches!(outcome, ViewOutcome::MissingParent(_))
+            && self.nodes[node as usize].seen_invs.remove(block)
+        {
+            self.metrics.pruned_seen_invs += 1;
         }
         match outcome {
             ViewOutcome::NewTip { reorg_depth } => {
@@ -1199,12 +1285,13 @@ impl Simulation {
                     self.metrics.reorg_depth.record(reorg_depth);
                     // Any transactions this node had confirmed on the
                     // abandoned branch are reversed from its view.
-                    let new_tip = self.nodes[node as usize].view.best_tip();
+                    let new_tip = self.nodes[node as usize].view.best_dense();
                     self.node_reversals += self.count_reversed(old_tip, new_tip);
                 }
                 self.announce(node, block);
             }
-            ViewOutcome::MissingParent(parent) => {
+            ViewOutcome::MissingParent(_) => {
+                let parent = self.index.meta_at(block).prev_dense;
                 let target = source.or_else(|| self.pick_peer(node));
                 if let Some(peer) = target {
                     self.request(node, peer, parent, false);
@@ -1214,13 +1301,20 @@ impl Simulation {
         }
     }
 
-    fn announce(&mut self, from: u32, block: BlockId) {
-        let peers = self.nodes[from as usize].peers.clone();
+    fn announce(&mut self, from: u32, block: u32) {
+        // Copy the peer list into a reused scratch buffer: `edge_delay`
+        // needs `&mut self` (RNG), so we cannot iterate `peers` in place,
+        // and a fresh clone per call was a measurable share of the
+        // day-sim allocation traffic. The trickle shuffle also permutes
+        // the scratch copy, never the node's (sorted) peer list.
+        let mut scratch = std::mem::take(&mut self.announce_scratch);
+        scratch.clear();
+        scratch.extend_from_slice(&self.nodes[from as usize].peers);
         self.metrics.announce_calls += 1;
-        self.metrics.invs_scheduled += peers.len() as u64;
+        self.metrics.invs_scheduled += scratch.len() as u64;
         match self.config.relay_mode {
             RelayMode::Diffusion => {
-                for to in peers {
+                for &to in &scratch {
                     let delay = self.edge_delay(from, to);
                     self.queue
                         .schedule_in(delay, NetEvent::Inv { from, to, block });
@@ -1228,12 +1322,11 @@ impl Simulation {
             }
             RelayMode::Trickle { interval_ms } => {
                 // Staggered rounds in a random per-block peer order.
-                let mut order = peers;
-                for i in (1..order.len()).rev() {
+                for i in (1..scratch.len()).rev() {
                     let j = self.rng.random_range(0..=i);
-                    order.swap(i, j);
+                    scratch.swap(i, j);
                 }
-                for (k, to) in order.into_iter().enumerate() {
+                for (k, &to) in scratch.iter().enumerate() {
                     let jitter = self.rng.random_range(0..interval_ms.max(1));
                     let delay = self.config.min_latency_ms + (k as u64 + 1) * interval_ms + jitter;
                     self.queue
@@ -1241,12 +1334,13 @@ impl Simulation {
                 }
             }
         }
+        self.announce_scratch = scratch;
     }
 
     /// Requests a block from a peer. `lazy` requests model the node's own
     /// processing/poll delay (first-fetch of an announced tip); backfill
     /// requests during catch-up are immediate.
-    fn request(&mut self, node: u32, peer: u32, block: BlockId, lazy: bool) {
+    fn request(&mut self, node: u32, peer: u32, block: u32, lazy: bool) {
         if self.nodes[node as usize].zombie {
             return;
         }
@@ -1275,7 +1369,7 @@ impl Simulation {
         );
     }
 
-    fn handle_inv(&mut self, from: u32, to: u32, block: BlockId) {
+    fn handle_inv(&mut self, from: u32, to: u32, block: u32) {
         if self.blocked(from, to) {
             self.traffic.blocked += 1;
             return;
@@ -1286,7 +1380,7 @@ impl Simulation {
         }
         self.traffic.invs += 1;
         let receiver = &self.nodes[to as usize];
-        if !receiver.online || receiver.zombie || receiver.view.knows(&block) {
+        if !receiver.online || receiver.zombie || receiver.view.knows_dense(block) {
             return;
         }
         // Headers-first relay: announcements are forwarded immediately,
@@ -1300,7 +1394,7 @@ impl Simulation {
         self.request(to, from, block, true);
     }
 
-    fn handle_getdata(&mut self, from: u32, to: u32, block: BlockId, retries: u8) {
+    fn handle_getdata(&mut self, from: u32, to: u32, block: u32, retries: u8) {
         if self.blocked(from, to) {
             self.traffic.blocked += 1;
             return;
@@ -1314,7 +1408,7 @@ impl Simulation {
         if !holder.online {
             return;
         }
-        if !holder.view.knows(&block) {
+        if !holder.view.knows_dense(block) {
             // The holder announced the block (headers-first) but has not
             // fetched it yet; retry shortly, bounded so requests to
             // permanently blockless peers eventually give up.
@@ -1343,7 +1437,7 @@ impl Simulation {
         );
     }
 
-    fn handle_block(&mut self, from: u32, to: u32, block: BlockId, forced: bool) {
+    fn handle_block(&mut self, from: u32, to: u32, block: u32, forced: bool) {
         if !forced {
             if self.blocked(from, to) {
                 self.traffic.blocked += 1;
@@ -1625,6 +1719,36 @@ mod tests {
             s.run_for_secs(10);
         }
         assert_eq!(s.now().as_secs(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn run_for_secs_rejects_overflowing_deadlines() {
+        // Regression: `secs * 1000` used to wrap, turning an absurd
+        // horizon into a deadline in the past that silently ran nothing.
+        let mut s = sim();
+        s.run_for_secs(u64::MAX / 500);
+    }
+
+    #[test]
+    fn queue_counters_are_exported() {
+        let mut s = sim();
+        s.run_for_secs(1800);
+        let reg = bp_obs::Registry::new();
+        s.export_metrics(&reg, "net");
+        let snap = reg.snapshot();
+        let scheduled = snap.counter("net.queue.scheduled");
+        assert!(scheduled > 0);
+        // Every scheduled event took exactly one of the three paths.
+        assert_eq!(
+            scheduled,
+            snap.counter("net.queue.wheel")
+                + snap.counter("net.queue.late")
+                + snap.counter("net.queue.overflow")
+        );
+        // Mining gaps (~600 s) exceed the wheel horizon only rarely; the
+        // bulk of diffusion traffic must take the O(1) wheel path.
+        assert!(snap.counter("net.queue.wheel") > snap.counter("net.queue.overflow"));
     }
 
     #[test]

@@ -5,10 +5,16 @@
 //! Fork choice is longest-chain (uniform difficulty), first-seen on ties —
 //! the same rule as [`bp_chain::ChainStore`] without the per-node UTXO
 //! machinery.
+//!
+//! Views key their state by *dense* block index (see
+//! [`crate::index::BlockIndex`]): the known-set is a bit-per-block
+//! vector and a membership probe is one bounds-checked load, which
+//! matters because block relay consults it on every inv/getdata across
+//! ~65 M deliveries in a day-scale simulation.
 
-use crate::index::{BlockIndex, BlockMeta};
+use crate::fxhash::FxHashMap;
+use crate::index::{BlockIndex, BlockMeta, NO_BLOCK};
 use bp_chain::{BlockId, Height};
-use std::collections::{HashMap, HashSet};
 
 /// The outcome of offering a block to a node's view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,10 +35,13 @@ pub enum ViewOutcome {
 /// One node's view of the block tree.
 #[derive(Debug, Clone)]
 pub struct NodeView {
-    known: HashSet<BlockId>,
-    /// Orphans waiting on a parent, by parent id.
-    orphans: HashMap<BlockId, Vec<BlockId>>,
+    /// `known[dense]` — whether this node has accepted the block.
+    known: Vec<bool>,
+    known_count: usize,
+    /// Orphans waiting on a parent, by parent dense index.
+    orphans: FxHashMap<u32, Vec<u32>>,
     best_tip: BlockId,
+    best_dense: u32,
     best_height: Height,
     /// Timestamp (sim seconds) of the best block — BlockAware compares
     /// this with the wall clock.
@@ -42,12 +51,12 @@ pub struct NodeView {
 impl NodeView {
     /// Creates a view that knows only genesis.
     pub fn new(index: &BlockIndex) -> Self {
-        let mut known = HashSet::new();
-        known.insert(index.genesis());
         Self {
-            known,
-            orphans: HashMap::new(),
+            known: vec![true],
+            known_count: 1,
+            orphans: FxHashMap::default(),
             best_tip: index.genesis(),
+            best_dense: 0,
             best_height: Height::GENESIS,
             best_found_secs: 0,
         }
@@ -56,6 +65,11 @@ impl NodeView {
     /// The tip this node follows.
     pub fn best_tip(&self) -> BlockId {
         self.best_tip
+    }
+
+    /// Dense index of the followed tip.
+    pub fn best_dense(&self) -> u32 {
+        self.best_dense
     }
 
     /// Height of the followed tip.
@@ -68,14 +82,20 @@ impl NodeView {
         self.best_found_secs
     }
 
-    /// Whether the node knows a block.
-    pub fn knows(&self, id: &BlockId) -> bool {
-        self.known.contains(id)
+    /// Whether the node knows the block with dense index `dense`.
+    #[inline]
+    pub fn knows_dense(&self, dense: u32) -> bool {
+        self.known.get(dense as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether the node knows a block by id.
+    pub fn knows(&self, index: &BlockIndex, id: &BlockId) -> bool {
+        index.dense_of(id).is_some_and(|d| self.knows_dense(d))
     }
 
     /// Number of known blocks.
     pub fn known_count(&self) -> usize {
-        self.known.len()
+        self.known_count
     }
 
     /// How many blocks this view lags behind `network_best`.
@@ -86,32 +106,50 @@ impl NodeView {
     /// Offers a block to the view. Orphans are parked and connected
     /// automatically when the parent arrives.
     pub fn offer(&mut self, index: &BlockIndex, id: BlockId) -> ViewOutcome {
-        if self.known.contains(&id) {
-            return ViewOutcome::Duplicate;
-        }
-        let Some(meta) = index.get(&id) else {
+        let Some(dense) = index.dense_of(&id) else {
             // Unknown to the global index — cannot happen in a well-formed
             // simulation; treat as missing parent of itself.
             return ViewOutcome::MissingParent(id);
         };
-        if !self.known.contains(&meta.prev) {
-            self.orphans.entry(meta.prev).or_default().push(id);
+        self.offer_dense(index, dense)
+    }
+
+    /// [`Self::offer`] by dense index (the simulator's hot path).
+    pub fn offer_dense(&mut self, index: &BlockIndex, dense: u32) -> ViewOutcome {
+        if self.knows_dense(dense) {
+            return ViewOutcome::Duplicate;
+        }
+        let meta = *index.meta_at(dense);
+        if !self.knows_dense(meta.prev_dense) {
+            self.orphans.entry(meta.prev_dense).or_default().push(dense);
             return ViewOutcome::MissingParent(meta.prev);
         }
-        let outcome = self.accept(index, *meta);
-        self.adopt_orphans(index, id);
+        let outcome = self.accept(index, meta);
+        self.adopt_orphans(index, dense);
         outcome
     }
 
+    fn mark_known(&mut self, dense: u32) {
+        let idx = dense as usize;
+        if idx >= self.known.len() {
+            self.known.resize(idx + 1, false);
+        }
+        if !self.known[idx] {
+            self.known[idx] = true;
+            self.known_count += 1;
+        }
+    }
+
     fn accept(&mut self, index: &BlockIndex, meta: BlockMeta) -> ViewOutcome {
-        self.known.insert(meta.id);
+        self.mark_known(meta.dense);
         if meta.height > self.best_height {
-            let reorg_depth = if meta.prev == self.best_tip {
+            let reorg_depth = if meta.prev_dense == self.best_dense {
                 0
             } else {
-                self.reorg_depth(index, meta.id)
+                self.reorg_depth(index, meta.dense)
             };
             self.best_tip = meta.id;
+            self.best_dense = meta.dense;
             self.best_height = meta.height;
             self.best_found_secs = meta.found_at.as_secs();
             ViewOutcome::NewTip { reorg_depth }
@@ -122,34 +160,29 @@ impl NodeView {
 
     /// Depth of the reorg switching from the current tip to `new_tip`:
     /// the number of blocks on the old chain above the common ancestor.
-    fn reorg_depth(&self, index: &BlockIndex, new_tip: BlockId) -> u64 {
+    fn reorg_depth(&self, index: &BlockIndex, new_tip: u32) -> u64 {
         // Walk the new chain down to the first block on the old chain.
-        let old_tip = self.best_tip;
-        let mut cur = match index.get(&new_tip) {
-            Some(m) => *m,
-            None => return 0,
-        };
+        let old_tip = self.best_dense;
+        let mut cur = *index.meta_at(new_tip);
         loop {
-            if index.is_ancestor(&cur.id, &old_tip) {
+            if index.is_ancestor_dense(cur.dense, old_tip) {
                 return self.best_height.0.saturating_sub(cur.height.0);
             }
-            cur = match index.get(&cur.prev) {
-                Some(m) => *m,
-                None => return 0,
-            };
+            if cur.prev_dense == NO_BLOCK {
+                return 0;
+            }
+            cur = *index.meta_at(cur.prev_dense);
         }
     }
 
-    fn adopt_orphans(&mut self, index: &BlockIndex, parent: BlockId) {
+    fn adopt_orphans(&mut self, index: &BlockIndex, parent: u32) {
         let mut stack = vec![parent];
         while let Some(p) = stack.pop() {
             if let Some(children) = self.orphans.remove(&p) {
                 for child in children {
-                    if !self.known.contains(&child) {
-                        if let Some(meta) = index.get(&child) {
-                            self.accept(index, *meta);
-                            stack.push(child);
-                        }
+                    if !self.knows_dense(child) {
+                        self.accept(index, *index.meta_at(child));
+                        stack.push(child);
                     }
                 }
             }
@@ -178,6 +211,8 @@ mod tests {
         );
         assert_eq!(view.best_height(), Height(1));
         assert_eq!(view.best_found_secs(), 600);
+        assert!(view.knows(&idx, &b1.id));
+        assert!(view.knows_dense(b1.dense));
     }
 
     #[test]
@@ -205,6 +240,7 @@ mod tests {
             ViewOutcome::NewTip { reorg_depth: 2 }
         );
         assert_eq!(view.best_tip(), b3.id);
+        assert_eq!(view.best_dense(), b3.dense);
     }
 
     #[test]

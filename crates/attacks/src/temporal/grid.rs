@@ -17,6 +17,7 @@
 //! natural forks both occur, exactly as in Figure 7.
 
 use bp_chain::Hash256;
+use bp_obs::{TraceKind, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -198,6 +199,10 @@ pub struct GridSim {
     counterfeit_released: u64,
     /// Snapshots evaluated by sweep runs (observability only).
     sweep_snapshots: u64,
+    /// Optional flight recorder; like the sim's, emission only reads
+    /// values the grid already computed, so traced and untraced runs are
+    /// bit-identical. The time domain of grid records is the step count.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl GridSim {
@@ -254,6 +259,26 @@ impl GridSim {
             genesis,
             counterfeit_released: 0,
             sweep_snapshots: 0,
+            tracer: None,
+        }
+    }
+
+    /// Installs a flight recorder (see [`bp_obs::trace`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Removes and returns the installed flight recorder, if any.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Records one trace event at the current grid step. No-op without a
+    /// tracer.
+    #[inline]
+    fn trace(&mut self, kind: TraceKind, node: u32, a: u64, b: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(kind, self.step, node, a, b);
         }
     }
 
@@ -346,6 +371,9 @@ impl GridSim {
             if advanced {
                 self.honest_best = id;
             }
+            let mined_height = self.height_of(id) as u64;
+            let step = self.step;
+            self.trace(TraceKind::GridMine, idx as u32, mined_height, step);
             self.honest_countdown = Self::sample_interval(
                 &mut self.rng,
                 self.config.steps_per_block() / (1.0 - self.config.attacker_hash),
@@ -459,6 +487,9 @@ impl GridSim {
         let (ar, ac) = self.config.attacker_cell;
         let idx = self.cell_index(ar, ac);
         self.tips[idx] = id;
+        let counterfeit_height = self.height_of(id) as u64;
+        let step = self.step;
+        self.trace(TraceKind::GridRelease, idx as u32, counterfeit_height, step);
     }
 
     /// Heights of the best honest block and the attacker tip — exposed
@@ -540,6 +571,9 @@ impl GridSim {
                     best = snap;
                 }
             }
+            let counterfeit_cells =
+                best.counterfeit.iter().flatten().filter(|&&c| c).count() as u64;
+            self.trace(TraceKind::GridSnapshot, u32::MAX, counterfeit_cells, target);
             let mut panel = best;
             panel.step = target;
             out.push(panel);
@@ -580,6 +614,30 @@ mod tests {
         let fracs = snap.fork_fractions();
         assert_eq!(fracs.len(), 1);
         assert!((fracs[&'A'] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_grid() {
+        let mut plain = GridSim::new(GridConfig::figure7());
+        let mut traced = GridSim::new(GridConfig::figure7());
+        traced.set_tracer(Tracer::new());
+        let panels_plain = plain.figure7_run();
+        let panels_traced = traced.figure7_run();
+        assert_eq!(panels_plain, panels_traced, "tracing changed the run");
+        let records = traced.take_tracer().unwrap().into_records();
+        let snapshots = records
+            .iter()
+            .filter(|r| r.kind == TraceKind::GridSnapshot)
+            .count();
+        assert_eq!(snapshots, 3, "one snapshot record per figure-7 panel");
+        assert!(records.iter().any(|r| r.kind == TraceKind::GridMine));
+        let releases = records
+            .iter()
+            .filter(|r| r.kind == TraceKind::GridRelease)
+            .count() as u64;
+        assert_eq!(releases, traced.counterfeit_released);
+        // Step times never decrease along the stream.
+        assert!(records.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

@@ -193,22 +193,41 @@ impl TemporalModel {
         p: f64,
         reg: Option<&bp_obs::Registry>,
     ) -> Vec<(f64, Vec<Option<u64>>)> {
+        Self::table_vi_instrumented(lambdas, node_counts, p, reg, None)
+    }
+
+    /// [`table_vi_metered`](Self::table_vi_metered), additionally emitting
+    /// one `model_bisect` trace record per sweep cell into `tracer` when
+    /// given (time = cell ordinal, node = λ row index, `a` = target node
+    /// count, `b` = bisection steps). The table itself is identical with
+    /// or without instrumentation.
+    pub fn table_vi_instrumented(
+        lambdas: &[f64],
+        node_counts: &[u64],
+        p: f64,
+        reg: Option<&bp_obs::Registry>,
+        mut tracer: Option<&mut bp_obs::Tracer>,
+    ) -> Vec<(f64, Vec<Option<u64>>)> {
         let mut cells = 0u64;
         let mut bisection_steps = 0u64;
         let table = lambdas
             .iter()
-            .map(|&lambda| {
+            .enumerate()
+            .map(|(row, &lambda)| {
                 let model = TemporalModel::new(lambda);
-                let row = node_counts
+                let row_values = node_counts
                     .iter()
                     .map(|&m| {
                         let (t, steps) = model.min_time_to_isolate_counted(m, p, 1_000_000);
+                        if let Some(tr) = tracer.as_deref_mut() {
+                            tr.record(bp_obs::TraceKind::ModelBisect, cells, row as u32, m, steps);
+                        }
                         cells += 1;
                         bisection_steps += steps;
                         t
                     })
                     .collect();
-                (lambda, row)
+                (lambda, row_values)
             })
             .collect();
         if let Some(reg) = reg {

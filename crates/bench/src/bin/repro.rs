@@ -15,10 +15,13 @@
 //! `--metrics DIR` writes the deterministic `metrics.json` /
 //! `metrics.csv` plus the wall-time `BENCH_pipeline.json` to `DIR`
 //! without changing any artifact output (see `EXPERIMENTS.md`).
+//! `--trace DIR` additionally records the deterministic flight-recorder
+//! trace (`trace.bin` / `trace.jsonl`) — byte-identical for any
+//! `--jobs N`, inspectable with the `trace` binary.
 
-use bp_bench::cli::parse_args;
-use bp_bench::pipeline::default_jobs;
-use bp_bench::{bench_json, generate_with_metrics, generate_with_report, ARTIFACT_IDS};
+use bp_bench::cli::{parse_args, usage};
+use bp_bench::pipeline::{default_jobs, TraceHub};
+use bp_bench::{bench_json, generate_instrumented, ARTIFACT_IDS};
 use std::path::PathBuf;
 
 fn main() {
@@ -47,10 +50,9 @@ fn main() {
         opts.ids, config.scale, config.day_hours
     );
     let registry = opts.metrics.as_ref().map(|_| btcpart::obs::Registry::new());
-    let (artifacts, report) = match &registry {
-        Some(reg) => generate_with_metrics(&config, &opts.ids, jobs, reg),
-        None => generate_with_report(&config, &opts.ids, jobs),
-    };
+    let hub = opts.trace.as_ref().map(|_| TraceHub::new());
+    let (artifacts, report) =
+        generate_instrumented(&config, &opts.ids, jobs, registry.as_ref(), hub.as_ref());
 
     let out_dir = PathBuf::from(&opts.out_dir);
     std::fs::create_dir_all(&out_dir).expect("create output directory");
@@ -67,6 +69,35 @@ fn main() {
         let path = out_dir.join("timings.csv");
         std::fs::write(&path, report.timings_csv()).expect("write timings.csv");
         eprintln!("# wrote {}", path.display());
+    }
+    if let (Some(dir), Some(hub)) = (&opts.trace, &hub) {
+        let trace_dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&trace_dir).expect("create trace directory");
+        let merged = hub.merged();
+        let records = merged.records();
+        let bin = btcpart::obs::trace::encode_records(&records);
+        // Trace counters land in the registry before the metrics
+        // snapshot below, so `repro --metrics M --trace T` exports them.
+        if let Some(reg) = &registry {
+            hub.export_metrics(reg);
+            reg.add(
+                "trace.events_recorded",
+                records.len() as u64 + merged.dropped(),
+            );
+            reg.add("trace.bytes_written", bin.len() as u64);
+            reg.add("trace.ring_drops", merged.dropped());
+        }
+        for (name, contents) in [
+            ("trace.bin", bin),
+            (
+                "trace.jsonl",
+                btcpart::obs::trace::render_jsonl(&records).into_bytes(),
+            ),
+        ] {
+            let path = trace_dir.join(name);
+            std::fs::write(&path, contents).expect("write trace export");
+            eprintln!("# wrote {}", path.display());
+        }
     }
     if let (Some(dir), Some(reg)) = (&opts.metrics, &registry) {
         let metrics_dir = PathBuf::from(dir);
@@ -96,18 +127,7 @@ fn main() {
 }
 
 fn print_help() {
-    println!(
-        "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [--quick] [--scale F] [--hours H] [--seed S]\n\
-         \x20             [--jobs N] [--timings] [--metrics DIR] [--out DIR] [IDS…]\n\n\
-         --quick        5% scale preset; later or earlier per-field flags override it\n\
-         --jobs N       worker threads (default: one per core; output is identical)\n\
-         --timings      print per-job wall times and write timings.csv to --out\n\
-         --metrics DIR  write metrics.json, metrics.csv and BENCH_pipeline.json\n\
-         \x20              to DIR (artifact output is unchanged)\n\n\
-         artifacts: {}",
-        ARTIFACT_IDS.join(", ")
-    );
+    println!("{}", usage());
 }
 
 fn die(msg: &str) -> ! {

@@ -1,0 +1,31 @@
+//! `trace` — inspect flight-recorder traces written by `repro --trace`.
+//!
+//! ```sh
+//! trace summary out/trace.bin
+//! trace filter out/trace.bin --kind reorg_begin
+//! trace diff serial/trace.bin parallel/trace.bin
+//! trace timeline out/trace.bin --check out/fig6_day.csv
+//! ```
+//!
+//! All logic lives in [`bp_bench::trace_cli`]; this binary only maps the
+//! outcome onto stdout/stderr and the process exit code (0 = success,
+//! 1 = compared inputs differ, 2 = usage or I/O error).
+
+use bp_bench::trace_cli::run;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            if !outcome.output.ends_with('\n') && !outcome.output.is_empty() {
+                println!();
+            }
+            std::process::exit(outcome.code);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

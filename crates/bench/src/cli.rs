@@ -25,6 +25,9 @@ pub struct CliOptions {
     /// Directory for `metrics.json` / `metrics.csv` /
     /// `BENCH_pipeline.json`; `None` disables metrics collection.
     pub metrics: Option<String>,
+    /// Directory for the flight-recorder exports `trace.bin` /
+    /// `trace.jsonl`; `None` disables trace recording.
+    pub trace: Option<String>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -50,6 +53,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut jobs = None;
     let mut timings = false;
     let mut metrics = None;
+    let mut trace = None;
     let mut help = false;
 
     // Phase 2: per-field overrides, applied in the order given.
@@ -82,6 +86,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--timings" => timings = true,
             "--metrics" => metrics = Some(parse_value(arg, iter.next())?),
+            "--trace" => trace = Some(parse_value(arg, iter.next())?),
             "--out" => out_dir = parse_value(arg, iter.next())?,
             "--help" | "-h" => help = true,
             other if other.starts_with("--") => {
@@ -98,8 +103,48 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         jobs,
         timings,
         metrics,
+        trace,
         help,
     })
+}
+
+/// Every flag `repro` understands, in display order. [`usage`] lists all
+/// of them; a test pins the two in sync with the parser.
+pub const FLAGS: [&str; 10] = [
+    "--quick",
+    "--scale",
+    "--seed",
+    "--hours",
+    "--jobs",
+    "--timings",
+    "--metrics",
+    "--trace",
+    "--out",
+    "--help",
+];
+
+/// The `repro --help` text.
+pub fn usage() -> String {
+    format!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro [--quick] [--scale F] [--seed S] [--hours H] [--jobs N]\n\
+         \x20             [--timings] [--metrics DIR] [--trace DIR] [--out DIR] [IDS…]\n\n\
+         --quick        5% scale preset; later or earlier per-field flags override it\n\
+         --scale F      population scale in (0, 1] (1.0 = the paper's 13,635 nodes)\n\
+         --seed S       snapshot / simulation seed\n\
+         --hours H      one-day crawl hours (the general crawl gets 2×H)\n\
+         --jobs N       worker threads (default: one per core; output is identical)\n\
+         --timings      print per-job wall times and write timings.csv to --out\n\
+         --metrics DIR  write metrics.json, metrics.csv and BENCH_pipeline.json\n\
+         \x20              to DIR (artifact output is unchanged)\n\
+         --trace DIR    write the deterministic flight-recorder trace.bin and\n\
+         \x20              trace.jsonl to DIR (artifact output is unchanged;\n\
+         \x20              inspect with the `trace` binary)\n\
+         --out DIR      CSV export directory (default repro_out/)\n\
+         --help         this text\n\n\
+         artifacts: {}",
+        crate::ARTIFACT_IDS.join(", ")
+    )
 }
 
 #[cfg(test)]
@@ -165,6 +210,46 @@ mod tests {
         assert!(parse_args(&argv(&["--metrics"])).is_err());
         // Default: off.
         assert_eq!(parse_args(&argv(&["all"])).unwrap().metrics, None);
+    }
+
+    #[test]
+    fn trace_flag_mirrors_metrics() {
+        let opts = parse_args(&argv(&["--quick", "--trace", "tdir", "all"])).unwrap();
+        assert_eq!(opts.trace.as_deref(), Some("tdir"));
+        // A bare --trace is an error, exactly like a bare --metrics.
+        assert!(parse_args(&argv(&["--trace"])).is_err());
+        // Default: off.
+        assert_eq!(parse_args(&argv(&["all"])).unwrap().trace, None);
+        // Order-insensitive with the preset, like every other flag.
+        let a = parse_args(&argv(&["--trace", "tdir", "--quick", "all"])).unwrap();
+        let b = parse_args(&argv(&["--quick", "--trace", "tdir", "all"])).unwrap();
+        assert_eq!(a, b);
+        // --trace and --metrics compose.
+        let both = parse_args(&argv(&["--metrics", "m", "--trace", "t", "all"])).unwrap();
+        assert_eq!(both.metrics.as_deref(), Some("m"));
+        assert_eq!(both.trace.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let text = usage();
+        for flag in FLAGS {
+            assert!(text.contains(flag), "usage text is missing {flag}");
+        }
+        // And every flag the usage advertises actually parses (with a
+        // dummy value where one is required).
+        for flag in FLAGS {
+            let args = match flag {
+                "--scale" => argv(&[flag, "0.5"]),
+                "--seed" | "--hours" | "--jobs" => argv(&[flag, "1"]),
+                "--metrics" | "--trace" | "--out" => argv(&[flag, "dir"]),
+                _ => argv(&[flag]),
+            };
+            assert!(
+                parse_args(&args).is_ok(),
+                "usage advertises {flag} but it fails to parse"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 pub mod cli;
 pub mod pipeline;
+pub mod trace_cli;
 
 use btcpart::crawler::CrawlResult;
 use btcpart::experiments::{temporal, Artifact};
@@ -80,7 +81,25 @@ pub fn day_crawl_metered(
     config: &ReproConfig,
     reg: Option<&bp_obs::Registry>,
 ) -> (CrawlResult, Lab) {
+    day_crawl_instrumented(config, reg, false)
+}
+
+/// [`day_crawl_metered`], optionally installing a flight recorder into
+/// the simulation before it runs (`repro --trace`). The tracer stays
+/// inside the returned lab's simulation — callers lift it out with
+/// `lab.sim.take_tracer()`. It is installed before the warmup so the
+/// trace carries every block accept, which is what lets `trace timeline`
+/// rebuild the crawler's lag series from the trace alone. The crawl
+/// result is identical with or without tracing.
+pub fn day_crawl_instrumented(
+    config: &ReproConfig,
+    reg: Option<&bp_obs::Registry>,
+    trace: bool,
+) -> (CrawlResult, Lab) {
     let mut lab = measurement_lab(config);
+    if trace {
+        lab.sim.set_tracer(bp_obs::Tracer::new());
+    }
     let crawl = temporal::run_crawl_metered(
         &mut lab.sim,
         &lab.snapshot,
@@ -170,6 +189,19 @@ pub fn generate_with_metrics(
     pipeline::run_pipeline_metered(config, ids, jobs, Some(reg))
 }
 
+/// The full instrumented entry point behind `repro`: optional metrics
+/// registry, optional flight-recorder hub. Artifacts are byte-identical
+/// for any combination — see [`pipeline::run_pipeline_traced`].
+pub fn generate_instrumented(
+    config: &ReproConfig,
+    ids: &[String],
+    jobs: usize,
+    reg: Option<&bp_obs::Registry>,
+    trace: Option<&pipeline::TraceHub>,
+) -> (Vec<Artifact>, RunReport) {
+    pipeline::run_pipeline_traced(config, ids, jobs, reg, trace)
+}
+
 /// Renders the `BENCH_pipeline.json` benchmark record: the run profile,
 /// per-stage wall times from the [`RunReport`], and the key simulation
 /// counters from the metrics snapshot. Wall times vary run to run; the
@@ -221,7 +253,7 @@ pub fn bench_json(
     let counters: Vec<_> = snapshot.counters().collect();
     for (i, (name, value)) in counters.iter().enumerate() {
         let sep = if i == 0 { "\n" } else { ",\n" };
-        let _ = write!(out, "{sep}    \"{name}\": {value}");
+        let _ = write!(out, "{sep}    \"{}\": {value}", bp_obs::json_escape(name));
     }
     out.push_str(if counters.is_empty() {
         "},\n"
@@ -232,7 +264,7 @@ pub fn bench_json(
     let gauges: Vec<_> = snapshot.gauges().collect();
     for (i, (name, value)) in gauges.iter().enumerate() {
         let sep = if i == 0 { "\n" } else { ",\n" };
-        let _ = write!(out, "{sep}    \"{name}\": {value}");
+        let _ = write!(out, "{sep}    \"{}\": {value}", bp_obs::json_escape(name));
     }
     out.push_str(if gauges.is_empty() { "}\n" } else { "\n  }\n" });
     out.push_str("}\n");

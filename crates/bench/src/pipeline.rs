@@ -16,7 +16,8 @@
 //! `timings.csv`, and that the Criterion benches reuse to track
 //! per-artifact cost over time.
 
-use crate::{day_crawl_metered, general_crawl_metered, measurement_lab, ReproConfig};
+use crate::{day_crawl_instrumented, general_crawl_metered, measurement_lab, ReproConfig};
+use bp_obs::Tracer;
 use btcpart::attacks::temporal::TemporalAttackConfig;
 use btcpart::crawler::CrawlResult;
 use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
@@ -113,6 +114,74 @@ impl SharedInputs {
             .get()
             .expect("job requires the general crawl input")
             .0
+    }
+}
+
+/// Collects the per-component flight-recorder streams of one traced run
+/// (`repro --trace`).
+///
+/// Each traced component — the day-crawl simulation, the Figure 7 grid
+/// simulation and the Table VI model sweep — records into its own
+/// [`Tracer`] on whatever thread its job happens to run, then deposits
+/// the finished stream here. [`merged`](Self::merged) concatenates the
+/// streams in a fixed order (day, grid, model), so the merged trace is
+/// byte-identical for any `--jobs N`: scheduling decides *when* each
+/// stream is deposited, never what it contains or where it lands.
+#[derive(Debug, Default)]
+pub struct TraceHub {
+    day: Mutex<Option<Tracer>>,
+    grid: Mutex<Option<Tracer>>,
+    model: Mutex<Option<Tracer>>,
+}
+
+impl TraceHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits the day-crawl simulation's stream.
+    pub fn set_day(&self, tracer: Tracer) {
+        *self.day.lock().unwrap() = Some(tracer);
+    }
+
+    /// Deposits the grid simulation's stream.
+    pub fn set_grid(&self, tracer: Tracer) {
+        *self.grid.lock().unwrap() = Some(tracer);
+    }
+
+    /// Deposits the model sweep's stream.
+    pub fn set_model(&self, tracer: Tracer) {
+        *self.model.lock().unwrap() = Some(tracer);
+    }
+
+    /// The merged trace: day, then grid, then model — always in that
+    /// order, regardless of which job finished first. Streams that were
+    /// never deposited (their jobs were not selected) contribute nothing.
+    /// The hub keeps its streams, so merging is repeatable.
+    pub fn merged(&self) -> Tracer {
+        let mut out = Tracer::new();
+        for stream in [&self.day, &self.grid, &self.model] {
+            if let Some(t) = stream.lock().unwrap().as_ref() {
+                out.append(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Exports per-stream `trace.day.*` / `trace.grid.*` / `trace.model.*`
+    /// counters into `reg`. Counts are deterministic for a given config,
+    /// so metrics stay byte-identical across worker counts.
+    pub fn export_metrics(&self, reg: &bp_obs::Registry) {
+        for (prefix, stream) in [
+            ("trace.day", &self.day),
+            ("trace.grid", &self.grid),
+            ("trace.model", &self.model),
+        ] {
+            if let Some(t) = stream.lock().unwrap().as_ref() {
+                t.export_metrics(reg, prefix);
+            }
+        }
     }
 }
 
@@ -216,6 +285,10 @@ pub struct JobCtx<'a> {
     /// internal work record into it; `None` costs nothing. Recording
     /// never changes artifact output — see the `bp-obs` crate docs.
     pub metrics: Option<&'a bp_obs::Registry>,
+    /// Optional flight-recorder hub (`repro --trace`). Traced jobs
+    /// deposit their event streams here; `None` records nothing.
+    /// Recording never changes artifact output either.
+    pub trace: Option<&'a TraceHub>,
 }
 
 /// One artifact job: a stable id (matching [`ARTIFACT_IDS`](crate::ARTIFACT_IDS)), its
@@ -267,10 +340,26 @@ fn job_table5(ctx: &JobCtx) -> Vec<Artifact> {
     vec![temporal::table5(ctx.shared.day().0, 60)]
 }
 fn job_table6(ctx: &JobCtx) -> Vec<Artifact> {
-    vec![temporal::table6_metered(ctx.metrics)]
+    match ctx.trace {
+        Some(hub) => {
+            let mut tracer = Tracer::new();
+            let artifact = temporal::table6_instrumented(ctx.metrics, Some(&mut tracer));
+            hub.set_model(tracer);
+            vec![artifact]
+        }
+        None => vec![temporal::table6_metered(ctx.metrics)],
+    }
 }
 fn job_fig7(ctx: &JobCtx) -> Vec<Artifact> {
-    vec![temporal::fig7_metered(ctx.metrics)]
+    match ctx.trace {
+        Some(hub) => {
+            let mut tracer = Tracer::new();
+            let artifact = temporal::fig7_instrumented(ctx.metrics, Some(&mut tracer));
+            hub.set_grid(tracer);
+            vec![artifact]
+        }
+        None => vec![temporal::fig7_metered(ctx.metrics)],
+    }
 }
 fn job_table7(ctx: &JobCtx) -> Vec<Artifact> {
     let (crawl, lab) = ctx.shared.day();
@@ -626,7 +715,7 @@ pub fn build_shared_inputs_metered(
     reg: Option<&bp_obs::Registry>,
 ) -> (SharedInputs, Vec<StageTiming>) {
     let shared = SharedInputs::default();
-    let timings = build_shared_barrier(&shared, config, needs, workers, reg);
+    let timings = build_shared_barrier(&shared, config, needs, workers, reg, None);
     (shared, timings)
 }
 
@@ -645,6 +734,7 @@ fn shared_builders<'b>(
     config: &ReproConfig,
     needs: Needs,
     reg: Option<&'b bp_obs::Registry>,
+    trace_day: bool,
 ) -> Vec<(&'static str, SharedBuilder<'b>)> {
     let mut builders: Vec<(&'static str, SharedBuilder<'b>)> = Vec::new();
     if needs.static_env {
@@ -660,7 +750,7 @@ fn shared_builders<'b>(
         let c = *config;
         builders.push((
             "day_crawl",
-            Box::new(move || SharedPart::Day(day_crawl_metered(&c, reg))),
+            Box::new(move || SharedPart::Day(day_crawl_instrumented(&c, reg, trace_day))),
         ));
     }
     if needs.general {
@@ -676,12 +766,24 @@ fn shared_builders<'b>(
 /// Stores a finished shared part into `shared`, exporting the crawl
 /// simulation's counters first when a registry is given (counter keys
 /// are prefix-disjoint, so export order cannot affect the snapshot).
-fn publish_part(shared: &SharedInputs, part: SharedPart, reg: Option<&bp_obs::Registry>) {
+/// A traced day crawl's flight recorder is lifted out of the simulation
+/// into `hub` here, before any job can see the shared input.
+fn publish_part(
+    shared: &SharedInputs,
+    part: SharedPart,
+    reg: Option<&bp_obs::Registry>,
+    hub: Option<&TraceHub>,
+) {
     match part {
         SharedPart::Static(v) => shared.set_static_env(v),
-        SharedPart::Day(v) => {
+        SharedPart::Day(mut v) => {
             if let Some(reg) = reg {
                 v.1.sim.export_metrics(reg, "net.day");
+            }
+            if let Some(hub) = hub {
+                if let Some(tracer) = v.1.sim.take_tracer() {
+                    hub.set_day(tracer);
+                }
             }
             shared.set_day(v);
         }
@@ -704,8 +806,9 @@ fn build_shared_barrier(
     needs: Needs,
     workers: usize,
     reg: Option<&bp_obs::Registry>,
+    hub: Option<&TraceHub>,
 ) -> Vec<StageTiming> {
-    let builders = shared_builders(config, needs, reg);
+    let builders = shared_builders(config, needs, reg, hub.is_some());
     let timed = |id: &str, f: &SharedBuilder| -> (SharedPart, StageTiming) {
         let start = Instant::now();
         let part = f();
@@ -735,7 +838,7 @@ fn build_shared_barrier(
 
     let mut timings = Vec::new();
     for (part, timing) in results {
-        publish_part(shared, part, reg);
+        publish_part(shared, part, reg, hub);
         if let Some(reg) = reg {
             reg.record_span(&format!("pipeline.shared.{}", timing.id), timing.wall);
         }
@@ -753,6 +856,7 @@ pub fn run_job(config: &ReproConfig, id: &str, shared: &SharedInputs) -> Option<
         config,
         shared,
         metrics: None,
+        trace: None,
     };
     Some((job.run)(&ctx))
 }
@@ -790,6 +894,22 @@ pub fn run_pipeline_metered(
     workers: usize,
     reg: Option<&bp_obs::Registry>,
 ) -> (Vec<Artifact>, RunReport) {
+    run_pipeline_traced(config, ids, workers, reg, None)
+}
+
+/// [`run_pipeline_metered`], additionally recording a deterministic event
+/// trace into `hub` when given (`repro --trace`). The traced components
+/// each record into their own single-threaded [`Tracer`]; the hub merges
+/// the streams in a fixed order, so [`TraceHub::merged`] is byte-identical
+/// for any worker count, and artifacts/metrics are byte-identical with or
+/// without a hub.
+pub fn run_pipeline_traced(
+    config: &ReproConfig,
+    ids: &[String],
+    workers: usize,
+    reg: Option<&bp_obs::Registry>,
+    hub: Option<&TraceHub>,
+) -> (Vec<Artifact>, RunReport) {
     let start = Instant::now();
     let selected = selected_jobs(ids);
     let needs = selected.iter().fold(Needs::default(), |acc, job| Needs {
@@ -813,6 +933,7 @@ pub fn run_pipeline_metered(
             config,
             shared: &shared,
             metrics: reg,
+            trace: hub,
         };
         let job_start = Instant::now();
         let artifacts = (job.run)(&ctx);
@@ -828,7 +949,7 @@ pub fn run_pipeline_metered(
         // presentation order. Nothing overlaps. (The builds themselves
         // may still parallelize when `workers > 1` but only one job
         // was selected.)
-        let timings = build_shared_barrier(&shared, config, needs, workers, reg);
+        let timings = build_shared_barrier(&shared, config, needs, workers, reg, hub);
         for i in 0..n {
             run_one(i);
         }
@@ -836,7 +957,7 @@ pub fn run_pipeline_metered(
     } else {
         // Overlapped: shared inputs build on their own threads while
         // the job workers already chew through whatever is ready.
-        let builders = shared_builders(config, needs, reg);
+        let builders = shared_builders(config, needs, reg, hub.is_some());
         let gate = ReadyGate::new(Needs {
             static_env: !needs.static_env,
             day: !needs.day,
@@ -863,7 +984,7 @@ pub fn run_pipeline_metered(
                     let build_start = Instant::now();
                     let part = build();
                     let wall = build_start.elapsed();
-                    publish_part(shared, part, reg);
+                    publish_part(shared, part, reg, hub);
                     gate.publish(shared);
                     if let Some(reg) = reg {
                         reg.record_span(&format!("pipeline.shared.{id}"), wall);
@@ -1042,6 +1163,44 @@ mod tests {
         // Header + shared static + 2 jobs.
         assert_eq!(csv.lines().count(), 4);
         assert!(report.render().contains("threads: 2"));
+    }
+
+    #[test]
+    fn traced_run_is_deterministic_and_output_invariant() {
+        let config = ReproConfig {
+            scale: 0.02,
+            day_hours: 1,
+            general_hours: 1,
+            ..ReproConfig::quick()
+        };
+        // One job per traced stream: day crawl, grid sim, model sweep.
+        let ids = ["fig6_day", "table6", "fig7"].map(String::from).to_vec();
+        let (plain, _) = run_pipeline(&config, &ids, 2);
+
+        let hub1 = TraceHub::new();
+        let (serial, _) = run_pipeline_traced(&config, &ids, 1, None, Some(&hub1));
+        let hub4 = TraceHub::new();
+        let (overlapped, _) = run_pipeline_traced(&config, &ids, 4, None, Some(&hub4));
+
+        // Tracing must not change any artifact, and worker count must not
+        // change the trace.
+        for (a, b) in plain.iter().zip(serial.iter()) {
+            assert_eq!(a.body, b.body, "tracing changed {}", a.id);
+            assert_eq!(a.csv, b.csv, "tracing changed csv of {}", a.id);
+        }
+        let r1 = hub1.merged().into_records();
+        let r4 = hub4.merged().into_records();
+        assert!(!r1.is_empty());
+        assert_eq!(
+            bp_obs::trace::first_divergence(&r1, &r4),
+            None,
+            "trace diverges across worker counts"
+        );
+        for (a, b) in serial.iter().zip(overlapped.iter()) {
+            assert_eq!(a.body, b.body);
+        }
+        // merged() is repeatable (the hub keeps its streams).
+        assert_eq!(hub1.merged().len(), r1.len());
     }
 
     #[test]

@@ -151,7 +151,18 @@ pub fn table6() -> Artifact {
 /// [`table6`], recording model evaluation counts (`temporal.model.cells`,
 /// `temporal.model.bisection_steps`) into `reg` when given.
 pub fn table6_metered(reg: Option<&bp_obs::Registry>) -> Artifact {
-    let grid = TemporalModel::table_vi_metered(&TABLE6_LAMBDAS, &TABLE6_TARGETS, 0.8, reg);
+    table6_instrumented(reg, None)
+}
+
+/// [`table6_metered`], additionally emitting one `model_bisect` trace
+/// record per sweep cell into `tracer` when given. The rendered table is
+/// identical with or without instrumentation.
+pub fn table6_instrumented(
+    reg: Option<&bp_obs::Registry>,
+    tracer: Option<&mut bp_obs::Tracer>,
+) -> Artifact {
+    let grid =
+        TemporalModel::table_vi_instrumented(&TABLE6_LAMBDAS, &TABLE6_TARGETS, 0.8, reg, tracer);
     let mut headers = vec!["λ \\ m".to_string()];
     headers.extend(TABLE6_TARGETS.iter().map(|m| m.to_string()));
     let mut t = TextTable::new(headers);
@@ -221,10 +232,27 @@ pub fn fig7() -> Artifact {
 /// [`fig7`], exporting grid-sim counters under `temporal.grid.*` when
 /// `reg` is given.
 pub fn fig7_metered(reg: Option<&bp_obs::Registry>) -> Artifact {
+    fig7_instrumented(reg, None)
+}
+
+/// [`fig7_metered`], additionally recording the grid simulation's mine /
+/// release / snapshot events into `tracer` when given (the records are
+/// appended to the caller's tracer after the run). The rendered panels
+/// are identical with or without instrumentation.
+pub fn fig7_instrumented(
+    reg: Option<&bp_obs::Registry>,
+    tracer: Option<&mut bp_obs::Tracer>,
+) -> Artifact {
     let mut grid_sim = GridSim::new(GridConfig::figure7());
+    if tracer.is_some() {
+        grid_sim.set_tracer(bp_obs::Tracer::new());
+    }
     let snapshots = grid_sim.figure7_run();
     if let Some(reg) = reg {
         grid_sim.export_metrics(reg, "temporal.grid");
+    }
+    if let (Some(out), Some(recorded)) = (tracer, grid_sim.take_tracer()) {
+        out.append(recorded);
     }
     let mut body = String::new();
     for snap in &snapshots {
@@ -308,5 +336,20 @@ mod tests {
         let a = fig7();
         assert_eq!(a.body.matches("grid at step").count(), 3);
         assert!(a.body.contains("counterfeit share"));
+    }
+
+    #[test]
+    fn instrumented_variants_match_plain_artifacts() {
+        let mut tracer = bp_obs::Tracer::new();
+        let fig7_traced = fig7_instrumented(None, Some(&mut tracer));
+        assert_eq!(fig7_traced.body, fig7().body);
+        let grid_records = tracer.len();
+        assert!(grid_records > 0, "grid run emitted no trace records");
+
+        let table6_traced = table6_instrumented(None, Some(&mut tracer));
+        assert_eq!(table6_traced.body, table6().body);
+        let model_records = tracer.len() - grid_records;
+        // One bisect record per sweep cell.
+        assert_eq!(model_records, TABLE6_LAMBDAS.len() * TABLE6_TARGETS.len());
     }
 }

@@ -105,6 +105,11 @@ impl Crawler {
             sim.lags_into(&mut lags);
             series.push(LagSample::from_lags(sim.now(), &lags));
             matrix.push_row(&lags);
+            // Flight-recorder sample tick (no-op unless the sim carries a
+            // tracer): synced count plus network best, enough to rebuild
+            // this sample from the trace alone.
+            let synced_total = lags.iter().filter(|&&l| l == 0).count() as u64;
+            sim.trace_crawl_sample(synced_total);
 
             counts.fill(0);
             for (i, &lag) in lags.iter().enumerate() {

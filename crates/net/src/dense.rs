@@ -161,6 +161,70 @@ mod tests {
     }
 
     #[test]
+    fn retain_counts_exactly_once_per_removed_key() {
+        let mut s = DenseSet::new();
+        // Empty set: nothing to remove, len stays consistent.
+        assert_eq!(s.retain(|_| false), 0);
+        assert_eq!(s.len(), 0);
+        // Keys removed via `remove` must not be counted again by retain.
+        for k in [1, 3, 5, 7] {
+            s.insert(k);
+        }
+        assert!(s.remove(3));
+        assert_eq!(s.retain(|_| false), 3, "3 was already removed");
+        assert!(s.is_empty());
+        // Keep-all retain removes nothing.
+        for k in [2, 4] {
+            s.insert(k);
+        }
+        assert_eq!(s.retain(|_| true), 0);
+        assert_eq!(s.len(), 2);
+        // Stale stamps from earlier generations are not retain candidates.
+        s.clear();
+        s.insert(9);
+        assert_eq!(s.retain(|_| false), 1, "only the live key counts");
+        assert_eq!(s.len(), 0);
+        // Insert still works after a destructive retain.
+        assert!(s.insert(4));
+        assert!(s.contains(4));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps_without_aliasing() {
+        let mut s = DenseSet::new();
+        // A key inserted in generation 1 leaves stamp 1 behind.
+        s.insert(3);
+        s.clear();
+        // Force the set to the last generation and fill it.
+        s.gen = u32::MAX;
+        assert!(
+            !s.contains(3),
+            "generation-1 stamp visible at generation MAX"
+        );
+        s.insert(7);
+        assert!(s.contains(7));
+        assert_eq!(s.len(), 1);
+        // Wrapping clear: gen returns to 1, which would alias the old
+        // stamp 1 on key 3 unless the stamps were wiped.
+        s.clear();
+        assert_eq!(s.gen, 1, "generation must wrap to 1");
+        assert!(s.stamps.is_empty(), "stamps must be wiped on wrap");
+        assert!(s.is_empty());
+        assert!(!s.contains(3), "pre-wrap stamp aliased after wrap");
+        assert!(!s.contains(7));
+        // The set is fully usable after the wrap.
+        assert!(s.insert(3));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+        // And a post-wrap clear behaves like a normal bump again.
+        s.clear();
+        assert_eq!(s.gen, 2);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
     fn matches_hashset_under_random_ops() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};

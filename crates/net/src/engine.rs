@@ -214,6 +214,14 @@ const SLOT_SHIFT: u64 = 7;
 /// exponential mining gaps) take the overflow path.
 const SLOT_COUNT: u64 = 8192;
 
+/// Width of one wheel slot in milliseconds (public so boundary tests can
+/// aim events exactly at slot edges).
+pub const WHEEL_SLOT_MS: u64 = 1 << SLOT_SHIFT;
+/// Span of the whole wheel in milliseconds: events scheduled at
+/// `now + WHEEL_SPAN_MS` or later (relative to the current slot's start)
+/// take the overflow path; nearer future events land in the wheel.
+pub const WHEEL_SPAN_MS: u64 = SLOT_COUNT << SLOT_SHIFT;
+
 fn slot_of(t: SimTime) -> u64 {
     t.0 >> SLOT_SHIFT
 }
@@ -486,6 +494,44 @@ mod tests {
         q.pop();
         q.schedule_in(25, ());
         assert_eq!(q.peek_time(), Some(SimTime(125)));
+    }
+
+    #[test]
+    fn horizon_boundary_classification_is_exact() {
+        // At t=0 (current slot 0): exactly the wheel span goes to
+        // overflow, one millisecond inside stays in the wheel, and the
+        // current slot (even future times within it) takes the late heap.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(WHEEL_SPAN_MS), "horizon");
+        assert_eq!(q.stats().overflow, 1);
+        q.schedule(SimTime(WHEEL_SPAN_MS - 1), "inside");
+        assert_eq!(q.stats().wheel, 1);
+        q.schedule(SimTime(WHEEL_SLOT_MS - 1), "same-slot");
+        assert_eq!(q.stats().late, 1);
+        q.schedule(SimTime(WHEEL_SLOT_MS), "next-slot");
+        assert_eq!(q.stats().wheel, 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["same-slot", "next-slot", "inside", "horizon"]);
+        assert_eq!(q.stats().cascaded, 1, "the horizon event cascaded back");
+    }
+
+    #[test]
+    fn horizon_is_anchored_to_the_popped_slot() {
+        // The wheel horizon advances with `cur_slot` (the slot of the
+        // last popped wheel event), not with `now`: after popping into
+        // slot 10, the first overflow time is that slot's start plus the
+        // wheel span, even if `now` sits mid-slot.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10 * WHEEL_SLOT_MS + 100), "positioner");
+        assert_eq!(q.pop().unwrap().1, "positioner");
+        let slot_start = 10 * WHEEL_SLOT_MS;
+        q.schedule(SimTime(slot_start + WHEEL_SPAN_MS), "first-overflow");
+        assert_eq!(q.stats().overflow, 1);
+        q.schedule(SimTime(slot_start + WHEEL_SPAN_MS - 1), "last-wheel");
+        assert_eq!(q.stats().wheel, 2, "positioner plus last-wheel");
+        assert_eq!(q.pop().unwrap().1, "last-wheel");
+        assert_eq!(q.pop().unwrap().1, "first-overflow");
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod sim;
 pub mod view;
 
 pub use dense::DenseSet;
-pub use engine::{EventQueue, HeapQueue, QueueStats, SimTime};
+pub use engine::{EventQueue, HeapQueue, QueueStats, SimTime, WHEEL_SLOT_MS, WHEEL_SPAN_MS};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{BlockIndex, BlockMeta};
 pub use sim::{ForkStats, NetConfig, RelayMode, Simulation, TrafficStats, ADVERSARY_PRODUCER};

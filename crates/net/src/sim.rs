@@ -30,6 +30,7 @@ use crate::view::{NodeView, ViewOutcome};
 use bp_analysis::dist::Exponential;
 use bp_chain::{BlockId, Height};
 use bp_mining::{ArrivalProcess, PoolCensus};
+use bp_obs::{TraceKind, Tracer};
 use bp_topology::{NodeId, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -427,6 +428,10 @@ pub struct Simulation {
     next_txid: u64,
     /// Hot-path observability counters (always on; exported on demand).
     metrics: SimMetrics,
+    /// Optional flight recorder (see [`bp_obs::trace`]). `None` by
+    /// default; installing one never perturbs simulation results — every
+    /// record derives from values the simulation already computed.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Simulation {
@@ -565,6 +570,7 @@ impl Simulation {
             conflicts_rejected: 0,
             next_txid: 1,
             metrics: SimMetrics::default(),
+            tracer: None,
         };
         sim.schedule_next_mine();
         sim
@@ -791,6 +797,43 @@ impl Simulation {
         );
     }
 
+    /// Installs a flight recorder. Like the metrics registry, the
+    /// recorder is write-only from the simulation's point of view:
+    /// emission never touches the RNG or the event queue, so traced and
+    /// untraced runs produce bit-identical results.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Removes and returns the installed flight recorder, if any.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Records one trace event at the current simulation time. No-op
+    /// without an installed tracer.
+    #[inline]
+    fn trace(&mut self, kind: TraceKind, node: u32, a: u64, b: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(kind, self.queue.now().0, node, a, b);
+        }
+    }
+
+    /// Records a crawler sample tick into the flight recorder: total node
+    /// count, how many are synced to the network best, and the network
+    /// best height. Called by `bp-crawler` on every sample so the trace
+    /// alone can reconstruct the published lag series.
+    pub fn trace_crawl_sample(&mut self, synced: u64) {
+        let nodes = self.nodes.len() as u32;
+        let best = self.network_best.0;
+        self.trace(TraceKind::CrawlSample, nodes, synced, best);
+    }
+
     /// User transactions reversed by canonical-chain reorgs so far —
     /// the paper's "all transactions belonging to legitimate users in
     /// those blocks will also be reversed".
@@ -845,6 +888,10 @@ impl Simulation {
             *g = assign(i as u32);
         }
         self.partitioned = true;
+        if self.tracer.is_some() {
+            let distinct = self.groups.iter().collect::<HashSet<_>>().len() as u64;
+            self.trace(TraceKind::PartitionApply, u32::MAX, distinct, 0);
+        }
     }
 
     /// Lifts the partition.
@@ -853,6 +900,7 @@ impl Simulation {
             *g = 0;
         }
         self.partitioned = false;
+        self.trace(TraceKind::PartitionHeal, u32::MAX, 0, 0);
     }
 
     /// Pauses/resumes honest mining (used by attack scenarios that drive
@@ -1036,6 +1084,7 @@ impl Simulation {
             if !included.is_empty() {
                 self.block_txs.insert(meta.dense, included);
             }
+            self.trace(TraceKind::Mine, gateway, meta.dense as u64, meta.height.0);
             self.update_canonical(meta);
             self.accept_block(gateway, meta.dense, None);
         }
@@ -1150,6 +1199,8 @@ impl Simulation {
     }
 
     fn handle_churn(&mut self) {
+        let mut went_offline = 0u64;
+        let mut came_online = 0u64;
         for i in 0..self.nodes.len() {
             // Outstanding fetches are abandoned at each churn tick (the
             // retry budget resets); these are the dropped `requested`
@@ -1161,9 +1212,11 @@ impl Simulation {
                     * (1.0 - self.nodes[i].relay_quality).clamp(0.0, 1.0);
                 if self.rng.random::<f64>() < p_off {
                     self.nodes[i].online = false;
+                    went_offline += 1;
                 }
             } else if self.rng.random::<f64>() < self.config.churn_on_prob {
                 self.nodes[i].online = true;
+                came_online += 1;
                 // Resync: a random peer announces its tip to us.
                 if let Some(peer) = self.pick_peer(i as u32) {
                     let tip = self.nodes[peer as usize].view.best_dense();
@@ -1179,6 +1232,7 @@ impl Simulation {
                 }
             }
         }
+        self.trace(TraceKind::Churn, u32::MAX, went_offline, came_online);
         self.prune_finalized();
         self.queue
             .schedule_in(self.config.churn_period_secs * 1000, NetEvent::Churn);
@@ -1207,17 +1261,25 @@ impl Simulation {
         let index = &self.index;
         let metrics = &mut self.metrics;
         let keep = |d: u32| index.meta_at(d).height.0 >= horizon;
+        let mut swept = 0u64;
         for node in &mut self.nodes {
             if !node.seen_invs.is_empty() {
-                metrics.pruned_seen_invs += node.seen_invs.retain(keep) as u64;
+                let removed = node.seen_invs.retain(keep) as u64;
+                metrics.pruned_seen_invs += removed;
+                swept += removed;
             }
             if !node.requested.is_empty() {
-                metrics.pruned_requested += node.requested.retain(keep) as u64;
+                let removed = node.requested.retain(keep) as u64;
+                metrics.pruned_requested += removed;
+                swept += removed;
             }
         }
         let before = self.block_txs.len();
         self.block_txs.retain(|&d, _| keep(d));
-        metrics.pruned_block_txs += (before - self.block_txs.len()) as u64;
+        let removed = (before - self.block_txs.len()) as u64;
+        metrics.pruned_block_txs += removed;
+        swept += removed;
+        self.trace(TraceKind::PruneSweep, u32::MAX, horizon, swept);
     }
 
     fn pick_peer(&mut self, node: u32) -> Option<u32> {
@@ -1253,6 +1315,7 @@ impl Simulation {
     /// what it relays.
     fn accept_block(&mut self, node: u32, block: u32, source: Option<u32>) {
         let old_tip = self.nodes[node as usize].view.best_dense();
+        let old_height = self.nodes[node as usize].view.best_height().0;
         let outcome = {
             let n = &mut self.nodes[node as usize];
             n.requested.remove(block);
@@ -1279,15 +1342,18 @@ impl Simulation {
         }
         match outcome {
             ViewOutcome::NewTip { reorg_depth } => {
+                let new_height = self.nodes[node as usize].view.best_height().0;
                 if reorg_depth > 0 {
                     self.stats.reorgs += 1;
                     self.stats.max_depth = self.stats.max_depth.max(reorg_depth);
                     self.metrics.reorg_depth.record(reorg_depth);
+                    self.trace(TraceKind::ReorgBegin, node, reorg_depth, new_height);
                     // Any transactions this node had confirmed on the
                     // abandoned branch are reversed from its view.
                     let new_tip = self.nodes[node as usize].view.best_dense();
                     self.node_reversals += self.count_reversed(old_tip, new_tip);
                 }
+                self.trace(TraceKind::BlockAccept, node, block as u64, new_height);
                 self.announce(node, block);
             }
             ViewOutcome::MissingParent(_) => {
@@ -1297,7 +1363,18 @@ impl Simulation {
                     self.request(node, peer, parent, false);
                 }
             }
-            ViewOutcome::SideBranch | ViewOutcome::Duplicate => {}
+            ViewOutcome::SideBranch | ViewOutcome::Duplicate => {
+                // A side-branch parent can connect parked orphans that
+                // silently advance the tip (`NodeView::offer_dense` runs
+                // orphan adoption after classifying the offered block).
+                // The relay correctly stays quiet — but the flight
+                // recorder must still see the height change, or trace
+                // timeline reconstruction drifts from the crawler.
+                let new_height = self.nodes[node as usize].view.best_height().0;
+                if new_height != old_height {
+                    self.trace(TraceKind::BlockAccept, node, block as u64, new_height);
+                }
+            }
         }
     }
 
@@ -1312,6 +1389,12 @@ impl Simulation {
         scratch.extend_from_slice(&self.nodes[from as usize].peers);
         self.metrics.announce_calls += 1;
         self.metrics.invs_scheduled += scratch.len() as u64;
+        self.trace(
+            TraceKind::InvRelay,
+            from,
+            block as u64,
+            scratch.len() as u64,
+        );
         match self.config.relay_mode {
             RelayMode::Diffusion => {
                 for &to in &scratch {
@@ -1425,6 +1508,7 @@ impl Simulation {
             }
             return;
         }
+        self.trace(TraceKind::GetData, from, block as u64, to as u64);
         let delay = self.transfer_delay(from);
         self.queue.schedule_in(
             delay,
@@ -1506,6 +1590,65 @@ mod tests {
         b.run_for_secs(1800);
         assert_eq!(a.network_best(), b.network_best());
         assert_eq!(a.lags(), b.lags());
+    }
+
+    #[test]
+    fn tracing_records_events_without_perturbing_results() {
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        let mut plain = Simulation::new(&snap, &census, NetConfig::fast_test());
+        let mut traced = Simulation::new(&snap, &census, NetConfig::fast_test());
+        traced.set_tracer(Tracer::new());
+        plain.run_for_secs(1800);
+        traced.run_for_secs(1800);
+        // Identical results with the recorder on.
+        assert_eq!(plain.network_best(), traced.network_best());
+        assert_eq!(plain.lags(), traced.lags());
+        // And twice-traced runs produce byte-identical streams.
+        let mut traced2 = Simulation::new(&snap, &census, NetConfig::fast_test());
+        traced2.set_tracer(Tracer::new());
+        traced2.run_for_secs(1800);
+        let records = traced.take_tracer().unwrap().into_records();
+        let records2 = traced2.take_tracer().unwrap().into_records();
+        assert_eq!(
+            bp_obs::trace::first_divergence(&records, &records2),
+            None,
+            "same-seed traces diverged"
+        );
+        // The stream holds the expected net-category kinds.
+        let mines = records.iter().filter(|r| r.kind == TraceKind::Mine).count() as u64;
+        assert_eq!(mines, traced.stats().blocks_mined);
+        assert!(records.iter().any(|r| r.kind == TraceKind::BlockAccept));
+        assert!(records.iter().any(|r| r.kind == TraceKind::InvRelay));
+        assert!(records.iter().any(|r| r.kind == TraceKind::GetData));
+        // Mine records carry heights; the max equals the network best.
+        let max_height = records
+            .iter()
+            .filter(|r| r.kind == TraceKind::Mine)
+            .map(|r| r.b)
+            .max()
+            .unwrap();
+        assert_eq!(max_height, traced.network_best().0);
+    }
+
+    #[test]
+    fn partition_events_reach_the_trace() {
+        let mut s = sim();
+        s.set_tracer(Tracer::new());
+        let n = s.node_count() as u32;
+        s.set_partition(move |i| if i < n / 2 { 0 } else { 1 });
+        s.run_for_secs(600);
+        s.clear_partition();
+        let records = s.take_tracer().unwrap().into_records();
+        let apply = records
+            .iter()
+            .find(|r| r.kind == TraceKind::PartitionApply)
+            .expect("partition apply not traced");
+        assert_eq!(apply.node, u32::MAX);
+        assert_eq!(apply.a, 2, "expected two partition groups");
+        assert!(records
+            .iter()
+            .any(|r| r.kind == TraceKind::PartitionHeal && r.node == u32::MAX));
     }
 
     #[test]

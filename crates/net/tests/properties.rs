@@ -3,7 +3,10 @@
 
 use bp_chain::Height;
 use bp_mining::PoolCensus;
-use bp_net::{BlockIndex, EventQueue, HeapQueue, NetConfig, NodeView, SimTime, Simulation};
+use bp_net::{
+    BlockIndex, EventQueue, HeapQueue, NetConfig, NodeView, SimTime, Simulation, WHEEL_SLOT_MS,
+    WHEEL_SPAN_MS,
+};
 use bp_topology::{Snapshot, SnapshotConfig};
 use proptest::prelude::*;
 
@@ -69,6 +72,46 @@ proptest! {
             prop_assert_eq!(calendar.now(), heap.now());
         }
         // Drain: the full remaining order matches.
+        loop {
+            let (a, b) = (calendar.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Events aimed exactly at the calendar wheel's horizon — the
+    /// wheel/overflow boundary — and at the current-slot edge — the
+    /// late-heap boundary — pop in exactly the heap reference's order.
+    /// Interleaved pops advance the clock mid-slot, so the boundary is
+    /// probed from arbitrary offsets within a slot.
+    #[test]
+    fn horizon_boundary_events_pop_in_reference_order(
+        start_ms in 0u64..2_000_000,
+        deltas in proptest::collection::vec(-3i64..=3, 1..24),
+        pops_between in 0u8..4,
+    ) {
+        let mut calendar: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        calendar.advance_to(SimTime(start_ms));
+        heap.advance_to(SimTime(start_ms));
+        let mut next = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            // Alternate between the overflow boundary (now + wheel span)
+            // and the late-heap boundary (now + one slot), jittered ±3 ms
+            // so both sides of each edge are exercised.
+            let base = if i % 2 == 0 { WHEEL_SPAN_MS } else { WHEEL_SLOT_MS };
+            let at = (calendar.now().0 + base).saturating_add_signed(*d);
+            calendar.schedule(SimTime(at), next);
+            heap.schedule(SimTime(at), next);
+            next += 1;
+            for _ in 0..pops_between {
+                let (a, b) = (calendar.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(calendar.now(), heap.now());
+            }
+        }
         loop {
             let (a, b) = (calendar.pop(), heap.pop());
             prop_assert_eq!(a, b);

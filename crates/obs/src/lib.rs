@@ -3,7 +3,10 @@
 //! A zero-dependency metrics layer shared by every `bp-*` crate:
 //! monotonic counters, gauges, fixed-bucket histograms and wall-clock
 //! span timers, collected in a thread-safe [`Registry`] and rendered to
-//! a stable text table, `metrics.json` and `metrics.csv`.
+//! a stable text table, `metrics.json` and `metrics.csv` — plus a
+//! deterministic event-trace flight recorder ([`trace`]) that captures
+//! ordered simulation events for diffing, filtering and timeline
+//! reconstruction.
 //!
 //! ## Determinism contract
 //!
@@ -48,5 +51,7 @@
 #![warn(missing_docs)]
 
 mod registry;
+pub mod trace;
 
-pub use registry::{Histogram, Registry, Snapshot, SpanGuard, SpanStats};
+pub use registry::{csv_field, json_escape, Histogram, Registry, Snapshot, SpanGuard, SpanStats};
+pub use trace::{TraceKind, TraceRecord, Tracer};

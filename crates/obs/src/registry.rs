@@ -262,7 +262,11 @@ pub struct Snapshot {
 }
 
 /// Escapes a string for a JSON key/value position.
-fn json_escape(s: &str) -> String {
+///
+/// Public so downstream renderers that interpolate metric names into
+/// hand-written JSON (e.g. the bench pipeline report) can reuse the exact
+/// escaping [`Snapshot::to_json`] applies.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -275,6 +279,29 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Escapes a single CSV field per RFC 4180: quoted only when it contains a
+/// comma, double quote, or line break, so well-formed metric names render
+/// byte-identically to the unescaped form.
+///
+/// Public for the same reason as [`json_escape`]: downstream CSV renderers
+/// that interpolate metric or trace names should share this escaping.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
 }
 
 /// Formats an `f64` for JSON: finite values via Rust's shortest-roundtrip
@@ -411,12 +438,13 @@ impl Snapshot {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,name,field,value\n");
         for (name, value) in &self.counters {
-            let _ = writeln!(out, "counter,{name},value,{value}");
+            let _ = writeln!(out, "counter,{},value,{value}", csv_field(name));
         }
         for (name, value) in &self.gauges {
-            let _ = writeln!(out, "gauge,{name},value,{}", json_f64(*value));
+            let _ = writeln!(out, "gauge,{},value,{}", csv_field(name), json_f64(*value));
         }
         for (name, hist) in &self.histograms {
+            let name = csv_field(name);
             for (bound, count) in hist.bounds().iter().zip(hist.counts()) {
                 let _ = writeln!(out, "histogram,{name},le_{bound},{count}");
             }
@@ -425,7 +453,7 @@ impl Snapshot {
             let _ = writeln!(out, "histogram,{name},max,{}", hist.max());
         }
         for (name, stats) in &self.spans {
-            let _ = writeln!(out, "span,{name},count,{}", stats.count);
+            let _ = writeln!(out, "span,{},count,{}", csv_field(name), stats.count);
         }
         out
     }
@@ -631,6 +659,57 @@ mod tests {
         reg.inc("weird\"name\\with\ncontrol");
         let json = reg.snapshot().to_json();
         assert!(json.contains("weird\\\"name\\\\with\\u000acontrol"));
+    }
+
+    #[test]
+    fn csv_escaping_quotes_reserved_chars() {
+        let reg = Registry::new();
+        reg.inc("name,with\"comma");
+        reg.set_gauge("g,1", 2.0);
+        reg.observe("h,1", &[1], 1);
+        reg.record_span("s,1", std::time::Duration::from_millis(1));
+        let csv = reg.snapshot().to_csv();
+        assert!(csv.contains("counter,\"name,with\"\"comma\",value,1"));
+        assert!(csv.contains("gauge,\"g,1\",value,2"));
+        assert!(csv.contains("histogram,\"h,1\",le_1,1"));
+        assert!(csv.contains("span,\"s,1\",count,1"));
+        // Every data row still has exactly four parsed fields.
+        for line in csv.lines().skip(1) {
+            assert_eq!(parse_csv_fields(line).len(), 4, "row: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_escaping_leaves_clean_names_untouched() {
+        assert_eq!(csv_field("net.events.inv"), "net.events.inv");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+    }
+
+    /// Minimal RFC-4180 field splitter for the escaping test above.
+    fn parse_csv_fields(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if field.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+        fields.push(field);
+        fields
     }
 
     #[test]

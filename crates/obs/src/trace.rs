@@ -1,0 +1,1028 @@
+//! Deterministic event-trace flight recorder.
+//!
+//! While the [`Registry`] answers "how many", the flight
+//! recorder answers "in what order": it captures a compact, fixed-width
+//! stream of simulation events (mining, relay, reorgs, partitions, crawler
+//! samples, attack-grid steps) that can be dumped, filtered, diffed for the
+//! first divergence between two runs, and replayed into per-node timeline
+//! series.
+//!
+//! The recorder obeys the same determinism contract as the metrics layer:
+//!
+//! * recording never touches an RNG, never schedules events and never
+//!   branches simulation logic — a traced run produces bit-identical
+//!   simulation results to an untraced one;
+//! * every record derives only from values the simulation already
+//!   computed, so a seeded run emits a byte-identical `trace.bin` /
+//!   `trace.jsonl` regardless of worker count (each traced component is
+//!   single-threaded and streams are concatenated in a fixed order).
+//!
+//! ## Record format
+//!
+//! A trace file is an 16-byte header (`b"BPTRACE1"` magic + record count as
+//! little-endian `u64`) followed by fixed [`RECORD_BYTES`]-wide records:
+//!
+//! | bytes | field | encoding |
+//! |-------|-------|----------|
+//! | 0..8  | `time` | LE `u64` — milliseconds (net/crawler) or step/cell index (attack) |
+//! | 8..12 | `node` | LE `u32` — node id, grid cell, or `u32::MAX` for network-wide events |
+//! | 12    | kind | [`TraceKind`] discriminant |
+//! | 13    | category | [`TraceCategory`] discriminant (redundant with kind; validated on decode) |
+//! | 14    | severity | [`Severity`] discriminant (redundant with kind; validated on decode) |
+//! | 15    | reserved | must be zero |
+//! | 16..24 | `a` | LE `u64` — kind-specific payload |
+//! | 24..32 | `b` | LE `u64` — kind-specific payload |
+//!
+//! The sequence number of a record is its ordinal position in the file; it
+//! is not stored, which keeps records compact and makes "first divergence"
+//! well-defined as the first differing ordinal.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{json_escape, Registry};
+
+/// Width of one encoded trace record in bytes.
+pub const RECORD_BYTES: usize = 32;
+
+/// Magic bytes opening every binary trace file.
+pub const MAGIC: &[u8; 8] = b"BPTRACE1";
+
+/// Width of the binary file header (magic + record count).
+pub const HEADER_BYTES: usize = 16;
+
+/// Event category: which subsystem emitted the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TraceCategory {
+    /// `bp-net` simulation events (time domain: simulated milliseconds).
+    Net = 0,
+    /// `bp-attacks` temporal-attack events (time domain: grid step or
+    /// sweep-cell index).
+    Attack = 1,
+    /// `bp-crawler` sampling events (time domain: simulated milliseconds).
+    Crawler = 2,
+}
+
+impl TraceCategory {
+    /// Stable lowercase name used in JSONL output and CLI filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceCategory::Net => "net",
+            TraceCategory::Attack => "attack",
+            TraceCategory::Crawler => "crawler",
+        }
+    }
+
+    /// Parses a category from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "net" => Some(TraceCategory::Net),
+            "attack" => Some(TraceCategory::Attack),
+            "crawler" => Some(TraceCategory::Crawler),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(TraceCategory::Net),
+            1 => Some(TraceCategory::Attack),
+            2 => Some(TraceCategory::Crawler),
+            _ => None,
+        }
+    }
+}
+
+/// Record severity tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Severity {
+    /// High-volume routine events (relay chatter).
+    Debug = 0,
+    /// Normal state progression (mining, block accepts, samples).
+    Info = 1,
+    /// Consensus- or topology-affecting events (reorgs, partitions).
+    Warn = 2,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Severity::Debug),
+            1 => Some(Severity::Info),
+            2 => Some(Severity::Warn),
+            _ => None,
+        }
+    }
+}
+
+/// The concrete event a record describes. Discriminants are part of the
+/// on-disk format and must never be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// A pool mined a block. `node` = gateway node, `a` = dense block id,
+    /// `b` = block height.
+    Mine = 1,
+    /// A node announced a block to its peers. `node` = announcer,
+    /// `a` = dense block id, `b` = number of peers notified.
+    InvRelay = 2,
+    /// A getdata was served and the block transfer scheduled.
+    /// `node` = requester, `a` = dense block id, `b` = holder node.
+    GetData = 3,
+    /// A node adopted a new best tip. `node` = accepting node,
+    /// `a` = dense id of the block whose arrival advanced the tip (for
+    /// an orphan cascade this is the connecting parent, not the new
+    /// tip itself), `b` = new best height.
+    BlockAccept = 4,
+    /// A block accept triggered a reorg. `node` = reorging node,
+    /// `a` = reorg depth (blocks reversed), `b` = new best height.
+    ReorgBegin = 5,
+    /// A partition was applied. `node` = `u32::MAX`, `a` = number of
+    /// distinct groups, `b` = 0.
+    PartitionApply = 6,
+    /// The partition was healed. `node` = `u32::MAX`.
+    PartitionHeal = 7,
+    /// A churn tick ran. `node` = `u32::MAX`, `a` = nodes that went
+    /// offline this tick, `b` = nodes that came online.
+    Churn = 8,
+    /// A finalized-state prune sweep ran. `node` = `u32::MAX`,
+    /// `a` = dense-block horizon, `b` = entries pruned this sweep.
+    PruneSweep = 9,
+    /// Temporal grid: the honest network mined a block. `node` = mining
+    /// cell, `a` = mined block height, `b` = grid step.
+    GridMine = 16,
+    /// Temporal grid: the attacker released a counterfeit block.
+    /// `node` = attacker cell, `a` = counterfeit height, `b` = grid step.
+    GridRelease = 17,
+    /// Temporal grid: a figure-7 panel snapshot was selected. `node` =
+    /// `u32::MAX`, `a` = counterfeit-following cell count, `b` = panel
+    /// step.
+    GridSnapshot = 18,
+    /// Temporal model: one bisection sweep cell finished. `node` = lambda
+    /// row index, `a` = node-count column value, `b` = bisection steps.
+    ModelBisect = 19,
+    /// Crawler sample tick. `node` = total node count, `a` = synced node
+    /// count (lag 0), `b` = network best height.
+    CrawlSample = 32,
+}
+
+impl TraceKind {
+    /// All kinds, in discriminant order (used by summaries and tests).
+    pub const ALL: [TraceKind; 14] = [
+        TraceKind::Mine,
+        TraceKind::InvRelay,
+        TraceKind::GetData,
+        TraceKind::BlockAccept,
+        TraceKind::ReorgBegin,
+        TraceKind::PartitionApply,
+        TraceKind::PartitionHeal,
+        TraceKind::Churn,
+        TraceKind::PruneSweep,
+        TraceKind::GridMine,
+        TraceKind::GridRelease,
+        TraceKind::GridSnapshot,
+        TraceKind::ModelBisect,
+        TraceKind::CrawlSample,
+    ];
+
+    /// Stable lowercase name used in JSONL output and CLI filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Mine => "mine",
+            TraceKind::InvRelay => "inv_relay",
+            TraceKind::GetData => "getdata",
+            TraceKind::BlockAccept => "block_accept",
+            TraceKind::ReorgBegin => "reorg_begin",
+            TraceKind::PartitionApply => "partition_apply",
+            TraceKind::PartitionHeal => "partition_heal",
+            TraceKind::Churn => "churn",
+            TraceKind::PruneSweep => "prune_sweep",
+            TraceKind::GridMine => "grid_mine",
+            TraceKind::GridRelease => "grid_release",
+            TraceKind::GridSnapshot => "grid_snapshot",
+            TraceKind::ModelBisect => "model_bisect",
+            TraceKind::CrawlSample => "crawl_sample",
+        }
+    }
+
+    /// Parses a kind from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        TraceKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The subsystem that emits this kind.
+    pub fn category(self) -> TraceCategory {
+        match self {
+            TraceKind::Mine
+            | TraceKind::InvRelay
+            | TraceKind::GetData
+            | TraceKind::BlockAccept
+            | TraceKind::ReorgBegin
+            | TraceKind::PartitionApply
+            | TraceKind::PartitionHeal
+            | TraceKind::Churn
+            | TraceKind::PruneSweep => TraceCategory::Net,
+            TraceKind::GridMine
+            | TraceKind::GridRelease
+            | TraceKind::GridSnapshot
+            | TraceKind::ModelBisect => TraceCategory::Attack,
+            TraceKind::CrawlSample => TraceCategory::Crawler,
+        }
+    }
+
+    /// The severity tag attached to this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            TraceKind::InvRelay | TraceKind::GetData => Severity::Debug,
+            TraceKind::ReorgBegin
+            | TraceKind::PartitionApply
+            | TraceKind::PartitionHeal
+            | TraceKind::GridRelease => Severity::Warn,
+            _ => Severity::Info,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        TraceKind::ALL.into_iter().find(|k| *k as u8 == v)
+    }
+}
+
+/// One decoded trace record. See [`TraceKind`] for per-kind payload
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Event time: simulated milliseconds for net/crawler records, grid
+    /// step or sweep-cell index for attack records.
+    pub time: u64,
+    /// Emitting node / cell, or `u32::MAX` for network-wide events.
+    pub node: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Kind-specific payload.
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+impl TraceRecord {
+    /// Appends the fixed-width encoding of this record to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.node.to_le_bytes());
+        out.push(self.kind as u8);
+        out.push(self.kind.category() as u8);
+        out.push(self.kind.severity() as u8);
+        out.push(0);
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+
+    /// Decodes one record from a [`RECORD_BYTES`]-wide chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the kind byte is unknown, the category or
+    /// severity byte disagrees with the kind, or the reserved byte is
+    /// non-zero.
+    pub fn decode(chunk: &[u8]) -> Result<TraceRecord, String> {
+        if chunk.len() != RECORD_BYTES {
+            return Err(format!(
+                "record chunk is {} bytes, expected {RECORD_BYTES}",
+                chunk.len()
+            ));
+        }
+        let time = u64::from_le_bytes(chunk[0..8].try_into().expect("8-byte slice"));
+        let node = u32::from_le_bytes(chunk[8..12].try_into().expect("4-byte slice"));
+        let kind =
+            TraceKind::from_u8(chunk[12]).ok_or_else(|| format!("unknown kind {}", chunk[12]))?;
+        let category = TraceCategory::from_u8(chunk[13])
+            .ok_or_else(|| format!("unknown category {}", chunk[13]))?;
+        let severity = Severity::from_u8(chunk[14])
+            .ok_or_else(|| format!("unknown severity {}", chunk[14]))?;
+        if category != kind.category() {
+            return Err(format!(
+                "category {} does not match kind {}",
+                category.name(),
+                kind.name()
+            ));
+        }
+        if severity != kind.severity() {
+            return Err(format!(
+                "severity {} does not match kind {}",
+                severity.name(),
+                kind.name()
+            ));
+        }
+        if chunk[15] != 0 {
+            return Err(format!("reserved byte is {}, expected 0", chunk[15]));
+        }
+        let a = u64::from_le_bytes(chunk[16..24].try_into().expect("8-byte slice"));
+        let b = u64::from_le_bytes(chunk[24..32].try_into().expect("8-byte slice"));
+        Ok(TraceRecord {
+            time,
+            node,
+            kind,
+            a,
+            b,
+        })
+    }
+
+    /// Renders this record as one JSON object (used for `trace.jsonl`).
+    pub fn to_json_line(&self, seq: u64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"t\":{},\"cat\":\"{}\",\"kind\":\"{}\",\"sev\":\"{}\",\"node\":{},\"a\":{},\"b\":{}}}",
+            self.time,
+            json_escape(self.kind.category().name()),
+            json_escape(self.kind.name()),
+            json_escape(self.kind.severity().name()),
+            self.node,
+            self.a,
+            self.b,
+        )
+    }
+}
+
+/// The in-memory flight recorder: a bounded ring (or unbounded stream when
+/// `capacity` is zero) of [`TraceRecord`]s plus drop accounting.
+///
+/// Recording is infallible and side-effect free with respect to the
+/// simulation: no RNG, no event scheduling, no branching on recorder
+/// state leaks back into the caller.
+#[derive(Debug, Default, Clone)]
+pub struct Tracer {
+    records: std::collections::VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// An unbounded streaming recorder.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// A bounded ring recorder keeping the most recent `capacity` records
+    /// and counting the overwritten ones. `capacity == 0` means unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            records: std::collections::VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn record(&mut self, kind: TraceKind, time: u64, node: u32, a: u64, b: u64) {
+        if self.capacity != 0 && self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            node,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records overwritten by the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains this recorder into a plain record vector.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records.into_iter().collect()
+    }
+
+    /// Copies the held records into a plain vector.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.iter().copied().collect()
+    }
+
+    /// Appends another recorder's records (stream concatenation), summing
+    /// drop counts.
+    pub fn append(&mut self, other: Tracer) {
+        self.dropped += other.dropped;
+        for r in other.records {
+            if self.capacity != 0 && self.records.len() == self.capacity {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+            self.records.push_back(r);
+        }
+    }
+
+    /// Exports `{prefix}.events_recorded`, `{prefix}.bytes_written` and
+    /// `{prefix}.ring_drops` counters into `reg`.
+    pub fn export_metrics(&self, reg: &Registry, prefix: &str) {
+        reg.add(
+            &format!("{prefix}.events_recorded"),
+            self.records.len() as u64 + self.dropped,
+        );
+        reg.add(
+            &format!("{prefix}.bytes_written"),
+            (self.records.len() * RECORD_BYTES) as u64,
+        );
+        reg.add(&format!("{prefix}.ring_drops"), self.dropped);
+    }
+}
+
+/// Encodes records into the binary trace-file format (header + records).
+pub fn encode_records(records: &[TraceRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + records.len() * RECORD_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for r in records {
+        r.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decodes a binary trace file produced by [`encode_records`].
+///
+/// # Errors
+///
+/// Returns a message on a bad magic, a truncated file, a record-count
+/// mismatch, or any malformed record (with its sequence number).
+pub fn decode_records(bytes: &[u8]) -> Result<Vec<TraceRecord>, String> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(format!(
+            "file is {} bytes, smaller than the {HEADER_BYTES}-byte header",
+            bytes.len()
+        ));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err("bad magic: not a bp-obs trace file".to_string());
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")) as usize;
+    let body = &bytes[HEADER_BYTES..];
+    if body.len() != count * RECORD_BYTES {
+        return Err(format!(
+            "header promises {count} records ({} bytes) but body is {} bytes",
+            count * RECORD_BYTES,
+            body.len()
+        ));
+    }
+    let mut records = Vec::with_capacity(count);
+    for (seq, chunk) in body.chunks(RECORD_BYTES).enumerate() {
+        records.push(TraceRecord::decode(chunk).map_err(|e| format!("record {seq}: {e}"))?);
+    }
+    Ok(records)
+}
+
+/// Renders records as line-delimited JSON, one object per record, with
+/// explicit sequence numbers.
+pub fn render_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for (seq, r) in records.iter().enumerate() {
+        out.push_str(&r.to_json_line(seq as u64));
+        out.push('\n');
+    }
+    out
+}
+
+/// A first divergence between two traces, as found by [`first_divergence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Ordinal of the first record that differs (or the length of the
+    /// shorter trace when one is a strict prefix of the other).
+    pub seq: u64,
+    /// The left trace's record at `seq`, if it has one.
+    pub left: Option<TraceRecord>,
+    /// The right trace's record at `seq`, if it has one.
+    pub right: Option<TraceRecord>,
+}
+
+impl Divergence {
+    /// Human-readable divergence report: seq, timestamps and both decoded
+    /// records.
+    pub fn render(&self) -> String {
+        fn side(label: &str, r: &Option<TraceRecord>) -> String {
+            match r {
+                Some(r) => format!(
+                    "{label}: t={} cat={} kind={} sev={} node={} a={} b={}",
+                    r.time,
+                    r.kind.category().name(),
+                    r.kind.name(),
+                    r.kind.severity().name(),
+                    r.node,
+                    r.a,
+                    r.b
+                ),
+                None => format!("{label}: <end of trace>"),
+            }
+        }
+        format!(
+            "divergence at seq {}\n{}\n{}",
+            self.seq,
+            side("left ", &self.left),
+            side("right", &self.right)
+        )
+    }
+}
+
+/// Finds the first ordinal at which two traces differ, or `None` when they
+/// are identical.
+pub fn first_divergence(left: &[TraceRecord], right: &[TraceRecord]) -> Option<Divergence> {
+    let shared = left.len().min(right.len());
+    for seq in 0..shared {
+        if left[seq] != right[seq] {
+            return Some(Divergence {
+                seq: seq as u64,
+                left: Some(left[seq]),
+                right: Some(right[seq]),
+            });
+        }
+    }
+    if left.len() != right.len() {
+        return Some(Divergence {
+            seq: shared as u64,
+            left: left.get(shared).copied(),
+            right: right.get(shared).copied(),
+        });
+    }
+    None
+}
+
+/// Filter predicate for [`filter_records`] / the `trace filter` CLI.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TraceFilter {
+    /// Keep records with `time >= from` (inclusive).
+    pub from: Option<u64>,
+    /// Keep records with `time <= to` (inclusive).
+    pub to: Option<u64>,
+    /// Keep records for this node only.
+    pub node: Option<u32>,
+    /// Keep records of this category only.
+    pub category: Option<TraceCategory>,
+    /// Keep records of this kind only.
+    pub kind: Option<TraceKind>,
+}
+
+impl TraceFilter {
+    /// Whether a record passes the filter.
+    pub fn matches(&self, r: &TraceRecord) -> bool {
+        if let Some(from) = self.from {
+            if r.time < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if r.time > to {
+                return false;
+            }
+        }
+        if let Some(node) = self.node {
+            if r.node != node {
+                return false;
+            }
+        }
+        if let Some(cat) = self.category {
+            if r.kind.category() != cat {
+                return false;
+            }
+        }
+        if let Some(kind) = self.kind {
+            if r.kind != kind {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Applies a filter, preserving each surviving record's original sequence
+/// number.
+pub fn filter_records(records: &[TraceRecord], filter: &TraceFilter) -> Vec<(u64, TraceRecord)> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| filter.matches(r))
+        .map(|(seq, r)| (seq as u64, *r))
+        .collect()
+}
+
+/// Renders a deterministic plain-text summary: totals, per-category and
+/// per-kind counts, and the busiest nodes.
+pub fn summary(records: &[TraceRecord]) -> String {
+    let mut by_kind: BTreeMap<TraceKind, u64> = BTreeMap::new();
+    let mut by_cat: BTreeMap<TraceCategory, u64> = BTreeMap::new();
+    let mut by_node: BTreeMap<u32, u64> = BTreeMap::new();
+    let (mut t_min, mut t_max) = (u64::MAX, 0u64);
+    for r in records {
+        *by_kind.entry(r.kind).or_insert(0) += 1;
+        *by_cat.entry(r.kind.category()).or_insert(0) += 1;
+        *by_node.entry(r.node).or_insert(0) += 1;
+        t_min = t_min.min(r.time);
+        t_max = t_max.max(r.time);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "records: {}", records.len());
+    if !records.is_empty() {
+        let _ = writeln!(out, "time span: {t_min}..{t_max}");
+    }
+    let _ = writeln!(out, "by category:");
+    for (cat, n) in &by_cat {
+        let _ = writeln!(out, "  {:<10} {n}", cat.name());
+    }
+    let _ = writeln!(out, "by kind:");
+    for (kind, n) in &by_kind {
+        let _ = writeln!(out, "  {:<16} {n}", kind.name());
+    }
+    // Busiest nodes: count descending, node id ascending on ties, top 10.
+    let mut nodes: Vec<(u32, u64)> = by_node.into_iter().collect();
+    nodes.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    let _ = writeln!(out, "busiest nodes (top {}):", nodes.len().min(10));
+    for (node, n) in nodes.iter().take(10) {
+        if *node == u32::MAX {
+            let _ = writeln!(out, "  <network>  {n}");
+        } else {
+            let _ = writeln!(out, "  node {node:<6} {n}");
+        }
+    }
+    out
+}
+
+/// One reconstructed crawler sample: lag-class counts at a sample tick.
+///
+/// Bucket boundaries mirror the crawler's `LagClass`: synced (lag 0), one
+/// behind, 2–4, 5–10, and 11+.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Sample time in simulated milliseconds.
+    pub t_ms: u64,
+    /// Network best height at the sample.
+    pub network_best: u64,
+    /// Nodes per lag class: `[synced, one_behind, two_to_four, five_to_ten, ten_plus]`.
+    pub lag_counts: [u64; 5],
+}
+
+/// Replays a trace into per-node tip heights and reconstructs the crawler's
+/// block-lag series from `BlockAccept` / `Mine` / `CrawlSample` records
+/// alone.
+///
+/// Net records carry enough state to maintain each node's best height
+/// (`BlockAccept.b`) and the network best (max of `Mine.b`); every
+/// `CrawlSample` record then yields one [`TimelinePoint`] by classifying
+/// `network_best - height` for all `CrawlSample.node` nodes (nodes that
+/// never accepted a block sit at height 0, like freshly seeded views).
+/// Attack-category records are ignored — their time domain is unrelated.
+pub fn timeline(records: &[TraceRecord]) -> Vec<TimelinePoint> {
+    let mut heights: Vec<u64> = Vec::new();
+    let mut network_best = 0u64;
+    let mut points = Vec::new();
+    for r in records {
+        match r.kind {
+            TraceKind::Mine => {
+                network_best = network_best.max(r.b);
+            }
+            TraceKind::BlockAccept => {
+                let idx = r.node as usize;
+                if idx >= heights.len() {
+                    heights.resize(idx + 1, 0);
+                }
+                heights[idx] = r.b;
+            }
+            TraceKind::CrawlSample => {
+                let total = r.node as usize;
+                if total > heights.len() {
+                    heights.resize(total, 0);
+                }
+                let mut counts = [0u64; 5];
+                for &h in heights.iter().take(total) {
+                    let lag = network_best.saturating_sub(h);
+                    let class = match lag {
+                        0 => 0,
+                        1 => 1,
+                        2..=4 => 2,
+                        5..=10 => 3,
+                        _ => 4,
+                    };
+                    counts[class] += 1;
+                }
+                points.push(TimelinePoint {
+                    t_ms: r.time,
+                    network_best,
+                    lag_counts: counts,
+                });
+            }
+            _ => {}
+        }
+    }
+    points
+}
+
+/// Renders timeline points as CSV with the same header and row shape as
+/// the crawler's published `fig6_*` series.
+pub fn timeline_csv(points: &[TimelinePoint]) -> String {
+    let mut out = String::from("t_secs,synced,one_behind,two_to_four,five_to_ten,ten_plus\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            p.t_ms / 1000,
+            p.lag_counts[0],
+            p.lag_counts[1],
+            p.lag_counts[2],
+            p.lag_counts[3],
+            p.lag_counts[4]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                time: 1000,
+                node: 3,
+                kind: TraceKind::Mine,
+                a: 1,
+                b: 1,
+            },
+            TraceRecord {
+                time: 1200,
+                node: 3,
+                kind: TraceKind::InvRelay,
+                a: 1,
+                b: 8,
+            },
+            TraceRecord {
+                time: 1400,
+                node: 5,
+                kind: TraceKind::BlockAccept,
+                a: 1,
+                b: 1,
+            },
+            TraceRecord {
+                time: 2000,
+                node: 2,
+                kind: TraceKind::CrawlSample,
+                a: 1,
+                b: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_bin_is_lossless() {
+        let records = sample_records();
+        let bin = encode_records(&records);
+        assert_eq!(bin.len(), HEADER_BYTES + records.len() * RECORD_BYTES);
+        assert_eq!(decode_records(&bin).unwrap(), records);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let records = sample_records();
+        let mut bin = encode_records(&records);
+        assert!(decode_records(&bin[..7]).is_err(), "truncated header");
+        bin[0] = b'X';
+        assert!(decode_records(&bin).unwrap_err().contains("bad magic"));
+        let mut bin = encode_records(&records);
+        bin[HEADER_BYTES + 12] = 250; // unknown kind byte on record 0
+        assert!(decode_records(&bin).unwrap_err().contains("record 0"));
+        let mut bin = encode_records(&records);
+        bin[HEADER_BYTES + 13] = TraceCategory::Attack as u8; // mismatched category
+        assert!(decode_records(&bin)
+            .unwrap_err()
+            .contains("does not match kind"));
+        let mut bin = encode_records(&records);
+        bin.truncate(bin.len() - 1);
+        assert!(decode_records(&bin).unwrap_err().contains("body"));
+    }
+
+    #[test]
+    fn every_kind_roundtrips_and_parses() {
+        for kind in TraceKind::ALL {
+            let r = TraceRecord {
+                time: 7,
+                node: 9,
+                kind,
+                a: 11,
+                b: 13,
+            };
+            let mut buf = Vec::new();
+            r.encode_into(&mut buf);
+            assert_eq!(TraceRecord::decode(&buf).unwrap(), r);
+            assert_eq!(TraceKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                TraceCategory::parse(kind.category().name()),
+                Some(kind.category())
+            );
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut t = Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            t.record(TraceKind::Mine, i, 0, i, i);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let records = t.into_records();
+        assert_eq!(records[0].time, 3);
+        assert_eq!(records[1].time, 4);
+    }
+
+    #[test]
+    fn append_concatenates_streams() {
+        let mut a = Tracer::new();
+        a.record(TraceKind::Mine, 1, 0, 0, 0);
+        let mut b = Tracer::new();
+        b.record(TraceKind::Churn, 2, u32::MAX, 1, 1);
+        a.append(b);
+        let records = a.into_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].kind, TraceKind::Churn);
+    }
+
+    #[test]
+    fn export_metrics_accounts_for_recorder() {
+        let mut t = Tracer::with_capacity(2);
+        for i in 0..3u64 {
+            t.record(TraceKind::Mine, i, 0, 0, 0);
+        }
+        let reg = Registry::new();
+        t.export_metrics(&reg, "trace.test");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("trace.test.events_recorded"), 3);
+        assert_eq!(snap.counter("trace.test.bytes_written"), 2 * 32);
+        assert_eq!(snap.counter("trace.test.ring_drops"), 1);
+    }
+
+    #[test]
+    fn first_divergence_finds_mismatch_and_prefix() {
+        let a = sample_records();
+        assert_eq!(first_divergence(&a, &a), None);
+
+        let mut b = a.clone();
+        b[2].b = 99;
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.seq, 2);
+        assert_eq!(d.left.unwrap().b, 1);
+        assert_eq!(d.right.unwrap().b, 99);
+        assert!(d.render().contains("seq 2"));
+
+        let d = first_divergence(&a, &a[..3]).unwrap();
+        assert_eq!(d.seq, 3);
+        assert!(d.left.is_some());
+        assert!(d.right.is_none());
+        assert!(d.render().contains("<end of trace>"));
+    }
+
+    #[test]
+    fn filter_keeps_original_seqs() {
+        let records = sample_records();
+        let kept = filter_records(
+            &records,
+            &TraceFilter {
+                node: Some(3),
+                ..TraceFilter::default()
+            },
+        );
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].0, 0);
+        assert_eq!(kept[1].0, 1);
+
+        let kept = filter_records(
+            &records,
+            &TraceFilter {
+                from: Some(1300),
+                to: Some(1500),
+                ..TraceFilter::default()
+            },
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].1.kind, TraceKind::BlockAccept);
+
+        let kept = filter_records(
+            &records,
+            &TraceFilter {
+                category: Some(TraceCategory::Crawler),
+                ..TraceFilter::default()
+            },
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0, 3);
+    }
+
+    #[test]
+    fn summary_counts_categories_and_kinds() {
+        let s = summary(&sample_records());
+        assert!(s.contains("records: 4"));
+        assert!(s.contains("net"));
+        assert!(s.contains("crawl_sample"));
+        assert!(s.contains("mine"));
+        assert!(s.contains("time span: 1000..2000"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_shape() {
+        let text = render_jsonl(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"seq\":0,\"t\":1000,\"cat\":\"net\",\"kind\":\"mine\""));
+        assert!(lines[3].contains("\"cat\":\"crawler\""));
+    }
+
+    #[test]
+    fn timeline_reconstructs_lag_classes() {
+        // Two nodes; node 0 accepts height 1, node 1 stays at 0 while the
+        // network advances to height 3 → node 0 lags 2 (class 2), node 1
+        // lags 3 (class 2).
+        let records = vec![
+            TraceRecord {
+                time: 100,
+                node: 0,
+                kind: TraceKind::Mine,
+                a: 1,
+                b: 1,
+            },
+            TraceRecord {
+                time: 150,
+                node: 0,
+                kind: TraceKind::BlockAccept,
+                a: 1,
+                b: 1,
+            },
+            TraceRecord {
+                time: 200,
+                node: 0,
+                kind: TraceKind::Mine,
+                a: 2,
+                b: 3,
+            },
+            TraceRecord {
+                time: 60_000,
+                node: 2,
+                kind: TraceKind::CrawlSample,
+                a: 0,
+                b: 3,
+            },
+        ];
+        let points = timeline(&records);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].t_ms, 60_000);
+        assert_eq!(points[0].network_best, 3);
+        assert_eq!(points[0].lag_counts, [0, 0, 2, 0, 0]);
+        let csv = timeline_csv(&points);
+        assert_eq!(
+            csv,
+            "t_secs,synced,one_behind,two_to_four,five_to_ten,ten_plus\n60,0,0,2,0,0\n"
+        );
+    }
+
+    #[test]
+    fn timeline_ignores_attack_records() {
+        let records = vec![
+            TraceRecord {
+                time: 5,
+                node: 1,
+                kind: TraceKind::GridMine,
+                a: 40,
+                b: 5,
+            },
+            TraceRecord {
+                time: 1000,
+                node: 1,
+                kind: TraceKind::CrawlSample,
+                a: 1,
+                b: 0,
+            },
+        ];
+        let points = timeline(&records);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].network_best, 0);
+        assert_eq!(points[0].lag_counts, [1, 0, 0, 0, 0]);
+    }
+}

@@ -44,19 +44,35 @@ pub struct BlockAwareTradeoff {
     pub false_alarm_rate: f64,
 }
 
+/// One cell of the BlockAware threshold sweep. Each threshold is an
+/// independent closed-form evaluation, so the artifact pipeline can fan
+/// the sweep out as one task per threshold and merge rows in threshold
+/// order — [`blockaware_tradeoff`] is the serial reference built from
+/// the same cells.
+///
+/// # Panics
+///
+/// Panics if `block_interval_secs` is not positive.
+pub fn blockaware_tradeoff_one(
+    threshold_secs: u64,
+    block_interval_secs: f64,
+) -> BlockAwareTradeoff {
+    assert!(block_interval_secs > 0.0, "block interval must be positive");
+    BlockAwareTradeoff {
+        threshold_secs,
+        detection_delay_secs: threshold_secs,
+        false_alarm_rate: (-(threshold_secs as f64) / block_interval_secs).exp(),
+    }
+}
+
 /// Sweeps BlockAware thresholds — the ablation behind choosing 600 s.
 pub fn blockaware_tradeoff(
     thresholds: &[u64],
     block_interval_secs: f64,
 ) -> Vec<BlockAwareTradeoff> {
-    assert!(block_interval_secs > 0.0, "block interval must be positive");
     thresholds
         .iter()
-        .map(|&t| BlockAwareTradeoff {
-            threshold_secs: t,
-            detection_delay_secs: t,
-            false_alarm_rate: (-(t as f64) / block_interval_secs).exp(),
-        })
+        .map(|&t| blockaware_tradeoff_one(t, block_interval_secs))
         .collect()
 }
 
@@ -166,6 +182,17 @@ mod tests {
         // AS45102 alone sees >50 %, so one AS suffices.
         assert_eq!(ases_to_isolate_hash(&census, 0.5), 1);
         assert_eq!(ases_to_isolate_hash(&census, 0.0), 0);
+    }
+
+    #[test]
+    fn tradeoff_cells_match_the_sweep() {
+        // The per-threshold cell is the decomposition unit the task DAG
+        // fans out; it must agree with the serial sweep bit for bit.
+        let thresholds = [150u64, 300, 600, 1200];
+        let sweep = blockaware_tradeoff(&thresholds, 600.0);
+        for (i, &t) in thresholds.iter().enumerate() {
+            assert_eq!(sweep[i], blockaware_tradeoff_one(t, 600.0));
+        }
     }
 
     #[test]

@@ -206,14 +206,32 @@ impl TemporalModel {
         node_counts: &[u64],
         p: f64,
         reg: Option<&bp_obs::Registry>,
-        mut tracer: Option<&mut bp_obs::Tracer>,
+        tracer: Option<&mut bp_obs::Tracer>,
     ) -> Vec<(f64, Vec<Option<u64>>)> {
-        let mut cells = 0u64;
+        Self::table_vi_offset_instrumented(lambdas, node_counts, p, reg, tracer, 0)
+    }
+
+    /// [`table_vi_instrumented`](Self::table_vi_instrumented) for a slice
+    /// of the λ grid starting at `row_offset`: trace cell ordinals and
+    /// row indices are numbered as if the full grid were swept serially,
+    /// so per-row calls concatenated in λ order reproduce the exact
+    /// serial record stream. This is the decomposition hook the
+    /// `bp-bench` task DAG uses to fan Table VI out one task per λ.
+    pub fn table_vi_offset_instrumented(
+        lambdas: &[f64],
+        node_counts: &[u64],
+        p: f64,
+        reg: Option<&bp_obs::Registry>,
+        mut tracer: Option<&mut bp_obs::Tracer>,
+        row_offset: usize,
+    ) -> Vec<(f64, Vec<Option<u64>>)> {
+        let mut cells = (row_offset * node_counts.len()) as u64;
         let mut bisection_steps = 0u64;
         let table = lambdas
             .iter()
             .enumerate()
             .map(|(row, &lambda)| {
+                let row = row + row_offset;
                 let model = TemporalModel::new(lambda);
                 let row_values = node_counts
                     .iter()
@@ -231,7 +249,10 @@ impl TemporalModel {
             })
             .collect();
         if let Some(reg) = reg {
-            reg.add("temporal.model.cells", cells);
+            reg.add(
+                "temporal.model.cells",
+                (lambdas.len() * node_counts.len()) as u64,
+            );
             reg.add("temporal.model.bisection_steps", bisection_steps);
         }
         table

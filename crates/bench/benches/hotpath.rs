@@ -6,7 +6,9 @@
 //! here show up directly in `BENCH_pipeline.json` wall times.
 //! `cargo bench -p bp-bench --bench hotpath`.
 
+use bp_bench::dag::{Dag, TaskOutput};
 use btcpart::chain::{BlockId, Hash256};
+use btcpart::experiments::ablation;
 use btcpart::net::{DenseSet, EventQueue, HeapQueue, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -107,5 +109,55 @@ fn dense_set_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, queue_schedule_pop, dense_set_ops);
+/// Snapshot seed for the fan-out bench — the quick profile's default.
+const FANOUT_SEED: u64 = 7;
+
+/// The ablation relay sweep's inner simulations, run serially (the old
+/// `job_ablations` shape) vs fanned out on the task-DAG worker pool —
+/// the tentpole speedup of the fine-grained scheduler, isolated from
+/// the rest of the pipeline. Identical merged output on both paths.
+fn dag_fanout(c: &mut Criterion) {
+    let n_seeds = ablation::AVERAGING_SEEDS.len();
+    let n_cases = ablation::RELAY_CASES.len();
+    let mut group = c.benchmark_group("dag_fanout");
+    group.sample_size(10);
+    group.bench_function("relay_units_serial", |b| {
+        b.iter(|| {
+            let mut units = Vec::with_capacity(n_cases * n_seeds);
+            for case in 0..n_cases {
+                for s in 0..n_seeds {
+                    units.push(ablation::relay_unit(FANOUT_SEED, case, s));
+                }
+            }
+            black_box(ablation::relay_mode_from_units(&units))
+        })
+    });
+    group.bench_function("relay_units_dag_pool", |b| {
+        b.iter(|| {
+            let mut dag = Dag::new();
+            let mut deps = Vec::with_capacity(n_cases * n_seeds);
+            for case in 0..n_cases {
+                for s in 0..n_seeds {
+                    deps.push(dag.push(
+                        format!("relay[{case},s{s}]"),
+                        None,
+                        1,
+                        vec![],
+                        move |_| Box::new(ablation::relay_unit(FANOUT_SEED, case, s)) as TaskOutput,
+                    ));
+                }
+            }
+            let total = deps.len();
+            dag.push("merge", None, 0, deps, move |ctx| {
+                let units: Vec<ablation::NetUnit> = (0..total).map(|k| *ctx.dep(k)).collect();
+                Box::new(ablation::relay_mode_from_units(&units)) as TaskOutput
+            });
+            let run = dag.execute(4);
+            black_box(run.stats.critical_path)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_schedule_pop, dense_set_ops, dag_fanout);
 criterion_main!(benches);

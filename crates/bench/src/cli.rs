@@ -199,7 +199,13 @@ mod tests {
         let opts = parse_args(&argv(&["--jobs", "4", "--timings", "all"])).unwrap();
         assert_eq!(opts.jobs, Some(4));
         assert!(opts.timings);
-        assert!(parse_args(&argv(&["--jobs", "0"])).is_err());
+        // Zero workers is rejected with a message that names the flag
+        // and the minimum, not a panic or a silent clamp.
+        let err = parse_args(&argv(&["--jobs", "0"])).unwrap_err();
+        assert!(
+            err.contains("--jobs") && err.contains("at least 1"),
+            "unclear --jobs 0 error: {err}"
+        );
         assert!(parse_args(&argv(&["--jobs"])).is_err());
     }
 

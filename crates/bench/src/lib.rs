@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dag;
 pub mod pipeline;
 pub mod trace_cli;
 
@@ -213,7 +214,7 @@ pub fn bench_json(
     snapshot: &bp_obs::Snapshot,
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v3\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile}\",");
     let _ = writeln!(out, "  \"scale\": {},", config.scale);
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
@@ -230,9 +231,12 @@ pub fn bench_json(
     );
     let _ = writeln!(
         out,
-        "  \"shared_overlap_ms\": {:.3},",
-        report.shared_overlap.as_secs_f64() * 1e3
+        "  \"critical_path_ms\": {:.3},",
+        report.critical_path.as_secs_f64() * 1e3
     );
+    let _ = writeln!(out, "  \"tasks_spawned\": {},", report.tasks_spawned);
+    let _ = writeln!(out, "  \"tasks_claimed\": {},", report.tasks_claimed);
+    let _ = writeln!(out, "  \"max_ready\": {},", report.max_ready);
     out.push_str("  \"stages\": [\n");
     let stages: Vec<_> = report
         .shared
@@ -246,6 +250,23 @@ pub fn bench_json(
             out,
             "    {{\"id\": \"{}\", \"kind\": \"{}\", \"wall_ms\": {:.3}, \"artifacts\": {}, \"body_bytes\": {}, \"csv_bytes\": {}}}{}",
             stage.id, kind, stage.wall.as_secs_f64() * 1e3, stage.artifacts, stage.body_bytes, stage.csv_bytes, sep
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"tasks\": [\n");
+    for (i, task) in report.tasks.iter().enumerate() {
+        let sep = if i + 1 == report.tasks.len() { "" } else { "," };
+        let job = match &task.job {
+            Some(id) => format!("\"{id}\""),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"job\": {}, \"wall_ms\": {:.3}}}{}",
+            task.label,
+            job,
+            task.wall.as_secs_f64() * 1e3,
+            sep
         );
     }
     out.push_str("  ],\n");

@@ -1,38 +1,46 @@
-//! Deterministic parallel artifact pipeline.
+//! Deterministic parallel artifact pipeline on a fine-grained task DAG.
 //!
 //! Every paper artifact is modelled as a *job* with explicit shared
 //! inputs (the static snapshot + census, the one-day crawl, the general
-//! crawl). Shared inputs are computed once — in parallel with each
-//! other where possible — then the independent artifact jobs fan out
-//! across a scoped thread pool. Results are reassembled in
+//! crawl). Each run compiles the selected jobs into one
+//! [`dag::Dag`](crate::dag): the shared builds are independent root
+//! tasks that run concurrently, simple jobs are single tasks with
+//! dependency edges on exactly the shared inputs they read, and the
+//! multi-run jobs (`ablations`, `countermeasures`, `table6`,
+//! `propagation`, `fifty_one`) decompose into one task per
+//! independently-seeded inner simulation plus a pure merge that folds
+//! unit results in the original serial order. The whole graph executes
+//! on a single scoped worker pool; results are reassembled in
 //! [`ARTIFACT_IDS`](crate::ARTIFACT_IDS) presentation order, so the
 //! output is byte-identical no matter how many worker threads run: each
-//! job derives all of its randomness from the seeded
-//! [`ReproConfig`], never from another job.
+//! task derives all of its randomness from the seeded [`ReproConfig`],
+//! never from another task or from scheduling.
 //!
-//! The pipeline also collects an observability layer: per-job wall
-//! time, artifact body/CSV sizes and thread count land in a
-//! [`RunReport`] that `repro --timings` renders and exports as
-//! `timings.csv`, and that the Criterion benches reuse to track
-//! per-artifact cost over time.
+//! The pipeline also collects an observability layer: per-task and
+//! per-job wall time, the dependency-chain critical path, artifact
+//! body/CSV sizes and thread count land in a [`RunReport`] that
+//! `repro --timings` renders and exports as `timings.csv`, and that the
+//! Criterion benches reuse to track per-artifact cost over time.
 
+use crate::dag::{Dag, DagRun, TaskOutput};
 use crate::{day_crawl_instrumented, general_crawl_metered, measurement_lab, ReproConfig};
 use bp_obs::Tracer;
-use btcpart::attacks::temporal::TemporalAttackConfig;
+use btcpart::attacks::countermeasures::BlockAwareTradeoff;
+use btcpart::attacks::temporal::{run_temporal_attack, TemporalAttackConfig, TemporalAttackReport};
 use btcpart::crawler::CrawlResult;
 use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
 use btcpart::mining::PoolCensus;
 use btcpart::topology::Snapshot;
 use btcpart::{Lab, Scenario};
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The shared inputs a job may depend on. Each is computed at most once
 /// per pipeline run and handed to jobs by reference. The fields are
-/// write-once cells so the overlapped scheduler can publish each input
-/// from its builder thread while artifact jobs that do not need it are
+/// write-once cells so each shared-build task can publish its input
+/// from whichever worker runs it while tasks that do not need it are
 /// already running (see [`run_pipeline_metered`]).
 #[derive(Debug, Default)]
 pub struct SharedInputs {
@@ -120,19 +128,29 @@ impl SharedInputs {
 /// Collects the per-component flight-recorder streams of one traced run
 /// (`repro --trace`).
 ///
-/// Each traced component — the day-crawl simulation, the Figure 7 grid
-/// simulation and the Table VI model sweep — records into its own
-/// [`Tracer`] on whatever thread its job happens to run, then deposits
-/// the finished stream here. [`merged`](Self::merged) concatenates the
-/// streams in a fixed order (day, grid, model), so the merged trace is
-/// byte-identical for any `--jobs N`: scheduling decides *when* each
-/// stream is deposited, never what it contains or where it lands.
+/// Each traced component records into its own [`Tracer`] on whatever
+/// worker thread its task happens to run, then deposits the finished
+/// stream here under a `(rank, name)` key. [`merged`](Self::merged)
+/// concatenates the streams in ascending key order, so the merged trace
+/// is byte-identical for any `--jobs N`: scheduling decides *when* each
+/// stream is deposited, never what it contains or where it lands in the
+/// merge. The three canonical streams keep their historical order —
+/// day (rank 0), grid (rank 1), model (rank 2) — and any future traced
+/// task slots in by picking a key; decomposed tasks that share one
+/// logical stream (the per-λ Table VI rows) concatenate their records in
+/// presentation order before depositing, so the stream set is the same
+/// as a serial run's.
 #[derive(Debug, Default)]
 pub struct TraceHub {
-    day: Mutex<Option<Tracer>>,
-    grid: Mutex<Option<Tracer>>,
-    model: Mutex<Option<Tracer>>,
+    streams: Mutex<BTreeMap<(u32, String), Tracer>>,
 }
+
+/// Merge rank of the day-crawl stream.
+pub const STREAM_RANK_DAY: u32 = 0;
+/// Merge rank of the Figure 7 grid stream.
+pub const STREAM_RANK_GRID: u32 = 1;
+/// Merge rank of the Table VI model stream.
+pub const STREAM_RANK_MODEL: u32 = 2;
 
 impl TraceHub {
     /// Creates an empty hub.
@@ -140,47 +158,50 @@ impl TraceHub {
         Self::default()
     }
 
+    /// Deposits a stream under `(rank, name)`. The key decides the merge
+    /// position and the `trace.<name>.*` metric prefix; depositing the
+    /// same key twice replaces the stream.
+    pub fn set_stream(&self, rank: u32, name: &str, tracer: Tracer) {
+        self.streams
+            .lock()
+            .unwrap()
+            .insert((rank, name.to_string()), tracer);
+    }
+
     /// Deposits the day-crawl simulation's stream.
     pub fn set_day(&self, tracer: Tracer) {
-        *self.day.lock().unwrap() = Some(tracer);
+        self.set_stream(STREAM_RANK_DAY, "day", tracer);
     }
 
     /// Deposits the grid simulation's stream.
     pub fn set_grid(&self, tracer: Tracer) {
-        *self.grid.lock().unwrap() = Some(tracer);
+        self.set_stream(STREAM_RANK_GRID, "grid", tracer);
     }
 
     /// Deposits the model sweep's stream.
     pub fn set_model(&self, tracer: Tracer) {
-        *self.model.lock().unwrap() = Some(tracer);
+        self.set_stream(STREAM_RANK_MODEL, "model", tracer);
     }
 
-    /// The merged trace: day, then grid, then model — always in that
-    /// order, regardless of which job finished first. Streams that were
+    /// The merged trace: streams concatenated in ascending `(rank, name)`
+    /// order, regardless of which task finished first. Streams that were
     /// never deposited (their jobs were not selected) contribute nothing.
     /// The hub keeps its streams, so merging is repeatable.
     pub fn merged(&self) -> Tracer {
         let mut out = Tracer::new();
-        for stream in [&self.day, &self.grid, &self.model] {
-            if let Some(t) = stream.lock().unwrap().as_ref() {
-                out.append(t.clone());
-            }
+        for tracer in self.streams.lock().unwrap().values() {
+            out.append(tracer.clone());
         }
         out
     }
 
-    /// Exports per-stream `trace.day.*` / `trace.grid.*` / `trace.model.*`
-    /// counters into `reg`. Counts are deterministic for a given config,
-    /// so metrics stay byte-identical across worker counts.
+    /// Exports per-stream `trace.<name>.*` counters into `reg` (the
+    /// canonical streams keep their `trace.day.*` / `trace.grid.*` /
+    /// `trace.model.*` prefixes). Counts are deterministic for a given
+    /// config, so metrics stay byte-identical across worker counts.
     pub fn export_metrics(&self, reg: &bp_obs::Registry) {
-        for (prefix, stream) in [
-            ("trace.day", &self.day),
-            ("trace.grid", &self.grid),
-            ("trace.model", &self.model),
-        ] {
-            if let Some(t) = stream.lock().unwrap().as_ref() {
-                t.export_metrics(reg, prefix);
-            }
+        for ((_, name), tracer) in self.streams.lock().unwrap().iter() {
+            tracer.export_metrics(reg, &format!("trace.{name}"));
         }
     }
 }
@@ -211,67 +232,6 @@ const NOTHING: Needs = Needs {
     day: false,
     general: false,
 };
-
-impl Needs {
-    /// Whether every input `want` requires is marked available in `self`.
-    fn covers(&self, want: Needs) -> bool {
-        (!want.static_env || self.static_env)
-            && (!want.day || self.day)
-            && (!want.general || self.general)
-    }
-
-    /// Claim order for the overlapped scheduler: jobs whose inputs are
-    /// ready soonest go first, so the fan-out overlaps the remaining
-    /// shared builds (the static snapshot is the cheapest build, the
-    /// general crawl the longest).
-    fn weight(&self) -> u8 {
-        if self.general {
-            3
-        } else if self.day {
-            2
-        } else if self.static_env {
-            1
-        } else {
-            0
-        }
-    }
-}
-
-/// A monotone readiness gate over [`Needs`]: builder threads publish
-/// inputs as they land, job workers block until the inputs they declared
-/// are all available.
-struct ReadyGate {
-    ready: Mutex<Needs>,
-    cv: Condvar,
-}
-
-impl ReadyGate {
-    /// Creates a gate; inputs no selected job needs start out "ready"
-    /// so nothing ever waits on a build that will not run.
-    fn new(initial: Needs) -> Self {
-        Self {
-            ready: Mutex::new(initial),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Re-reads which inputs `shared` now holds and wakes waiters.
-    fn publish(&self, shared: &SharedInputs) {
-        let mut ready = self.ready.lock().unwrap();
-        ready.static_env |= shared.has_static_env();
-        ready.day |= shared.has_day();
-        ready.general |= shared.has_general();
-        self.cv.notify_all();
-    }
-
-    /// Blocks until every input in `want` is available.
-    fn wait_for(&self, want: Needs) {
-        let mut ready = self.ready.lock().unwrap();
-        while !ready.covers(want) {
-            ready = self.cv.wait(ready).unwrap();
-        }
-    }
-}
 
 /// Everything a job is allowed to see: the seeded configuration and the
 /// precomputed shared inputs. Jobs must derive all randomness from
@@ -581,22 +541,47 @@ impl StageTiming {
     }
 }
 
+/// Wall time of one task of the fine-grained DAG, tagged with its
+/// owning job id (shared builds have none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRow {
+    /// Task label, e.g. `ablations/relay[1,s2]` or `day_crawl`.
+    pub label: String,
+    /// Owning job id, if the task belongs to a job.
+    pub job: Option<String>,
+    /// Measured wall time.
+    pub wall: Duration,
+}
+
 /// Observability record of one pipeline run: thread count, total wall
-/// time, and per-stage timings for the shared inputs and every job.
+/// time, per-stage timings for the shared inputs and every job, the
+/// per-task DAG rows they aggregate, and the scheduler's deterministic
+/// counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
-    /// Worker threads the job fan-out actually used.
+    /// Worker threads the task pool actually used.
     pub threads: usize,
     /// Total wall time of the pipeline (shared inputs + jobs).
     pub total: Duration,
     /// Shared-input build timings.
     pub shared: Vec<StageTiming>,
-    /// Per-job timings, in presentation order.
+    /// Per-job timings, in presentation order. A decomposed job's wall
+    /// is the sum of its member-task walls (its serial cost), not the
+    /// elapsed span — `total` and `critical_path` carry the elapsed
+    /// story.
     pub jobs: Vec<StageTiming>,
-    /// How long artifact jobs ran concurrently with shared-input builds
-    /// — the wall time the overlapped scheduler reclaimed from the old
-    /// build-then-fan-out barrier. Zero for serial runs.
-    pub shared_overlap: Duration,
+    /// Per-task rows, in DAG construction order.
+    pub tasks: Vec<TaskRow>,
+    /// Longest dependency chain of measured task walls — the wall time
+    /// an infinitely wide worker pool would still pay.
+    pub critical_path: Duration,
+    /// Tasks in the graph (identical for any worker count).
+    pub tasks_spawned: u64,
+    /// Tasks claimed and executed (identical for any worker count).
+    pub tasks_claimed: u64,
+    /// Canonical ready-queue high-water mark, replayed from the graph
+    /// structure alone (identical for any worker count).
+    pub max_ready: u64,
 }
 
 impl RunReport {
@@ -619,7 +604,9 @@ impl RunReport {
         self.serial_estimate().as_secs_f64() / total
     }
 
-    /// The `timings.csv` export: one row per stage.
+    /// The `timings.csv` export: one row per shared build and job, then
+    /// one `task` row per DAG task (decomposed jobs show their inner
+    /// fan-out there).
     pub fn timings_csv(&self) -> String {
         let mut out = String::from("stage,kind,wall_ms,artifacts,body_bytes,csv_bytes\n");
         for (kind, stage) in self
@@ -636,6 +623,13 @@ impl RunReport {
                 stage.artifacts,
                 stage.body_bytes,
                 stage.csv_bytes
+            ));
+        }
+        for task in &self.tasks {
+            out.push_str(&format!(
+                "{},task,{:.3},0,0,0\n",
+                task.label,
+                task.wall.as_secs_f64() * 1e3
             ));
         }
         out
@@ -669,13 +663,16 @@ impl RunReport {
         }
         format!(
             "{}threads: {}   wall: {:.1} ms   serial estimate: {:.1} ms   \
-             speedup: {:.2}x   shared overlap: {:.1} ms\n",
+             speedup: {:.2}x   critical path: {:.1} ms   \
+             tasks: {} (max ready {})\n",
             t.render(),
             self.threads,
             self.total.as_secs_f64() * 1e3,
             self.serial_estimate().as_secs_f64() * 1e3,
             self.speedup(),
-            self.shared_overlap.as_secs_f64() * 1e3
+            self.critical_path.as_secs_f64() * 1e3,
+            self.tasks_spawned,
+            self.max_ready
         )
     }
 }
@@ -875,19 +872,21 @@ pub fn run_pipeline(
 
 /// [`run_pipeline`], recording metrics into `reg` when given: crawl
 /// simulation counters (`net.day.*` / `net.general.*`), per-stage spans
-/// (`pipeline.shared.<id>` / `pipeline.job.<id>` /
-/// `pipeline.shared_overlap`), and pipeline-level totals
-/// (`pipeline.jobs`, `pipeline.artifacts`, byte counts). The artifacts
-/// are byte-identical with or without a registry.
+/// (`pipeline.shared.<id>` / `pipeline.job.<id>`), scheduler counters
+/// (`pipeline.tasks.{spawned,claimed,max_ready}`), and pipeline-level
+/// totals (`pipeline.jobs`, `pipeline.artifacts`, byte counts). The
+/// artifacts are byte-identical with or without a registry.
 ///
-/// With two or more workers there is no barrier between the shared
-/// builds and the job fan-out: each shared input builds on its own
-/// thread and is published through a write-once cell the moment it is
-/// ready, while the job workers claim jobs in readiness order (no-input
-/// jobs first, then static, day, general) and block on a readiness
-/// gate only until their declared inputs land. Scheduling never changes the
-/// output: every job still derives all randomness from the seeded
-/// config, and results are reassembled in presentation order.
+/// The whole selection — shared builds included — compiles into one
+/// fine-grained task DAG executed on a single worker pool: the two
+/// crawls and the static build run as independent concurrent tasks,
+/// jobs depend only on the specific shared inputs they declare, and the
+/// multi-run jobs fan out one task per independently-seeded inner
+/// simulation. Scheduling never changes the output: the graph is the
+/// same for any worker count, every task derives all randomness from
+/// the seeded config, fan-out results merge in their serial
+/// accumulation order, and job results are reassembled in presentation
+/// order.
 pub fn run_pipeline_metered(
     config: &ReproConfig,
     ids: &[String],
@@ -918,149 +917,83 @@ pub fn run_pipeline_traced(
         general: acc.general || job.needs.general,
     });
     let workers = workers.max(1);
-    let n = selected.len();
-    let worker_count = workers.min(n.max(1));
 
     let shared = SharedInputs::default();
-    // One result slot per job: the worker that runs job `i` fills slot
-    // `i`, so reassembly below is a straight in-order walk.
-    type JobSlot = Mutex<Option<(Vec<Artifact>, Duration)>>;
-    let slots: Vec<JobSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+    // The graph is a pure function of (config, selection): the same
+    // tasks, edges and ranks are built for any worker count, which is
+    // what keeps the scheduler counters in `--metrics` byte-identical
+    // across `--jobs N`.
+    let (dag, shared_tasks, artifact_tasks) =
+        build_dag(config, &selected, &shared, needs, reg, hub);
+    let worker_count = workers.min(dag.len().max(1));
+    let DagRun {
+        mut outputs,
+        timings,
+        stats,
+    } = dag.execute(worker_count);
 
-    let run_one = |index: usize| {
-        let job = selected[index];
-        let ctx = JobCtx {
-            config,
-            shared: &shared,
-            metrics: reg,
-            trace: hub,
-        };
-        let job_start = Instant::now();
-        let artifacts = (job.run)(&ctx);
-        let wall = job_start.elapsed();
-        if let Some(reg) = reg {
-            reg.record_span(&format!("pipeline.job.{}", job.id), wall);
+    let shared_timings: Vec<StageTiming> = shared_tasks
+        .iter()
+        .map(|&(id, idx)| StageTiming {
+            id: id.to_string(),
+            wall: timings[idx].wall,
+            artifacts: 0,
+            body_bytes: 0,
+            csv_bytes: 0,
+        })
+        .collect();
+
+    // A job's wall is the summed serial cost of its member tasks, so
+    // `serial_estimate()` keeps meaning "what one thread would pay".
+    let mut job_walls = vec![Duration::ZERO; selected.len()];
+    for t in &timings {
+        if let Some(j) = t.job {
+            job_walls[j] += t.wall;
         }
-        *slots[index].lock().unwrap() = Some((artifacts, wall));
-    };
-
-    let (shared_timings, shared_overlap) = if worker_count <= 1 {
-        // Serial: every shared input first, then the jobs in
-        // presentation order. Nothing overlaps. (The builds themselves
-        // may still parallelize when `workers > 1` but only one job
-        // was selected.)
-        let timings = build_shared_barrier(&shared, config, needs, workers, reg, hub);
-        for i in 0..n {
-            run_one(i);
-        }
-        (timings, Duration::ZERO)
-    } else {
-        // Overlapped: shared inputs build on their own threads while
-        // the job workers already chew through whatever is ready.
-        let builders = shared_builders(config, needs, reg, hub.is_some());
-        let gate = ReadyGate::new(Needs {
-            static_env: !needs.static_env,
-            day: !needs.day,
-            general: !needs.general,
-        });
-        let builder_slots: Vec<Mutex<Option<StageTiming>>> =
-            (0..builders.len()).map(|_| Mutex::new(None)).collect();
-        // Overlap endpoints: the first moment a job actually ran and
-        // the last moment a builder was still running.
-        let first_job_start: Mutex<Option<Instant>> = Mutex::new(None);
-        let last_build_end: Mutex<Option<Instant>> = Mutex::new(None);
-
-        let mut exec_order: Vec<usize> = (0..n).collect();
-        exec_order.sort_by_key(|&i| selected[i].needs.weight());
-        let cursor = AtomicUsize::new(0);
-
-        std::thread::scope(|scope| {
-            for (bi, (id, build)) in builders.iter().enumerate() {
-                let gate = &gate;
-                let shared = &shared;
-                let builder_slots = &builder_slots;
-                let last_build_end = &last_build_end;
-                scope.spawn(move || {
-                    let build_start = Instant::now();
-                    let part = build();
-                    let wall = build_start.elapsed();
-                    publish_part(shared, part, reg, hub);
-                    gate.publish(shared);
-                    if let Some(reg) = reg {
-                        reg.record_span(&format!("pipeline.shared.{id}"), wall);
-                    }
-                    *builder_slots[bi].lock().unwrap() = Some(StageTiming {
-                        id: id.to_string(),
-                        wall,
-                        artifacts: 0,
-                        body_bytes: 0,
-                        csv_bytes: 0,
-                    });
-                    // Mutex writes serialize, so the final value is the
-                    // chronologically last builder finish.
-                    *last_build_end.lock().unwrap() = Some(Instant::now());
-                });
-            }
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    if k >= n {
-                        break;
-                    }
-                    let i = exec_order[k];
-                    gate.wait_for(selected[i].needs);
-                    {
-                        let mut first = first_job_start.lock().unwrap();
-                        if first.is_none() {
-                            *first = Some(Instant::now());
-                        }
-                    }
-                    run_one(i);
-                });
-            }
-        });
-
-        let timings: Vec<StageTiming> = builder_slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .unwrap()
-                    .expect("every shared build stores a timing")
-            })
-            .collect();
-        let overlap = match (
-            *first_job_start.lock().unwrap(),
-            *last_build_end.lock().unwrap(),
-        ) {
-            (Some(job0), Some(build_end)) => build_end.saturating_duration_since(job0),
-            _ => Duration::ZERO,
-        };
-        (timings, overlap)
-    };
-    if let Some(reg) = reg {
-        // Recorded on both paths so the span *count* in metrics.json is
-        // identical for any worker count (span wall times are excluded
-        // from the deterministic exports by design).
-        reg.record_span("pipeline.shared_overlap", shared_overlap);
     }
 
     let mut artifacts = Vec::new();
     let mut job_timings = Vec::new();
-    for (job, slot) in selected.iter().zip(slots) {
-        let (mut produced, wall) = slot
-            .into_inner()
-            .unwrap()
-            .expect("every scheduled job stores a result");
-        job_timings.push(StageTiming::for_artifacts(job.id, wall, &produced));
-        artifacts.append(&mut produced);
+    for (j, (job, &task_idx)) in selected.iter().zip(&artifact_tasks).enumerate() {
+        let produced: Box<Vec<Artifact>> = std::mem::replace(&mut outputs[task_idx], Box::new(()))
+            .downcast()
+            .unwrap_or_else(|_| panic!("task for job {} returns Vec<Artifact>", job.id));
+        job_timings.push(StageTiming::for_artifacts(job.id, job_walls[j], &produced));
+        artifacts.extend(*produced);
     }
+
+    if let Some(reg) = reg {
+        // One span per shared build and per job on every path, so the
+        // span *count* in metrics.json is identical for any worker
+        // count (span wall times are excluded from the deterministic
+        // exports by design).
+        for s in &shared_timings {
+            reg.record_span(&format!("pipeline.shared.{}", s.id), s.wall);
+        }
+        for j in &job_timings {
+            reg.record_span(&format!("pipeline.job.{}", j.id), j.wall);
+        }
+    }
+
+    let tasks: Vec<TaskRow> = timings
+        .iter()
+        .map(|t| TaskRow {
+            label: t.label.clone(),
+            job: t.job.map(|j| selected[j].id.to_string()),
+            wall: t.wall,
+        })
+        .collect();
 
     let report = RunReport {
         threads: worker_count,
         total: start.elapsed(),
         shared: shared_timings,
         jobs: job_timings,
-        shared_overlap,
+        tasks,
+        critical_path: stats.critical_path,
+        tasks_spawned: stats.spawned,
+        tasks_claimed: stats.claimed,
+        max_ready: stats.max_ready,
     };
     if let Some(reg) = reg {
         reg.add("pipeline.jobs", report.jobs.len() as u64);
@@ -1073,11 +1006,363 @@ pub fn run_pipeline_traced(
             "pipeline.csv_bytes",
             report.jobs.iter().map(|j| j.csv_bytes as u64).sum(),
         );
+        // Replayed from the graph alone — identical for any --jobs N.
+        reg.add("pipeline.tasks.spawned", stats.spawned);
+        reg.add("pipeline.tasks.claimed", stats.claimed);
+        reg.add("pipeline.tasks.max_ready", stats.max_ready);
         // Thread count is run metadata, not a metric: it lives in the
         // RunReport / BENCH_pipeline.json so metrics.json stays
         // identical across worker counts.
     }
     (artifacts, report)
+}
+
+// Claim ranks: higher = claimed earlier among ready tasks. Derived from
+// the committed BENCH stage walls (longest-processing-time-first); they
+// tune wall time only, never bytes.
+const RANK_GENERAL: u8 = 250;
+const RANK_DAY: u8 = 245;
+const RANK_STATIC: u8 = 240;
+const RANK_ARM: u8 = 90; // countermeasures temporal-attack arms
+const RANK_NET_UNIT: u8 = 85; // ablation relay/degree simulations
+const RANK_PREP: u8 = 80; // propagation / fifty_one sim prep + finals
+const RANK_GRID: u8 = 60; // fig7 grid simulation
+const RANK_SPAN_UNIT: u8 = 55; // ablation grid-sim units
+const RANK_CASCADE: u8 = 50;
+const RANK_MODEL_ROW: u8 = 40; // table6 per-λ bisections
+const RANK_MERGE: u8 = 30;
+const RANK_SIMPLE: u8 = 20; // shared-input-bound artifact renders
+const RANK_CHEAP: u8 = 10; // closed-form countermeasure cells
+
+fn simple_rank(id: &str) -> u8 {
+    match id {
+        "fig7" => RANK_GRID,
+        "cascade" => RANK_CASCADE,
+        _ => RANK_SIMPLE,
+    }
+}
+
+/// Compiles the selected jobs into the fine-grained task DAG. Returns
+/// the graph, the shared-build tasks as `(stage id, task index)` in the
+/// fixed `static` / `day_crawl` / `general_crawl` order, and — per
+/// selected job, in presentation order — the index of the task whose
+/// output is that job's `Vec<Artifact>`.
+fn build_dag<'a>(
+    config: &'a ReproConfig,
+    selected: &[&'static JobSpec],
+    shared: &'a SharedInputs,
+    needs: Needs,
+    reg: Option<&'a bp_obs::Registry>,
+    hub: Option<&'a TraceHub>,
+) -> (Dag<'a>, Vec<(&'static str, usize)>, Vec<usize>) {
+    let mut dag = Dag::new();
+
+    let mut shared_tasks: Vec<(&'static str, usize)> = Vec::new();
+    let (mut static_task, mut day_task, mut general_task) = (None, None, None);
+    for (id, builder) in shared_builders(config, needs, reg, hub.is_some()) {
+        let rank = match id {
+            "static" => RANK_STATIC,
+            "day_crawl" => RANK_DAY,
+            _ => RANK_GENERAL,
+        };
+        let idx = dag.push(id, None, rank, vec![], move |_| {
+            publish_part(shared, builder(), reg, hub);
+            Box::new(()) as TaskOutput
+        });
+        match id {
+            "static" => static_task = Some(idx),
+            "day_crawl" => day_task = Some(idx),
+            _ => general_task = Some(idx),
+        }
+        shared_tasks.push((id, idx));
+    }
+    let deps_for = |needs: Needs| -> Vec<usize> {
+        let mut deps = Vec::new();
+        if needs.static_env {
+            deps.push(static_task.expect("static build scheduled"));
+        }
+        if needs.day {
+            deps.push(day_task.expect("day crawl scheduled"));
+        }
+        if needs.general {
+            deps.push(general_task.expect("general crawl scheduled"));
+        }
+        deps
+    };
+
+    let mut artifact_tasks = Vec::with_capacity(selected.len());
+    for (j, job) in selected.iter().enumerate() {
+        let idx = match job.id {
+            "ablations" => push_ablations(&mut dag, j, config),
+            "countermeasures" => push_countermeasures(
+                &mut dag,
+                j,
+                config,
+                shared,
+                static_task.expect("countermeasures needs the static build"),
+            ),
+            "table6" => push_table6(&mut dag, j, reg, hub),
+            "propagation" => push_propagation(&mut dag, j, config),
+            "fifty_one" => push_fifty_one(&mut dag, j, config),
+            _ => {
+                let spec: &'static JobSpec = job;
+                dag.push(
+                    job.id,
+                    Some(j),
+                    simple_rank(job.id),
+                    deps_for(job.needs),
+                    move |_| {
+                        let ctx = JobCtx {
+                            config,
+                            shared,
+                            metrics: reg,
+                            trace: hub,
+                        };
+                        Box::new((spec.run)(&ctx)) as TaskOutput
+                    },
+                )
+            }
+        };
+        artifact_tasks.push(idx);
+    }
+    (dag, shared_tasks, artifact_tasks)
+}
+
+/// `ablations` fan-out: one task per `(case, seed)` simulation of the
+/// relay, out-degree and span-ratio sweeps, merged in case-major /
+/// seed-minor order (the exact serial accumulation order, floating
+/// point included).
+fn push_ablations<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> usize {
+    let seed = config.seed;
+    let n_seeds = ablation::AVERAGING_SEEDS.len();
+    let mut deps = Vec::new();
+    for case in 0..ablation::RELAY_CASES.len() {
+        for s in 0..n_seeds {
+            deps.push(dag.push(
+                format!("ablations/relay[{case},s{s}]"),
+                Some(j),
+                RANK_NET_UNIT,
+                vec![],
+                move |_| Box::new(ablation::relay_unit(seed, case, s)) as TaskOutput,
+            ));
+        }
+    }
+    for degree in 0..ablation::OUT_DEGREES.len() {
+        for s in 0..n_seeds {
+            deps.push(dag.push(
+                format!("ablations/degree[{degree},s{s}]"),
+                Some(j),
+                RANK_NET_UNIT,
+                vec![],
+                move |_| Box::new(ablation::degree_unit(seed, degree, s)) as TaskOutput,
+            ));
+        }
+    }
+    for ratio in 0..ablation::SPAN_RATIOS.len() {
+        for s in 0..n_seeds {
+            deps.push(dag.push(
+                format!("ablations/span[{ratio},s{s}]"),
+                Some(j),
+                RANK_SPAN_UNIT,
+                vec![],
+                move |_| Box::new(ablation::span_unit(seed, ratio, s)) as TaskOutput,
+            ));
+        }
+    }
+    let relay_n = ablation::RELAY_CASES.len() * n_seeds;
+    let degree_n = ablation::OUT_DEGREES.len() * n_seeds;
+    let span_n = ablation::SPAN_RATIOS.len() * n_seeds;
+    dag.push("ablations/merge", Some(j), RANK_MERGE, deps, move |ctx| {
+        let relay: Vec<ablation::NetUnit> = (0..relay_n).map(|k| *ctx.dep(k)).collect();
+        let degree: Vec<ablation::NetUnit> =
+            (relay_n..relay_n + degree_n).map(|k| *ctx.dep(k)).collect();
+        let span: Vec<ablation::SpanUnit> = (relay_n + degree_n..relay_n + degree_n + span_n)
+            .map(|k| ctx.dep::<ablation::SpanUnit>(k).clone())
+            .collect();
+        Box::new(vec![
+            ablation::relay_mode_from_units(&relay),
+            ablation::out_degree_from_units(&degree),
+            ablation::span_ratio_from_units(&span),
+        ]) as TaskOutput
+    })
+}
+
+/// `countermeasures` fan-out: the closed-form sweep cells, the stratum
+/// and route-purging renders, and the two temporal-attack arms all run
+/// as independent tasks; the merge renders in the serial artifact order
+/// (sweep, stratum, purging, BlockAware comparison).
+fn push_countermeasures<'a>(
+    dag: &mut Dag<'a>,
+    j: usize,
+    config: &'a ReproConfig,
+    shared: &'a SharedInputs,
+    static_task: usize,
+) -> usize {
+    let mut deps = Vec::new();
+    for &threshold in defense::BLOCKAWARE_SWEEP_THRESHOLDS.iter() {
+        deps.push(dag.push(
+            format!("countermeasures/sweep[{threshold}]"),
+            Some(j),
+            RANK_CHEAP,
+            vec![],
+            move |_| Box::new(defense::blockaware_sweep_row(threshold)) as TaskOutput,
+        ));
+    }
+    deps.push(dag.push(
+        "countermeasures/stratum",
+        Some(j),
+        RANK_CHEAP,
+        vec![],
+        |_| Box::new(defense::stratum_diversification()) as TaskOutput,
+    ));
+    deps.push(dag.push(
+        "countermeasures/purging",
+        Some(j),
+        RANK_SIMPLE,
+        vec![static_task],
+        move |_| Box::new(defense::route_purging(shared.static_env().0)) as TaskOutput,
+    ));
+    // A long enough window that (a) post-capture staleness alarms
+    // fire — at 30 % hash the counterfeit inter-block gap averages
+    // 2,000 s, well past the 600 s threshold — and (b) the honest
+    // majority's hash advantage dominates short lucky streaks by the
+    // attacker.
+    let attack = TemporalAttackConfig {
+        duration_secs: 12 * 600,
+        max_targets: (200.0 * config.scale).max(30.0) as usize,
+        ..TemporalAttackConfig::paper()
+    };
+    for (label, protected) in [
+        ("countermeasures/attack[open]", false),
+        ("countermeasures/attack[blockaware]", true),
+    ] {
+        deps.push(dag.push(label, Some(j), RANK_ARM, vec![], move |_| {
+            let mut lab = measurement_lab(config);
+            lab.sim.run_for_secs(4 * 600);
+            let cfg = if protected {
+                defense::blockaware_protected_config(attack)
+            } else {
+                attack
+            };
+            Box::new(run_temporal_attack(&mut lab.sim, cfg)) as TaskOutput
+        }));
+    }
+    let n_sweep = defense::BLOCKAWARE_SWEEP_THRESHOLDS.len();
+    dag.push(
+        "countermeasures/merge",
+        Some(j),
+        RANK_MERGE,
+        deps,
+        move |ctx| {
+            let rows: Vec<BlockAwareTradeoff> = (0..n_sweep).map(|k| *ctx.dep(k)).collect();
+            Box::new(vec![
+                defense::blockaware_sweep_from_rows(&rows),
+                ctx.dep::<Artifact>(n_sweep).clone(),
+                ctx.dep::<Artifact>(n_sweep + 1).clone(),
+                defense::blockaware_defense_from_reports(
+                    ctx.dep::<TemporalAttackReport>(n_sweep + 2),
+                    ctx.dep::<TemporalAttackReport>(n_sweep + 3),
+                ),
+            ]) as TaskOutput
+        },
+    )
+}
+
+/// One λ-row of Table VI plus its trace stream (when tracing).
+type Table6Row = ((f64, Vec<Option<u64>>), Option<Tracer>);
+
+/// `table6` fan-out: one bisection task per λ row; the merge renders the
+/// grid and concatenates the per-row trace streams in λ order, which
+/// reproduces the serial model stream exactly (the model emits
+/// grid-global cell ordinals via the row-offset API).
+fn push_table6<'a>(
+    dag: &mut Dag<'a>,
+    j: usize,
+    reg: Option<&'a bp_obs::Registry>,
+    hub: Option<&'a TraceHub>,
+) -> usize {
+    let n = temporal::TABLE6_LAMBDAS.len();
+    let mut deps = Vec::new();
+    for li in 0..n {
+        deps.push(dag.push(
+            format!("table6/row[{li}]"),
+            Some(j),
+            RANK_MODEL_ROW,
+            vec![],
+            move |_| {
+                let out: Table6Row = if hub.is_some() {
+                    let mut tracer = Tracer::new();
+                    let row = temporal::table6_row_instrumented(li, reg, Some(&mut tracer));
+                    (row, Some(tracer))
+                } else {
+                    (temporal::table6_row_instrumented(li, reg, None), None)
+                };
+                Box::new(out) as TaskOutput
+            },
+        ));
+    }
+    dag.push("table6/merge", Some(j), RANK_MERGE, deps, move |ctx| {
+        let mut grid = Vec::with_capacity(n);
+        let mut merged = Tracer::new();
+        for k in 0..n {
+            let (row, tracer) = ctx.dep::<Table6Row>(k);
+            grid.push(row.clone());
+            if let Some(t) = tracer {
+                merged.append(t.clone());
+            }
+        }
+        if let Some(hub) = hub {
+            hub.set_model(merged);
+        }
+        Box::new(vec![temporal::table6_from_rows(&grid)]) as TaskOutput
+    })
+}
+
+/// `propagation` chain: warm a measurement lab, then crawl it. Two
+/// tasks so the warmup runs concurrently with unrelated work while the
+/// measure step still sees the exact serial state (single consumer —
+/// the lab moves through a `Mutex`).
+fn push_propagation<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> usize {
+    let prep = dag.push("propagation/prep", Some(j), RANK_PREP, vec![], move |_| {
+        let mut lab = measurement_lab(config);
+        lab.sim.run_for_secs(2 * 600);
+        Box::new(Mutex::new(lab)) as TaskOutput
+    });
+    dag.push(
+        "propagation/measure",
+        Some(j),
+        RANK_PREP,
+        vec![prep],
+        move |ctx| {
+            let mut lab = ctx.dep::<Mutex<Lab>>(0).lock().unwrap();
+            let lab = &mut *lab;
+            Box::new(vec![temporal::propagation(
+                &mut lab.sim,
+                &lab.snapshot,
+                config.day_hours.clamp(1, 4),
+            )]) as TaskOutput
+        },
+    )
+}
+
+/// `fifty_one` chain: same prep/measure split as `propagation`.
+fn push_fifty_one<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> usize {
+    let prep = dag.push("fifty_one/prep", Some(j), RANK_PREP, vec![], move |_| {
+        let mut lab = measurement_lab(config);
+        lab.sim.run_for_secs(2 * 600);
+        Box::new(Mutex::new(lab)) as TaskOutput
+    });
+    dag.push(
+        "fifty_one/measure",
+        Some(j),
+        RANK_PREP,
+        vec![prep],
+        move |ctx| {
+            let mut lab = ctx.dep::<Mutex<Lab>>(0).lock().unwrap();
+            let lab = &mut *lab;
+            Box::new(vec![combined::fifty_one(&mut lab.sim, &lab.census)]) as TaskOutput
+        },
+    )
 }
 
 #[cfg(test)]
@@ -1133,8 +1418,8 @@ mod tests {
             assert_eq!(a.body, b.body, "body of {} differs when overlapped", a.id);
             assert_eq!(a.csv, b.csv, "csv of {} differs when overlapped", a.id);
         }
-        assert_eq!(serial_report.shared_overlap, Duration::ZERO);
-        // Both reports cover the same stages in the same order.
+        // Both reports cover the same stages in the same order, and the
+        // same task graph (labels included) regardless of worker count.
         let stage_ids = |r: &RunReport| -> Vec<String> {
             r.shared
                 .iter()
@@ -1143,7 +1428,17 @@ mod tests {
                 .collect()
         };
         assert_eq!(stage_ids(&serial_report), stage_ids(&overlapped_report));
-        assert!(overlapped_report.render().contains("shared overlap"));
+        let task_labels =
+            |r: &RunReport| -> Vec<String> { r.tasks.iter().map(|t| t.label.clone()).collect() };
+        assert_eq!(task_labels(&serial_report), task_labels(&overlapped_report));
+        assert_eq!(serial_report.tasks_spawned, overlapped_report.tasks_spawned);
+        assert_eq!(serial_report.max_ready, overlapped_report.max_ready);
+        // The fan-out jobs decompose: more tasks than stages.
+        assert!(
+            serial_report.tasks_spawned
+                > (serial_report.jobs.len() + serial_report.shared.len()) as u64
+        );
+        assert!(overlapped_report.render().contains("critical path"));
     }
 
     #[test]
@@ -1160,8 +1455,9 @@ mod tests {
         assert!(report.speedup() > 0.0);
         let csv = report.timings_csv();
         assert!(csv.starts_with("stage,kind,wall_ms"));
-        // Header + shared static + 2 jobs.
-        assert_eq!(csv.lines().count(), 4);
+        // Header + shared static + 2 jobs + 3 task rows (one per shared
+        // build and per single-task job).
+        assert_eq!(csv.lines().count(), 7);
         assert!(report.render().contains("threads: 2"));
     }
 

@@ -5,6 +5,15 @@
 //! numbers EXPERIMENTS.md reports. All ablations run at reduced scale —
 //! they compare configurations against each other, not against the
 //! paper.
+//!
+//! Every sweep is decomposed into independently-seeded **units** (one
+//! `(case, seed)` simulation each) plus a pure **merge** that averages
+//! and renders. The artifact functions ([`relay_mode`], [`out_degree`],
+//! [`span_ratio`]) are thin serial drivers over the same units, so the
+//! `bp-bench` task DAG can fan the units out across worker threads and
+//! reassemble a byte-identical artifact: units own all the randomness,
+//! merges only fold unit outputs in the fixed case-major / seed-minor
+//! order (floating-point accumulation order included).
 
 use super::Artifact;
 use bp_analysis::table::{num, pct, Align, TextTable};
@@ -13,6 +22,57 @@ use bp_crawler::{Crawler, LagClass};
 use bp_mining::PoolCensus;
 use bp_net::{NetConfig, RelayMode, Simulation};
 use bp_topology::{Snapshot, SnapshotConfig};
+
+/// The network seeds every sweep cell is averaged over — block-arrival
+/// luck dominates any single 2-hour run, so single-seed sweeps are
+/// noise.
+pub const AVERAGING_SEEDS: [u64; 3] = [101, 202, 303];
+
+/// Simulated hours behind each relay / out-degree unit run.
+pub const UNIT_HOURS: u64 = 2;
+
+/// One relay-discipline case of the [`relay_mode`] sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayCase {
+    /// Row label in the rendered table.
+    pub label: &'static str,
+    /// The relay discipline under test.
+    pub mode: RelayMode,
+}
+
+/// The relay-discipline cases, in presentation order.
+pub const RELAY_CASES: [RelayCase; 3] = [
+    RelayCase {
+        label: "diffusion (post-2015)",
+        mode: RelayMode::Diffusion,
+    },
+    RelayCase {
+        label: "trickle 2s",
+        mode: RelayMode::Trickle { interval_ms: 2_000 },
+    },
+    RelayCase {
+        label: "trickle 10s",
+        mode: RelayMode::Trickle {
+            interval_ms: 10_000,
+        },
+    },
+];
+
+/// The peer out-degrees swept by [`out_degree`], in presentation order.
+pub const OUT_DEGREES: [usize; 4] = [4, 8, 16, 24];
+
+/// The span ratios swept by [`span_ratio`], in presentation order.
+pub const SPAN_RATIOS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Raw measures of one independently-seeded network unit run:
+/// `(mean synced, peak ≥2-behind, stale forks, invs delivered)`.
+pub type NetUnit = (f64, f64, u64, u64);
+
+/// Raw samples of one independently-seeded grid unit run: per-sample
+/// `(dominant-chain share, distinct forks)` pairs, in sampling order.
+/// The merge re-accumulates them sequentially so the folded sums are
+/// bit-identical to the historical serial sweep.
+pub type SpanUnit = Vec<(f64, f64)>;
 
 fn ablation_snapshot(seed: u64) -> Snapshot {
     Snapshot::generate(SnapshotConfig {
@@ -24,7 +84,7 @@ fn ablation_snapshot(seed: u64) -> Snapshot {
     })
 }
 
-fn run_and_measure(snapshot: &Snapshot, config: NetConfig, hours: u64) -> (f64, f64, u64, u64) {
+fn run_and_measure(snapshot: &Snapshot, config: NetConfig, hours: u64) -> NetUnit {
     let census = PoolCensus::paper_table_iv();
     let mut sim = Simulation::new(snapshot, &census, config);
     sim.run_for_secs(1200); // warmup
@@ -37,30 +97,48 @@ fn run_and_measure(snapshot: &Snapshot, config: NetConfig, hours: u64) -> (f64, 
     )
 }
 
-/// Averages [`run_and_measure`] over three network seeds — block-arrival
-/// luck dominates any single 2-hour run, so single-seed sweeps are
-/// noise.
-fn run_averaged(snapshot: &Snapshot, base: &NetConfig, hours: u64) -> (f64, f64, f64, f64) {
+/// Averages the units of one case in [`AVERAGING_SEEDS`] order.
+fn average_units(units: &[NetUnit]) -> (f64, f64, f64, f64) {
     let mut acc = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    const SEEDS: [u64; 3] = [101, 202, 303];
-    for seed in SEEDS {
-        let config = NetConfig {
-            seed,
-            ..base.clone()
-        };
-        let (synced, peak, forks, invs) = run_and_measure(snapshot, config, hours);
+    for &(synced, peak, forks, invs) in units {
         acc.0 += synced;
         acc.1 += peak;
         acc.2 += forks as f64;
         acc.3 += invs as f64;
     }
-    let n = SEEDS.len() as f64;
+    let n = units.len() as f64;
     (acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n)
 }
 
-/// Diffusion vs. trickle relay (the 2015 protocol switch, §V-B).
-pub fn relay_mode(seed: u64) -> Artifact {
-    let snapshot = ablation_snapshot(seed);
+fn unit_for(snapshot_seed: u64, base: &NetConfig, seed_index: usize) -> NetUnit {
+    let snapshot = ablation_snapshot(snapshot_seed);
+    let config = NetConfig {
+        seed: AVERAGING_SEEDS[seed_index],
+        ..base.clone()
+    };
+    run_and_measure(&snapshot, config, UNIT_HOURS)
+}
+
+/// One `(case, seed)` unit of the relay-discipline sweep. Rebuilds the
+/// (deterministic) ablation snapshot itself, so units are fully
+/// independent tasks.
+pub fn relay_unit(snapshot_seed: u64, case_index: usize, seed_index: usize) -> NetUnit {
+    let base = NetConfig {
+        relay_mode: RELAY_CASES[case_index].mode,
+        ..NetConfig::paper()
+    };
+    unit_for(snapshot_seed, &base, seed_index)
+}
+
+/// Renders the relay-discipline artifact from its units, which must be
+/// in case-major, seed-minor order
+/// (`RELAY_CASES.len() * AVERAGING_SEEDS.len()` entries).
+///
+/// # Panics
+///
+/// Panics if `units` has the wrong length.
+pub fn relay_mode_from_units(units: &[NetUnit]) -> Artifact {
+    assert_eq!(units.len(), RELAY_CASES.len() * AVERAGING_SEEDS.len());
     let mut t = TextTable::new(
         [
             "Relay",
@@ -75,25 +153,11 @@ pub fn relay_mode(seed: u64) -> Artifact {
     for col in 1..5 {
         t.align(col, Align::Right);
     }
-    let cases: [(&str, RelayMode); 3] = [
-        ("diffusion (post-2015)", RelayMode::Diffusion),
-        ("trickle 2s", RelayMode::Trickle { interval_ms: 2_000 }),
-        (
-            "trickle 10s",
-            RelayMode::Trickle {
-                interval_ms: 10_000,
-            },
-        ),
-    ];
-    let _ = seed;
-    for (label, mode) in cases {
-        let base = NetConfig {
-            relay_mode: mode,
-            ..NetConfig::paper()
-        };
-        let (synced, peak_behind, forks, invs) = run_averaged(&snapshot, &base, 2);
+    for (i, case) in RELAY_CASES.iter().enumerate() {
+        let n = AVERAGING_SEEDS.len();
+        let (synced, peak_behind, forks, invs) = average_units(&units[i * n..(i + 1) * n]);
         t.row(vec![
-            label.to_string(),
+            case.label.to_string(),
             pct(synced),
             pct(peak_behind),
             num(forks, 1),
@@ -107,9 +171,32 @@ pub fn relay_mode(seed: u64) -> Artifact {
     )
 }
 
-/// Peer out-degree sweep: more peers shrink the temporal attack surface.
-pub fn out_degree(seed: u64) -> Artifact {
-    let snapshot = ablation_snapshot(seed);
+/// Diffusion vs. trickle relay (the 2015 protocol switch, §V-B).
+pub fn relay_mode(seed: u64) -> Artifact {
+    let units: Vec<NetUnit> = (0..RELAY_CASES.len())
+        .flat_map(|case| (0..AVERAGING_SEEDS.len()).map(move |s| (case, s)))
+        .map(|(case, s)| relay_unit(seed, case, s))
+        .collect();
+    relay_mode_from_units(&units)
+}
+
+/// One `(degree, seed)` unit of the out-degree sweep.
+pub fn degree_unit(snapshot_seed: u64, degree_index: usize, seed_index: usize) -> NetUnit {
+    let base = NetConfig {
+        out_degree: OUT_DEGREES[degree_index],
+        ..NetConfig::paper()
+    };
+    unit_for(snapshot_seed, &base, seed_index)
+}
+
+/// Renders the out-degree artifact from its units (degree-major,
+/// seed-minor order).
+///
+/// # Panics
+///
+/// Panics if `units` has the wrong length.
+pub fn out_degree_from_units(units: &[NetUnit]) -> Artifact {
+    assert_eq!(units.len(), OUT_DEGREES.len() * AVERAGING_SEEDS.len());
     let mut t = TextTable::new(
         [
             "Out-degree",
@@ -123,13 +210,9 @@ pub fn out_degree(seed: u64) -> Artifact {
     for col in 0..4 {
         t.align(col, Align::Right);
     }
-    let _ = seed;
-    for degree in [4usize, 8, 16, 24] {
-        let base = NetConfig {
-            out_degree: degree,
-            ..NetConfig::paper()
-        };
-        let (synced, peak_behind, forks, _) = run_averaged(&snapshot, &base, 2);
+    for (i, degree) in OUT_DEGREES.iter().enumerate() {
+        let n = AVERAGING_SEEDS.len();
+        let (synced, peak_behind, forks, _) = average_units(&units[i * n..(i + 1) * n]);
         t.row(vec![
             degree.to_string(),
             pct(synced),
@@ -144,9 +227,56 @@ pub fn out_degree(seed: u64) -> Artifact {
     )
 }
 
-/// Span-ratio sweep on the grid simulator: below 1.0 the grid cannot
-/// synchronize between blocks and natural forks persist.
-pub fn span_ratio(seed: u64) -> Artifact {
+/// Peer out-degree sweep: more peers shrink the temporal attack surface.
+pub fn out_degree(seed: u64) -> Artifact {
+    let units: Vec<NetUnit> = (0..OUT_DEGREES.len())
+        .flat_map(|d| (0..AVERAGING_SEEDS.len()).map(move |s| (d, s)))
+        .map(|(d, s)| degree_unit(seed, d, s))
+        .collect();
+    out_degree_from_units(&units)
+}
+
+/// One `(ratio, seed)` unit of the span-ratio sweep: runs the grid
+/// simulator under `SPAN_RATIOS[ratio_index]` with seed
+/// `seed + seed_index` and returns the per-sample measures in sampling
+/// order.
+pub fn span_unit(seed: u64, ratio_index: usize, seed_index: usize) -> SpanUnit {
+    let r = SPAN_RATIOS[ratio_index];
+    let mut sim = GridSim::new(GridConfig {
+        span_ratio: r,
+        attack_start_step: u64::MAX, // no attacker: natural forks
+        seed: seed + seed_index as u64,
+        ..GridConfig::figure7()
+    });
+    // ~20 blocks per run: steps scale with R_span so every ratio
+    // sees the same number of blocks.
+    let per_block = 25.0 * r; // steps per block at this ratio
+    let total_steps = (per_block * 20.0).max(200.0) as u64;
+    let stride = (per_block as u64).max(5);
+    let mut samples = Vec::new();
+    let mut step = 0;
+    while step < total_steps {
+        step += stride;
+        sim.run_to(step);
+        let fracs = sim.snapshot().fork_fractions();
+        samples.push((
+            fracs.values().cloned().fold(0.0f64, f64::max),
+            fracs.len() as f64,
+        ));
+    }
+    samples
+}
+
+/// Renders the span-ratio artifact from its units (ratio-major,
+/// seed-minor order). The per-ratio sums are re-accumulated sample by
+/// sample in the original sequential order, so the rendered averages
+/// are bit-identical to a serial sweep.
+///
+/// # Panics
+///
+/// Panics if `units` has the wrong length.
+pub fn span_ratio_from_units(units: &[SpanUnit]) -> Artifact {
+    assert_eq!(units.len(), SPAN_RATIOS.len() * AVERAGING_SEEDS.len());
     let mut t = TextTable::new(
         ["R_span", "Mean dominant-chain share", "Mean distinct forks"]
             .map(String::from)
@@ -155,37 +285,23 @@ pub fn span_ratio(seed: u64) -> Artifact {
     for col in 0..3 {
         t.align(col, Align::Right);
     }
-    for r in [0.5f64, 1.0, 2.0, 4.0] {
+    for (i, r) in SPAN_RATIOS.iter().enumerate() {
         // Average the dominant-chain share over time and over seeds; a
         // single final snapshot is dominated by where in the fork cycle
         // it lands.
         let mut dom_sum = 0.0;
         let mut fork_sum = 0.0;
         let mut samples = 0u32;
-        for s in [seed, seed + 1, seed + 2] {
-            let mut sim = GridSim::new(GridConfig {
-                span_ratio: r,
-                attack_start_step: u64::MAX, // no attacker: natural forks
-                seed: s,
-                ..GridConfig::figure7()
-            });
-            // ~20 blocks per run: steps scale with R_span so every ratio
-            // sees the same number of blocks.
-            let per_block = 25.0 * r; // steps per block at this ratio
-            let total_steps = (per_block * 20.0).max(200.0) as u64;
-            let stride = (per_block as u64).max(5);
-            let mut step = 0;
-            while step < total_steps {
-                step += stride;
-                sim.run_to(step);
-                let fracs = sim.snapshot().fork_fractions();
-                dom_sum += fracs.values().cloned().fold(0.0f64, f64::max);
-                fork_sum += fracs.len() as f64;
+        let n = AVERAGING_SEEDS.len();
+        for unit in &units[i * n..(i + 1) * n] {
+            for &(dom, forks) in unit {
+                dom_sum += dom;
+                fork_sum += forks;
                 samples += 1;
             }
         }
         t.row(vec![
-            num(r, 1),
+            num(*r, 1),
             pct(dom_sum / samples as f64),
             num(fork_sum / samples as f64, 2),
         ]);
@@ -195,6 +311,16 @@ pub fn span_ratio(seed: u64) -> Artifact {
         "Span-ratio ablation on the grid simulator (paper §V-B)",
         t.render(),
     )
+}
+
+/// Span-ratio sweep on the grid simulator: below 1.0 the grid cannot
+/// synchronize between blocks and natural forks persist.
+pub fn span_ratio(seed: u64) -> Artifact {
+    let units: Vec<SpanUnit> = (0..SPAN_RATIOS.len())
+        .flat_map(|r| (0..AVERAGING_SEEDS.len()).map(move |s| (r, s)))
+        .map(|(r, s)| span_unit(seed, r, s))
+        .collect();
+    span_ratio_from_units(&units)
 }
 
 #[cfg(test)]
@@ -220,5 +346,25 @@ mod tests {
         let a = out_degree(5);
         assert!(a.body.contains("Out-degree"));
         assert_eq!(a.body.lines().count(), 6);
+    }
+
+    #[test]
+    fn units_recompose_to_the_serial_artifact() {
+        // The DAG merge path (units computed out of order, folded in
+        // case-major order) must reproduce the serial artifact byte for
+        // byte. Compute the units in a scrambled order to prove order
+        // independence.
+        let seed = 5;
+        let mut span_units = vec![Vec::new(); SPAN_RATIOS.len() * AVERAGING_SEEDS.len()];
+        let mut order: Vec<usize> = (0..span_units.len()).collect();
+        order.reverse();
+        for k in order {
+            let (r, s) = (k / AVERAGING_SEEDS.len(), k % AVERAGING_SEEDS.len());
+            span_units[k] = span_unit(seed, r, s);
+        }
+        assert_eq!(
+            span_ratio_from_units(&span_units).body,
+            span_ratio(seed).body
+        );
     }
 }

@@ -3,17 +3,31 @@
 
 use super::Artifact;
 use bp_analysis::table::{num, pct, Align, TextTable};
-use bp_attacks::countermeasures::{ases_to_isolate_hash, blockaware_tradeoff, diversify_stratum};
-use bp_attacks::temporal::attack::{run_temporal_attack, TemporalAttackConfig};
+use bp_attacks::countermeasures::{
+    ases_to_isolate_hash, blockaware_tradeoff_one, diversify_stratum, BlockAwareTradeoff,
+};
+use bp_attacks::temporal::attack::{
+    run_temporal_attack, TemporalAttackConfig, TemporalAttackReport,
+};
 use bp_bgp::{origin_hijack, origin_hijack_with_defense, AsGraph};
 use bp_mining::PoolCensus;
 use bp_net::Simulation;
 use bp_topology::{Asn, Snapshot};
 use std::collections::HashSet;
 
-/// The BlockAware threshold sweep (detection delay vs. false alarms).
-pub fn blockaware_sweep() -> Artifact {
-    let sweep = blockaware_tradeoff(&[150, 300, 600, 1200, 2400, 4800], 600.0);
+/// The thresholds [`blockaware_sweep`] evaluates, in presentation
+/// order. Exposed so the task DAG can fan the sweep out one task per
+/// threshold and merge with [`blockaware_sweep_from_rows`].
+pub const BLOCKAWARE_SWEEP_THRESHOLDS: [u64; 6] = [150, 300, 600, 1200, 2400, 4800];
+
+/// One cell of the BlockAware threshold sweep, at the paper's 600 s
+/// block interval.
+pub fn blockaware_sweep_row(threshold_secs: u64) -> BlockAwareTradeoff {
+    blockaware_tradeoff_one(threshold_secs, 600.0)
+}
+
+/// Renders the sweep artifact from precomputed rows (threshold order).
+pub fn blockaware_sweep_from_rows(sweep: &[BlockAwareTradeoff]) -> Artifact {
     let mut t = TextTable::new(
         ["Threshold (s)", "Detection delay (s)", "False-alarm rate"]
             .map(String::from)
@@ -22,7 +36,7 @@ pub fn blockaware_sweep() -> Artifact {
     for col in 0..3 {
         t.align(col, Align::Right);
     }
-    for row in &sweep {
+    for row in sweep {
         t.row(vec![
             row.threshold_secs.to_string(),
             row.detection_delay_secs.to_string(),
@@ -36,22 +50,31 @@ pub fn blockaware_sweep() -> Artifact {
     )
 }
 
-/// Runs the temporal attack twice — without and with BlockAware — on two
-/// identically-prepared simulations, and compares captures.
-pub fn blockaware_defense(
-    sim_unprotected: &mut Simulation,
-    sim_protected: &mut Simulation,
-    attack: TemporalAttackConfig,
-) -> Artifact {
-    let unprotected = run_temporal_attack(sim_unprotected, attack);
-    let protected = run_temporal_attack(
-        sim_protected,
-        TemporalAttackConfig {
-            blockaware_threshold_secs: Some(600),
-            ..attack
-        },
-    );
+/// The BlockAware threshold sweep (detection delay vs. false alarms).
+pub fn blockaware_sweep() -> Artifact {
+    let rows: Vec<BlockAwareTradeoff> = BLOCKAWARE_SWEEP_THRESHOLDS
+        .iter()
+        .map(|&t| blockaware_sweep_row(t))
+        .collect();
+    blockaware_sweep_from_rows(&rows)
+}
 
+/// The "with BlockAware" arm of [`blockaware_defense`]: the same attack
+/// with the 600 s detector enabled. The two arms run on
+/// independently-prepared simulations, so the task DAG executes them
+/// concurrently and merges with [`blockaware_defense_from_reports`].
+pub fn blockaware_protected_config(attack: TemporalAttackConfig) -> TemporalAttackConfig {
+    TemporalAttackConfig {
+        blockaware_threshold_secs: Some(600),
+        ..attack
+    }
+}
+
+/// Renders the BlockAware comparison from the two attack reports.
+pub fn blockaware_defense_from_reports(
+    unprotected: &TemporalAttackReport,
+    protected: &TemporalAttackReport,
+) -> Artifact {
     let mut t = TextTable::new(
         ["", "Without BlockAware", "With BlockAware"]
             .map(String::from)
@@ -84,6 +107,18 @@ pub fn blockaware_defense(
         "BlockAware vs the temporal attack (paper §VI)",
         t.render(),
     )
+}
+
+/// Runs the temporal attack twice — without and with BlockAware — on two
+/// identically-prepared simulations, and compares captures.
+pub fn blockaware_defense(
+    sim_unprotected: &mut Simulation,
+    sim_protected: &mut Simulation,
+    attack: TemporalAttackConfig,
+) -> Artifact {
+    let unprotected = run_temporal_attack(sim_unprotected, attack);
+    let protected = run_temporal_attack(sim_protected, blockaware_protected_config(attack));
+    blockaware_defense_from_reports(&unprotected, &protected)
 }
 
 /// Stratum diversification: attacker cost to isolate 50 % of the hash

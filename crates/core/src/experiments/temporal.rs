@@ -163,13 +163,39 @@ pub fn table6_instrumented(
 ) -> Artifact {
     let grid =
         TemporalModel::table_vi_instrumented(&TABLE6_LAMBDAS, &TABLE6_TARGETS, 0.8, reg, tracer);
+    table6_from_rows(&grid)
+}
+
+/// One λ-row of Table VI — the independent unit the task DAG fans out.
+/// Counters land in `reg` (order-independent sums) and the row's bisect
+/// trace records in `tracer`; concatenating per-row tracers in λ order
+/// reproduces the serial [`table6_instrumented`] stream exactly.
+pub fn table6_row_instrumented(
+    lambda_index: usize,
+    reg: Option<&bp_obs::Registry>,
+    tracer: Option<&mut bp_obs::Tracer>,
+) -> (f64, Vec<Option<u64>>) {
+    let lambda = [TABLE6_LAMBDAS[lambda_index]];
+    let mut grid = TemporalModel::table_vi_offset_instrumented(
+        &lambda,
+        &TABLE6_TARGETS,
+        0.8,
+        reg,
+        tracer,
+        lambda_index,
+    );
+    grid.pop().expect("one row per lambda")
+}
+
+/// Renders Table VI from precomputed λ-rows (λ order).
+pub fn table6_from_rows(grid: &[(f64, Vec<Option<u64>>)]) -> Artifact {
     let mut headers = vec!["λ \\ m".to_string()];
     headers.extend(TABLE6_TARGETS.iter().map(|m| m.to_string()));
     let mut t = TextTable::new(headers);
     for col in 0..=TABLE6_TARGETS.len() {
         t.align(col, Align::Right);
     }
-    for (lambda, row) in &grid {
+    for (lambda, row) in grid {
         let mut cells = vec![num(*lambda, 1)];
         cells.extend(row.iter().map(|v| match v {
             Some(t) => t.to_string(),
@@ -351,5 +377,33 @@ mod tests {
         let model_records = tracer.len() - grid_records;
         // One bisect record per sweep cell.
         assert_eq!(model_records, TABLE6_LAMBDAS.len() * TABLE6_TARGETS.len());
+    }
+
+    #[test]
+    fn table6_rows_recompose_to_the_serial_table() {
+        // The task DAG computes λ-rows independently and merges in λ
+        // order; the merged artifact and trace stream must match the
+        // serial sweep byte for byte.
+        let mut serial_tracer = bp_obs::Tracer::new();
+        let serial = table6_instrumented(None, Some(&mut serial_tracer));
+
+        let mut merged_tracer = bp_obs::Tracer::new();
+        let mut rows = Vec::new();
+        for i in (0..TABLE6_LAMBDAS.len()).rev() {
+            let mut row_tracer = bp_obs::Tracer::new();
+            rows.push((
+                i,
+                table6_row_instrumented(i, None, Some(&mut row_tracer)),
+                row_tracer,
+            ));
+        }
+        rows.sort_by_key(|(i, _, _)| *i);
+        let grid: Vec<(f64, Vec<Option<u64>>)> =
+            rows.iter().map(|(_, row, _)| row.clone()).collect();
+        for (_, _, row_tracer) in rows {
+            merged_tracer.append(row_tracer);
+        }
+        assert_eq!(table6_from_rows(&grid).body, serial.body);
+        assert_eq!(merged_tracer.records(), serial_tracer.records());
     }
 }

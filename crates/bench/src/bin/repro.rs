@@ -6,6 +6,7 @@
 //! repro table5 fig4    # selected artifacts
 //! repro --scale 0.25 --out out/ all
 //! repro --quick --jobs 1 --timings all   # serial run with timing table
+//! repro --quick --cache cache/ all       # warm runs replay cached tasks
 //! ```
 //!
 //! Flags are order-insensitive: `--quick` selects the preset and the
@@ -18,11 +19,61 @@
 //! `--trace DIR` additionally records the deterministic flight-recorder
 //! trace (`trace.bin` / `trace.jsonl`) — byte-identical for any
 //! `--jobs N`, inspectable with the `trace` binary.
+//! `--cache DIR` keeps a content-addressed store of task results: a
+//! rerun with the same config replays cached tasks (byte-identical
+//! artifacts, metrics and traces) instead of recomputing them.
 
+use bp_bench::cache::ArtifactStore;
 use bp_bench::cli::{parse_args, usage};
 use bp_bench::pipeline::{default_jobs, TraceHub};
-use bp_bench::{bench_json, generate_instrumented, ARTIFACT_IDS};
-use std::path::PathBuf;
+use bp_bench::{bench_json, generate_cached, ARTIFACT_IDS};
+use std::path::{Path, PathBuf};
+
+/// Validates the output directories up front: every `--out` /
+/// `--metrics` / `--trace` / `--cache` target must be creatable as a
+/// directory, two value-distinct flags must not collide on the same
+/// path, and a target that already exists as a *file* is rejected with
+/// an error naming the flag — previously these surfaced as a panic from
+/// the first `fs::write` deep into the run, after minutes of work.
+fn check_out_dirs(dirs: &[(&str, Option<&str>)]) {
+    let canon = |raw: &str| -> PathBuf {
+        // Resolve what exists; keep non-existent paths lexical so two
+        // spellings of the same new directory still compare equal.
+        Path::new(raw)
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(raw))
+    };
+    let mut seen: Vec<(&str, String, PathBuf)> = Vec::new();
+    for &(flag, dir) in dirs {
+        let Some(dir) = dir else { continue };
+        if dir.is_empty() {
+            die(&format!("{flag} requires a non-empty directory path"));
+        }
+        let path = Path::new(dir);
+        if path.is_file() {
+            die(&format!(
+                "{flag} {dir}: exists and is a file, not a directory"
+            ));
+        }
+        std::fs::create_dir_all(path)
+            .unwrap_or_else(|e| die(&format!("{flag} {dir}: cannot create directory: {e}")));
+        let resolved = canon(dir);
+        // The cache must not share a directory with an export target:
+        // exports are wholesale-overwritten per run, the store is
+        // incremental state — and both sides name files like *.bin.
+        for (other_flag, other_dir, other_resolved) in &seen {
+            let clash = *other_resolved == resolved;
+            let cache_pair = flag == "--cache" || *other_flag == "--cache";
+            if clash && cache_pair {
+                die(&format!(
+                    "{other_flag} {other_dir} and {flag} {dir} point at the same \
+                     directory; the cache store needs its own directory"
+                ));
+            }
+        }
+        seen.push((flag, dir.to_string(), resolved));
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +93,12 @@ fn main() {
             ));
         }
     }
+    check_out_dirs(&[
+        ("--out", Some(opts.out_dir.as_str())),
+        ("--metrics", opts.metrics.as_deref()),
+        ("--trace", opts.trace.as_deref()),
+        ("--cache", opts.cache.as_deref()),
+    ]);
 
     let jobs = opts.jobs.unwrap_or_else(default_jobs);
     let config = opts.config;
@@ -51,11 +108,19 @@ fn main() {
     );
     let registry = opts.metrics.as_ref().map(|_| btcpart::obs::Registry::new());
     let hub = opts.trace.as_ref().map(|_| TraceHub::new());
-    let (artifacts, report) =
-        generate_instrumented(&config, &opts.ids, jobs, registry.as_ref(), hub.as_ref());
+    let mut store = opts.cache.as_ref().map(|dir| {
+        ArtifactStore::open(dir).unwrap_or_else(|e| die(&format!("--cache {dir}: {e}")))
+    });
+    let (artifacts, report) = generate_cached(
+        &config,
+        &opts.ids,
+        jobs,
+        registry.as_ref(),
+        hub.as_ref(),
+        store.as_mut(),
+    );
 
     let out_dir = PathBuf::from(&opts.out_dir);
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
     for artifact in &artifacts {
         println!("{artifact}");
         for (name, contents) in &artifact.csv {
@@ -72,10 +137,12 @@ fn main() {
     }
     if let (Some(dir), Some(hub)) = (&opts.trace, &hub) {
         let trace_dir = PathBuf::from(dir);
-        std::fs::create_dir_all(&trace_dir).expect("create trace directory");
         let merged = hub.merged();
         let records = merged.records();
-        let bin = btcpart::obs::trace::encode_records(&records);
+        // encode() carries the ring-drop count when there were drops
+        // (BPTRACE2) and stays byte-equal to the v1 record stream
+        // otherwise — see the bp-obs trace invariant docs.
+        let bin = merged.encode();
         // Trace counters land in the registry before the metrics
         // snapshot below, so `repro --metrics M --trace T` exports them.
         if let Some(reg) = &registry {
@@ -101,7 +168,6 @@ fn main() {
     }
     if let (Some(dir), Some(reg)) = (&opts.metrics, &registry) {
         let metrics_dir = PathBuf::from(dir);
-        std::fs::create_dir_all(&metrics_dir).expect("create metrics directory");
         let snapshot = reg.snapshot();
         let profile = if config == bp_bench::ReproConfig::quick() {
             "quick"
@@ -121,6 +187,22 @@ fn main() {
             let path = metrics_dir.join(name);
             std::fs::write(&path, contents).expect("write metrics export");
             eprintln!("# wrote {}", path.display());
+        }
+    }
+    if let Some(store) = store.as_mut() {
+        store
+            .flush()
+            .unwrap_or_else(|e| die(&format!("cache flush failed: {e}")));
+        if let Some(summary) = &report.cache {
+            eprintln!(
+                "# cache: {} hits, {} misses, {} tasks skipped, {} B read, {} B written ({} entries)",
+                summary.hits,
+                summary.misses,
+                summary.skipped,
+                summary.bytes_read,
+                summary.bytes_written,
+                store.len()
+            );
         }
     }
     eprintln!("# {} artifacts generated", artifacts.len());

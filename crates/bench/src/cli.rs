@@ -28,14 +28,22 @@ pub struct CliOptions {
     /// Directory for the flight-recorder exports `trace.bin` /
     /// `trace.jsonl`; `None` disables trace recording.
     pub trace: Option<String>,
+    /// Directory of the content-addressed artifact cache; `None`
+    /// disables caching.
+    pub cache: Option<String>,
     /// `--help` was requested.
     pub help: bool,
 }
 
-fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
     let raw = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    // Surface the FromStr error itself — "invalid digit found in
+    // string" tells the user more than the bare input echo did.
     raw.parse()
-        .map_err(|_| format!("invalid value for {flag}: {raw}"))
+        .map_err(|e| format!("invalid value for {flag}: {raw} ({e})"))
 }
 
 /// Parses `repro` arguments (without the program name).
@@ -54,6 +62,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut timings = false;
     let mut metrics = None;
     let mut trace = None;
+    let mut cache = None;
     let mut help = false;
 
     // Phase 2: per-field overrides, applied in the order given.
@@ -87,6 +96,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--timings" => timings = true,
             "--metrics" => metrics = Some(parse_value(arg, iter.next())?),
             "--trace" => trace = Some(parse_value(arg, iter.next())?),
+            "--cache" => cache = Some(parse_value(arg, iter.next())?),
             "--out" => out_dir = parse_value(arg, iter.next())?,
             "--help" | "-h" => help = true,
             other if other.starts_with("--") => {
@@ -104,13 +114,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         timings,
         metrics,
         trace,
+        cache,
         help,
     })
 }
 
 /// Every flag `repro` understands, in display order. [`usage`] lists all
 /// of them; a test pins the two in sync with the parser.
-pub const FLAGS: [&str; 10] = [
+pub const FLAGS: [&str; 11] = [
     "--quick",
     "--scale",
     "--seed",
@@ -119,6 +130,7 @@ pub const FLAGS: [&str; 10] = [
     "--timings",
     "--metrics",
     "--trace",
+    "--cache",
     "--out",
     "--help",
 ];
@@ -128,7 +140,8 @@ pub fn usage() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--scale F] [--seed S] [--hours H] [--jobs N]\n\
-         \x20             [--timings] [--metrics DIR] [--trace DIR] [--out DIR] [IDS…]\n\n\
+         \x20             [--timings] [--metrics DIR] [--trace DIR] [--cache DIR]\n\
+         \x20             [--out DIR] [IDS…]\n\n\
          --quick        5% scale preset; later or earlier per-field flags override it\n\
          --scale F      population scale in (0, 1] (1.0 = the paper's 13,635 nodes)\n\
          --seed S       snapshot / simulation seed\n\
@@ -140,6 +153,9 @@ pub fn usage() -> String {
          --trace DIR    write the deterministic flight-recorder trace.bin and\n\
          \x20              trace.jsonl to DIR (artifact output is unchanged;\n\
          \x20              inspect with the `trace` binary)\n\
+         --cache DIR    content-addressed artifact cache: store task results in\n\
+         \x20              DIR and replay them on later runs with the same\n\
+         \x20              config (byte-identical output, most work skipped)\n\
          --out DIR      CSV export directory (default repro_out/)\n\
          --help         this text\n\n\
          artifacts: {}",
@@ -248,7 +264,7 @@ mod tests {
             let args = match flag {
                 "--scale" => argv(&[flag, "0.5"]),
                 "--seed" | "--hours" | "--jobs" => argv(&[flag, "1"]),
-                "--metrics" | "--trace" | "--out" => argv(&[flag, "dir"]),
+                "--metrics" | "--trace" | "--cache" | "--out" => argv(&[flag, "dir"]),
                 _ => argv(&[flag]),
             };
             assert!(
@@ -264,5 +280,47 @@ mod tests {
         assert!(parse_args(&argv(&["--scale", "abc"])).is_err());
         assert!(parse_args(&argv(&["--hours", "0"])).is_err());
         assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn cache_flag_takes_a_directory() {
+        let opts = parse_args(&argv(&["--quick", "--cache", "cdir", "all"])).unwrap();
+        assert_eq!(opts.cache.as_deref(), Some("cdir"));
+        assert!(parse_args(&argv(&["--cache"])).is_err());
+        // Default: off.
+        assert_eq!(parse_args(&argv(&["all"])).unwrap().cache, None);
+        // Composes with the other export flags.
+        let all = parse_args(&argv(&["--metrics", "m", "--trace", "t", "--cache", "c"])).unwrap();
+        assert_eq!(all.cache.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn duplicate_flags_last_wins() {
+        // Repeating a flag is not an error; the later value applies —
+        // pinned so scripts can append overrides to a base command.
+        let opts = parse_args(&argv(&["--seed", "1", "--seed", "2", "all"])).unwrap();
+        assert_eq!(opts.config.seed, 2);
+        let opts = parse_args(&argv(&["--jobs", "3", "--jobs", "8", "all"])).unwrap();
+        assert_eq!(opts.jobs, Some(8));
+        // Still validated per occurrence: a later invalid value fails
+        // even when an earlier one was fine.
+        assert!(parse_args(&argv(&["--jobs", "3", "--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_source_error() {
+        // The FromStr error text is surfaced, not swallowed: the user
+        // sees *why* the value was rejected, not just an echo of it.
+        let err = parse_args(&argv(&["--seed", "12x"])).unwrap_err();
+        assert!(err.contains("--seed") && err.contains("12x"), "{err}");
+        assert!(
+            err.contains("invalid digit"),
+            "error should carry the integer parser's reason: {err}"
+        );
+        let err = parse_args(&argv(&["--scale", "half"])).unwrap_err();
+        assert!(
+            err.contains("invalid float literal"),
+            "error should carry the float parser's reason: {err}"
+        );
     }
 }

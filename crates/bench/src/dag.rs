@@ -55,7 +55,22 @@ impl TaskCtx<'_> {
     }
 }
 
-type TaskFn<'a> = Box<dyn Fn(&TaskCtx) -> TaskOutput + Send + Sync + 'a>;
+/// A boxed task closure: dependencies in, type-erased output out.
+pub type TaskFn<'a> = Box<dyn Fn(&TaskCtx) -> TaskOutput + Send + Sync + 'a>;
+
+/// What [`Dag::execute_planned`] should do with one task. The cache
+/// planner emits one action per task; `Substitute` is how a cache hit
+/// hands its stored output to dependents without running the original
+/// closure, and `Skip` is a pure no-op (the slot is filled with `()`
+/// so the scheduler's accounting never changes shape).
+pub enum TaskAction<'a> {
+    /// Execute the task's original closure.
+    Run,
+    /// Execute this closure instead of the original.
+    Substitute(TaskFn<'a>),
+    /// Fill the output slot with `()` without doing any work.
+    Skip,
+}
 
 /// One schedulable unit of work.
 pub struct Task<'a> {
@@ -145,6 +160,13 @@ impl<'a> Dag<'a> {
         self.tasks.is_empty()
     }
 
+    /// Read-only view of the tasks added so far (labels, deps, ranks) —
+    /// the cache planner derives keys from this without consuming the
+    /// graph.
+    pub fn tasks(&self) -> &[Task<'a>] {
+        &self.tasks
+    }
+
     /// Adds a task and returns its index (the handle dependents use).
     ///
     /// # Panics
@@ -172,6 +194,28 @@ impl<'a> Dag<'a> {
             run: Box::new(run),
         });
         index
+    }
+
+    /// Executes the graph with per-task actions applied: `Run` keeps
+    /// the original closure, `Substitute` swaps it (cache replay), and
+    /// `Skip` replaces it with a no-op producing `()`. Scheduling is
+    /// untouched — every task is still spawned and claimed, so
+    /// `DagStats` counts are identical to an unplanned run; only the
+    /// work inside each claim changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` and the task list disagree in length.
+    pub fn execute_planned(mut self, workers: usize, actions: Vec<TaskAction<'a>>) -> DagRun {
+        assert_eq!(actions.len(), self.tasks.len(), "one TaskAction per task");
+        for (task, action) in self.tasks.iter_mut().zip(actions) {
+            match action {
+                TaskAction::Run => {}
+                TaskAction::Substitute(f) => task.run = f,
+                TaskAction::Skip => task.run = Box::new(|_| Box::new(()) as TaskOutput),
+            }
+        }
+        self.execute(workers)
     }
 
     /// Executes the graph on `workers` threads (1 = in the calling

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cli;
 pub mod dag;
 pub mod pipeline;
@@ -203,6 +204,23 @@ pub fn generate_instrumented(
     pipeline::run_pipeline_traced(config, ids, jobs, reg, trace)
 }
 
+/// [`generate_instrumented`] with an optional content-addressed
+/// artifact store (`repro --cache DIR`): tasks whose cache key resolves
+/// replay their stored results instead of recomputing, with
+/// byte-identical artifacts, metrics and traces — see
+/// [`pipeline::run_pipeline_cached`]. The caller flushes the store
+/// after exporting.
+pub fn generate_cached(
+    config: &ReproConfig,
+    ids: &[String],
+    jobs: usize,
+    reg: Option<&bp_obs::Registry>,
+    trace: Option<&pipeline::TraceHub>,
+    store: Option<&mut cache::ArtifactStore>,
+) -> (Vec<Artifact>, RunReport) {
+    pipeline::run_pipeline_cached(config, ids, jobs, reg, trace, store)
+}
+
 /// Renders the `BENCH_pipeline.json` benchmark record: the run profile,
 /// per-stage wall times from the [`RunReport`], and the key simulation
 /// counters from the metrics snapshot. Wall times vary run to run; the
@@ -214,7 +232,7 @@ pub fn bench_json(
     snapshot: &bp_obs::Snapshot,
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v4\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile}\",");
     let _ = writeln!(out, "  \"scale\": {},", config.scale);
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
@@ -237,6 +255,18 @@ pub fn bench_json(
     let _ = writeln!(out, "  \"tasks_spawned\": {},", report.tasks_spawned);
     let _ = writeln!(out, "  \"tasks_claimed\": {},", report.tasks_claimed);
     let _ = writeln!(out, "  \"max_ready\": {},", report.max_ready);
+    // pipeline-v4: cache totals (null when the run had no store).
+    match &report.cache {
+        None => out.push_str("  \"cache\": null,\n"),
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"skipped\": {}, \
+                 \"bytes_read\": {}, \"bytes_written\": {}}},",
+                c.hits, c.misses, c.skipped, c.bytes_read, c.bytes_written
+            );
+        }
+    }
     out.push_str("  \"stages\": [\n");
     let stages: Vec<_> = report
         .shared
@@ -260,12 +290,17 @@ pub fn bench_json(
             Some(id) => format!("\"{id}\""),
             None => "null".to_string(),
         };
+        let cache = match task.cache {
+            Some(status) => format!("\"{status}\""),
+            None => "null".to_string(),
+        };
         let _ = writeln!(
             out,
-            "    {{\"id\": \"{}\", \"job\": {}, \"wall_ms\": {:.3}}}{}",
+            "    {{\"id\": \"{}\", \"job\": {}, \"wall_ms\": {:.3}, \"cache\": {}}}{}",
             task.label,
             job,
             task.wall.as_secs_f64() * 1e3,
+            cache,
             sep
         );
     }

@@ -22,19 +22,23 @@
 //! `repro --timings` renders and exports as `timings.csv`, and that the
 //! Criterion benches reuse to track per-artifact cost over time.
 
-use crate::dag::{Dag, DagRun, TaskOutput};
+use crate::cache::{
+    self, ArtifactStore, CacheClass, CacheMeta, CacheSummary, Decision, Envelope, ObsEffects,
+};
+use crate::dag::{Dag, DagRun, TaskAction, TaskCtx, TaskOutput};
 use crate::{day_crawl_instrumented, general_crawl_metered, measurement_lab, ReproConfig};
 use bp_obs::Tracer;
 use btcpart::attacks::countermeasures::BlockAwareTradeoff;
 use btcpart::attacks::temporal::{run_temporal_attack, TemporalAttackConfig, TemporalAttackReport};
 use btcpart::crawler::CrawlResult;
+use btcpart::experiments::codec::canonical_f64_bits;
 use btcpart::experiments::{ablation, combined, defense, logical, spatial, temporal, Artifact};
 use btcpart::mining::PoolCensus;
 use btcpart::topology::Snapshot;
 use btcpart::{Lab, Scenario};
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The shared inputs a job may depend on. Each is computed at most once
@@ -181,6 +185,17 @@ impl TraceHub {
     /// Deposits the model sweep's stream.
     pub fn set_model(&self, tracer: Tracer) {
         self.set_stream(STREAM_RANK_MODEL, "model", tracer);
+    }
+
+    /// Snapshot of all deposited streams in ascending `(rank, name)`
+    /// order — the cache layer persists these as task effects.
+    pub fn streams(&self) -> Vec<(u32, String, Tracer)> {
+        self.streams
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|((rank, name), tracer)| (*rank, name.clone(), tracer.clone()))
+            .collect()
     }
 
     /// The merged trace: streams concatenated in ascending `(rank, name)`
@@ -551,6 +566,9 @@ pub struct TaskRow {
     pub job: Option<String>,
     /// Measured wall time.
     pub wall: Duration,
+    /// Cache outcome (`"hit"` / `"miss"` / `"live"`) when the run used
+    /// an artifact store; `None` otherwise.
+    pub cache: Option<&'static str>,
 }
 
 /// Observability record of one pipeline run: thread count, total wall
@@ -582,6 +600,8 @@ pub struct RunReport {
     /// Canonical ready-queue high-water mark, replayed from the graph
     /// structure alone (identical for any worker count).
     pub max_ready: u64,
+    /// Cache totals when the run used an artifact store (`--cache`).
+    pub cache: Option<CacheSummary>,
 }
 
 impl RunReport {
@@ -723,22 +743,23 @@ enum SharedPart {
     General((CrawlResult, Lab)),
 }
 
-type SharedBuilder<'b> = Box<dyn Fn() -> SharedPart + Send + Sync + 'b>;
+/// A shared-input builder. Observability is passed at *call* time — the
+/// barrier path hands the run's global registry, while the DAG path
+/// hands the building task's scoped cell (so crawl metrics become that
+/// task's cacheable effects). The `bool` asks the day crawl to install
+/// a flight recorder.
+type SharedBuilder =
+    Box<dyn for<'r> Fn(Option<&'r bp_obs::Registry>, bool) -> SharedPart + Send + Sync>;
 
 /// The builders for exactly the inputs `needs` asks for, in the fixed
 /// `static` / `day_crawl` / `general_crawl` stage order.
-fn shared_builders<'b>(
-    config: &ReproConfig,
-    needs: Needs,
-    reg: Option<&'b bp_obs::Registry>,
-    trace_day: bool,
-) -> Vec<(&'static str, SharedBuilder<'b>)> {
-    let mut builders: Vec<(&'static str, SharedBuilder<'b>)> = Vec::new();
+fn shared_builders(config: &ReproConfig, needs: Needs) -> Vec<(&'static str, SharedBuilder)> {
+    let mut builders: Vec<(&'static str, SharedBuilder)> = Vec::new();
     if needs.static_env {
         let c = *config;
         builders.push((
             "static",
-            Box::new(move || {
+            Box::new(move |_, _| {
                 SharedPart::Static(Scenario::new().scale(c.scale).seed(c.seed).build_static())
             }),
         ));
@@ -747,14 +768,16 @@ fn shared_builders<'b>(
         let c = *config;
         builders.push((
             "day_crawl",
-            Box::new(move || SharedPart::Day(day_crawl_instrumented(&c, reg, trace_day))),
+            Box::new(move |reg, trace_day| {
+                SharedPart::Day(day_crawl_instrumented(&c, reg, trace_day))
+            }),
         ));
     }
     if needs.general {
         let c = *config;
         builders.push((
             "general_crawl",
-            Box::new(move || SharedPart::General(general_crawl_metered(&c, reg))),
+            Box::new(move |reg, _| SharedPart::General(general_crawl_metered(&c, reg))),
         ));
     }
     builders
@@ -805,10 +828,10 @@ fn build_shared_barrier(
     reg: Option<&bp_obs::Registry>,
     hub: Option<&TraceHub>,
 ) -> Vec<StageTiming> {
-    let builders = shared_builders(config, needs, reg, hub.is_some());
+    let builders = shared_builders(config, needs);
     let timed = |id: &str, f: &SharedBuilder| -> (SharedPart, StageTiming) {
         let start = Instant::now();
-        let part = f();
+        let part = f(reg, hub.is_some());
         (
             part,
             StageTiming {
@@ -909,6 +932,29 @@ pub fn run_pipeline_traced(
     reg: Option<&bp_obs::Registry>,
     hub: Option<&TraceHub>,
 ) -> (Vec<Artifact>, RunReport) {
+    run_pipeline_cached(config, ids, workers, reg, hub, None)
+}
+
+/// [`run_pipeline_traced`] with an optional content-addressed artifact
+/// store (`repro --cache DIR`). When a store is given, every task's key
+/// is derived from its label, logic version, config slice and
+/// dependency keys; tasks whose key resolves from the store are
+/// *replayed* — their stored output feeds dependents and their stored
+/// metric/trace effects are injected — instead of run, and their whole
+/// upstream subgraph is skipped unless a running task needs it. A warm
+/// run therefore produces byte-identical artifacts, metrics and traces
+/// while doing none of the simulation work.
+///
+/// The store is *not* flushed here — callers flush after exporting so a
+/// crashed run never commits a partial index.
+pub fn run_pipeline_cached(
+    config: &ReproConfig,
+    ids: &[String],
+    workers: usize,
+    reg: Option<&bp_obs::Registry>,
+    hub: Option<&TraceHub>,
+    mut store: Option<&mut ArtifactStore>,
+) -> (Vec<Artifact>, RunReport) {
     let start = Instant::now();
     let selected = selected_jobs(ids);
     let needs = selected.iter().fold(Needs::default(), |acc, job| Needs {
@@ -923,14 +969,101 @@ pub fn run_pipeline_traced(
     // tasks, edges and ranks are built for any worker count, which is
     // what keeps the scheduler counters in `--metrics` byte-identical
     // across `--jobs N`.
-    let (dag, shared_tasks, artifact_tasks) =
-        build_dag(config, &selected, &shared, needs, reg, hub);
+    let DagParts {
+        dag,
+        metas,
+        cells,
+        shared_tasks,
+        artifact_tasks,
+    } = build_dag(
+        config,
+        &selected,
+        &shared,
+        needs,
+        reg.is_some(),
+        hub.is_some(),
+    );
+
+    let plan = store.as_deref_mut().map(|s| {
+        let infos: Vec<cache::TaskInfo> = dag
+            .tasks()
+            .iter()
+            .map(|t| cache::TaskInfo {
+                label: &t.label,
+                deps: &t.deps,
+            })
+            .collect();
+        cache::plan_run(
+            s,
+            &infos,
+            &metas,
+            &artifact_tasks,
+            reg.is_some(),
+            hub.is_some(),
+        )
+    });
+    let actions: Vec<TaskAction> = match &plan {
+        None => (0..dag.len()).map(|_| TaskAction::Run).collect(),
+        Some(plan) => plan
+            .tasks
+            .iter()
+            .map(|t| match &t.decision {
+                Decision::Run => TaskAction::Run,
+                Decision::Replay { value, .. } => TaskAction::Substitute(Box::new(move |_| {
+                    value
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("a replayed task executes exactly once")
+                })),
+                Decision::ReplayEffects { .. } | Decision::SkipSilent => TaskAction::Skip,
+            })
+            .collect(),
+    };
+
     let worker_count = workers.min(dag.len().max(1));
     let DagRun {
         mut outputs,
         timings,
         stats,
-    } = dag.execute(worker_count);
+    } = dag.execute_planned(worker_count, actions);
+
+    // Store every freshly computed (miss ∧ run) result before artifact
+    // extraction consumes the outputs, then merge each task's scoped
+    // observations into the run's registry/hub in construction order —
+    // replayed tasks inject their stored effects at the same point, so
+    // the merged result is independent of what was cached.
+    if let (Some(s), Some(plan)) = (store.as_deref_mut(), &plan) {
+        for (i, tp) in plan.tasks.iter().enumerate() {
+            if matches!(tp.decision, Decision::Run) && tp.status == cache::TaskCacheStatus::Miss {
+                let payload = match &metas[i].class {
+                    CacheClass::Payload { encode, .. } => encode(&outputs[i]),
+                    CacheClass::Volatile => None,
+                };
+                let effects = ObsEffects::capture(&cells[i].reg, &cells[i].hub);
+                s.insert(tp.key, Envelope { payload, effects }.encode());
+            }
+        }
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let decision = plan.as_ref().map(|p| &p.tasks[i].decision);
+        match decision {
+            None | Some(Decision::Run) => {
+                if let Some(reg) = reg {
+                    reg.merge_snapshot(&cell.reg.snapshot());
+                }
+                if let Some(hub) = hub {
+                    for (rank, name, tracer) in cell.hub.streams() {
+                        hub.set_stream(rank, &name, tracer);
+                    }
+                }
+            }
+            Some(Decision::Replay { effects, .. } | Decision::ReplayEffects { effects }) => {
+                effects.replay(reg, hub)
+            }
+            Some(Decision::SkipSilent) => {}
+        }
+    }
 
     let shared_timings: Vec<StageTiming> = shared_tasks
         .iter()
@@ -977,12 +1110,35 @@ pub fn run_pipeline_traced(
 
     let tasks: Vec<TaskRow> = timings
         .iter()
-        .map(|t| TaskRow {
+        .enumerate()
+        .map(|(i, t)| TaskRow {
             label: t.label.clone(),
             job: t.job.map(|j| selected[j].id.to_string()),
             wall: t.wall,
+            cache: plan.as_ref().map(|p| p.tasks[i].status.as_str()),
         })
         .collect();
+
+    let cache_summary = plan.as_ref().map(|p| CacheSummary {
+        hits: p.hits,
+        misses: p.misses,
+        skipped: p
+            .tasks
+            .iter()
+            .filter(|t| !matches!(t.decision, Decision::Run))
+            .count() as u64,
+        bytes_read: store.as_deref().map_or(0, |s| s.bytes_read()),
+        bytes_written: store.as_deref().map_or(0, |s| s.bytes_written()),
+    });
+    if let (Some(reg), Some(summary)) = (reg, &cache_summary) {
+        // Volatile by design: a warm run's hit counts differ from a
+        // cold run's even though both produce byte-identical results,
+        // so these stay out of the deterministic metric exports.
+        reg.add_volatile("pipeline.cache.hits", summary.hits);
+        reg.add_volatile("pipeline.cache.misses", summary.misses);
+        reg.add_volatile("pipeline.cache.bytes_read", summary.bytes_read);
+        reg.add_volatile("pipeline.cache.bytes_written", summary.bytes_written);
+    }
 
     let report = RunReport {
         threads: worker_count,
@@ -994,6 +1150,7 @@ pub fn run_pipeline_traced(
         tasks_spawned: stats.spawned,
         tasks_claimed: stats.claimed,
         max_ready: stats.max_ready,
+        cache: cache_summary,
     };
     if let Some(reg) = reg {
         reg.add("pipeline.jobs", report.jobs.len() as u64);
@@ -1042,31 +1199,157 @@ fn simple_rank(id: &str) -> u8 {
     }
 }
 
-/// Compiles the selected jobs into the fine-grained task DAG. Returns
-/// the graph, the shared-build tasks as `(stage id, task index)` in the
-/// fixed `static` / `day_crawl` / `general_crawl` order, and — per
-/// selected job, in presentation order — the index of the task whose
-/// output is that job's `Vec<Artifact>`.
+// Per-task-family logic versions, folded into every cache key. Bump a
+// family's version whenever its task code changes behaviour without a
+// config or dependency change — old store entries then miss instead of
+// replaying stale results.
+const LV_SHARED: u32 = 1;
+const LV_SIMPLE: u32 = 1;
+const LV_ABLATIONS: u32 = 1;
+const LV_COUNTERMEASURES: u32 = 1;
+const LV_TABLE6: u32 = 1;
+const LV_SIM_CHAIN: u32 = 1;
+
+/// Canonical config-slice bytes: fixed-width little-endian `u64` fields
+/// (floats pass through [`canonical_f64_bits`] first). Each task family
+/// encodes exactly the [`ReproConfig`] fields it reads — dependency
+/// keys carry everything upstream.
+fn cfg(parts: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(parts.len() * 8);
+    for p in parts {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// One task's scoped observation cell: everything the task records
+/// lands here first, is captured into its cache envelope on a miss, and
+/// is merged into the run's global registry/hub afterwards. Merging is
+/// order-insensitive (counters add, gauges take maxima, stream keys are
+/// disjoint), so scoping never changes the exported bytes.
+#[derive(Default)]
+struct TaskObs {
+    reg: bp_obs::Registry,
+    hub: TraceHub,
+}
+
+/// The observability view handed to a task closure: the task's *scoped*
+/// registry/hub when the run records metrics/traces, `None` otherwise
+/// (so task code takes the exact same branches as an unobserved run).
+#[derive(Clone, Copy)]
+struct ObsCtx<'o> {
+    metrics: Option<&'o bp_obs::Registry>,
+    trace: Option<&'o TraceHub>,
+}
+
+/// [`Dag`] construction wrapper that keeps the cache metadata and the
+/// scoped observation cell of every task aligned with its index.
+struct DagBuilder<'a> {
+    dag: Dag<'a>,
+    metas: Vec<CacheMeta>,
+    cells: Vec<Arc<TaskObs>>,
+    metrics_on: bool,
+    trace_on: bool,
+}
+
+impl<'a> DagBuilder<'a> {
+    fn new(metrics_on: bool, trace_on: bool) -> Self {
+        DagBuilder {
+            dag: Dag::new(),
+            metas: Vec::new(),
+            cells: Vec::new(),
+            metrics_on,
+            trace_on,
+        }
+    }
+
+    fn push(
+        &mut self,
+        label: impl Into<String>,
+        job: Option<usize>,
+        rank: u8,
+        deps: Vec<usize>,
+        meta: CacheMeta,
+        run: impl Fn(&TaskCtx, ObsCtx<'_>) -> TaskOutput + Send + Sync + 'a,
+    ) -> usize {
+        let cell = Arc::new(TaskObs::default());
+        let scoped = Arc::clone(&cell);
+        let (metrics_on, trace_on) = (self.metrics_on, self.trace_on);
+        let idx = self.dag.push(label, job, rank, deps, move |ctx| {
+            let obs = ObsCtx {
+                metrics: if metrics_on { Some(&scoped.reg) } else { None },
+                trace: if trace_on { Some(&scoped.hub) } else { None },
+            };
+            run(ctx, obs)
+        });
+        self.metas.push(meta);
+        self.cells.push(cell);
+        debug_assert_eq!(self.metas.len(), idx + 1);
+        idx
+    }
+}
+
+/// The compiled graph plus everything the cached executor needs:
+/// per-task cache metadata and observation cells (both indexed by task),
+/// the shared-build tasks as `(stage id, task index)` in the fixed
+/// `static` / `day_crawl` / `general_crawl` order, and — per selected
+/// job, in presentation order — the index of the task whose output is
+/// that job's `Vec<Artifact>`.
+struct DagParts<'a> {
+    dag: Dag<'a>,
+    metas: Vec<CacheMeta>,
+    cells: Vec<Arc<TaskObs>>,
+    shared_tasks: Vec<(&'static str, usize)>,
+    artifact_tasks: Vec<usize>,
+}
+
+/// Compiles the selected jobs into the fine-grained task DAG.
 fn build_dag<'a>(
     config: &'a ReproConfig,
     selected: &[&'static JobSpec],
     shared: &'a SharedInputs,
     needs: Needs,
-    reg: Option<&'a bp_obs::Registry>,
-    hub: Option<&'a TraceHub>,
-) -> (Dag<'a>, Vec<(&'static str, usize)>, Vec<usize>) {
-    let mut dag = Dag::new();
+    metrics_on: bool,
+    trace_on: bool,
+) -> DagParts<'a> {
+    let mut b = DagBuilder::new(metrics_on, trace_on);
+    let scale_seed = cfg(&[canonical_f64_bits(config.scale), config.seed]);
 
     let mut shared_tasks: Vec<(&'static str, usize)> = Vec::new();
     let (mut static_task, mut day_task, mut general_task) = (None, None, None);
-    for (id, builder) in shared_builders(config, needs, reg, hub.is_some()) {
-        let rank = match id {
-            "static" => RANK_STATIC,
-            "day_crawl" => RANK_DAY,
-            _ => RANK_GENERAL,
+    for (id, builder) in shared_builders(config, needs) {
+        let (rank, slice, observable) = match id {
+            "static" => (RANK_STATIC, scale_seed.clone(), false),
+            "day_crawl" => (
+                RANK_DAY,
+                cfg(&[
+                    canonical_f64_bits(config.scale),
+                    config.seed,
+                    config.day_hours,
+                ]),
+                true,
+            ),
+            _ => (
+                RANK_GENERAL,
+                cfg(&[
+                    canonical_f64_bits(config.scale),
+                    config.seed,
+                    config.general_hours,
+                ]),
+                true,
+            ),
         };
-        let idx = dag.push(id, None, rank, vec![], move |_| {
-            publish_part(shared, builder(), reg, hub);
+        // Shared inputs are volatile: live simulation state cannot be
+        // persisted, but their crawl metrics and day trace *can* — a
+        // warm run replays those effects without simulating.
+        let meta = CacheMeta::volatile(LV_SHARED, slice, observable);
+        let idx = b.push(id, None, rank, vec![], meta, move |_, obs| {
+            publish_part(
+                shared,
+                builder(obs.metrics, obs.trace.is_some()),
+                obs.metrics,
+                obs.trace,
+            );
             Box::new(()) as TaskOutput
         });
         match id {
@@ -1093,30 +1376,41 @@ fn build_dag<'a>(
     let mut artifact_tasks = Vec::with_capacity(selected.len());
     for (j, job) in selected.iter().enumerate() {
         let idx = match job.id {
-            "ablations" => push_ablations(&mut dag, j, config),
+            "ablations" => push_ablations(&mut b, j, config),
             "countermeasures" => push_countermeasures(
-                &mut dag,
+                &mut b,
                 j,
                 config,
                 shared,
                 static_task.expect("countermeasures needs the static build"),
+                &scale_seed,
             ),
-            "table6" => push_table6(&mut dag, j, reg, hub),
-            "propagation" => push_propagation(&mut dag, j, config),
-            "fifty_one" => push_fifty_one(&mut dag, j, config),
+            "table6" => push_table6(&mut b, j),
+            "propagation" => push_propagation(&mut b, j, config, &scale_seed),
+            "fifty_one" => push_fifty_one(&mut b, j, config, &scale_seed),
             _ => {
                 let spec: &'static JobSpec = job;
-                dag.push(
+                // Jobs that read shared inputs inherit scale/seed/hours
+                // through their dependency keys; the self-contained
+                // cascade encodes its config slice directly.
+                let slice = if job.id == "cascade" {
+                    scale_seed.clone()
+                } else {
+                    Vec::new()
+                };
+                let meta = CacheMeta::payload::<Vec<Artifact>>(LV_SIMPLE, slice, job.id == "fig7");
+                b.push(
                     job.id,
                     Some(j),
                     simple_rank(job.id),
                     deps_for(job.needs),
-                    move |_| {
+                    meta,
+                    move |_, obs| {
                         let ctx = JobCtx {
                             config,
                             shared,
-                            metrics: reg,
-                            trace: hub,
+                            metrics: obs.metrics,
+                            trace: obs.trace,
                         };
                         Box::new((spec.run)(&ctx)) as TaskOutput
                     },
@@ -1125,66 +1419,86 @@ fn build_dag<'a>(
         };
         artifact_tasks.push(idx);
     }
-    (dag, shared_tasks, artifact_tasks)
+    DagParts {
+        dag: b.dag,
+        metas: b.metas,
+        cells: b.cells,
+        shared_tasks,
+        artifact_tasks,
+    }
 }
 
 /// `ablations` fan-out: one task per `(case, seed)` simulation of the
 /// relay, out-degree and span-ratio sweeps, merged in case-major /
 /// seed-minor order (the exact serial accumulation order, floating
-/// point included).
-fn push_ablations<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> usize {
+/// point included). Units are cached as volatile (their result types
+/// have no canonical codec): a warm run replays the merge's artifact
+/// payload and skips every unit.
+fn push_ablations<'a>(b: &mut DagBuilder<'a>, j: usize, config: &'a ReproConfig) -> usize {
     let seed = config.seed;
+    let seed_slice = cfg(&[seed]);
     let n_seeds = ablation::AVERAGING_SEEDS.len();
     let mut deps = Vec::new();
     for case in 0..ablation::RELAY_CASES.len() {
         for s in 0..n_seeds {
-            deps.push(dag.push(
+            deps.push(b.push(
                 format!("ablations/relay[{case},s{s}]"),
                 Some(j),
                 RANK_NET_UNIT,
                 vec![],
-                move |_| Box::new(ablation::relay_unit(seed, case, s)) as TaskOutput,
+                CacheMeta::volatile(LV_ABLATIONS, seed_slice.clone(), false),
+                move |_, _| Box::new(ablation::relay_unit(seed, case, s)) as TaskOutput,
             ));
         }
     }
     for degree in 0..ablation::OUT_DEGREES.len() {
         for s in 0..n_seeds {
-            deps.push(dag.push(
+            deps.push(b.push(
                 format!("ablations/degree[{degree},s{s}]"),
                 Some(j),
                 RANK_NET_UNIT,
                 vec![],
-                move |_| Box::new(ablation::degree_unit(seed, degree, s)) as TaskOutput,
+                CacheMeta::volatile(LV_ABLATIONS, seed_slice.clone(), false),
+                move |_, _| Box::new(ablation::degree_unit(seed, degree, s)) as TaskOutput,
             ));
         }
     }
     for ratio in 0..ablation::SPAN_RATIOS.len() {
         for s in 0..n_seeds {
-            deps.push(dag.push(
+            deps.push(b.push(
                 format!("ablations/span[{ratio},s{s}]"),
                 Some(j),
                 RANK_SPAN_UNIT,
                 vec![],
-                move |_| Box::new(ablation::span_unit(seed, ratio, s)) as TaskOutput,
+                CacheMeta::volatile(LV_ABLATIONS, seed_slice.clone(), false),
+                move |_, _| Box::new(ablation::span_unit(seed, ratio, s)) as TaskOutput,
             ));
         }
     }
     let relay_n = ablation::RELAY_CASES.len() * n_seeds;
     let degree_n = ablation::OUT_DEGREES.len() * n_seeds;
     let span_n = ablation::SPAN_RATIOS.len() * n_seeds;
-    dag.push("ablations/merge", Some(j), RANK_MERGE, deps, move |ctx| {
-        let relay: Vec<ablation::NetUnit> = (0..relay_n).map(|k| *ctx.dep(k)).collect();
-        let degree: Vec<ablation::NetUnit> =
-            (relay_n..relay_n + degree_n).map(|k| *ctx.dep(k)).collect();
-        let span: Vec<ablation::SpanUnit> = (relay_n + degree_n..relay_n + degree_n + span_n)
-            .map(|k| ctx.dep::<ablation::SpanUnit>(k).clone())
-            .collect();
-        Box::new(vec![
-            ablation::relay_mode_from_units(&relay),
-            ablation::out_degree_from_units(&degree),
-            ablation::span_ratio_from_units(&span),
-        ]) as TaskOutput
-    })
+    let meta = CacheMeta::payload::<Vec<Artifact>>(LV_ABLATIONS, Vec::new(), false);
+    b.push(
+        "ablations/merge",
+        Some(j),
+        RANK_MERGE,
+        deps,
+        meta,
+        move |ctx, _| {
+            let relay: Vec<ablation::NetUnit> = (0..relay_n).map(|k| *ctx.dep(k)).collect();
+            let degree: Vec<ablation::NetUnit> =
+                (relay_n..relay_n + degree_n).map(|k| *ctx.dep(k)).collect();
+            let span: Vec<ablation::SpanUnit> = (relay_n + degree_n..relay_n + degree_n + span_n)
+                .map(|k| ctx.dep::<ablation::SpanUnit>(k).clone())
+                .collect();
+            Box::new(vec![
+                ablation::relay_mode_from_units(&relay),
+                ablation::out_degree_from_units(&degree),
+                ablation::span_ratio_from_units(&span),
+            ]) as TaskOutput
+        },
+    )
 }
 
 /// `countermeasures` fan-out: the closed-form sweep cells, the stratum
@@ -1192,35 +1506,39 @@ fn push_ablations<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> u
 /// as independent tasks; the merge renders in the serial artifact order
 /// (sweep, stratum, purging, BlockAware comparison).
 fn push_countermeasures<'a>(
-    dag: &mut Dag<'a>,
+    b: &mut DagBuilder<'a>,
     j: usize,
     config: &'a ReproConfig,
     shared: &'a SharedInputs,
     static_task: usize,
+    scale_seed: &[u8],
 ) -> usize {
     let mut deps = Vec::new();
     for &threshold in defense::BLOCKAWARE_SWEEP_THRESHOLDS.iter() {
-        deps.push(dag.push(
+        deps.push(b.push(
             format!("countermeasures/sweep[{threshold}]"),
             Some(j),
             RANK_CHEAP,
             vec![],
-            move |_| Box::new(defense::blockaware_sweep_row(threshold)) as TaskOutput,
+            CacheMeta::payload::<BlockAwareTradeoff>(LV_COUNTERMEASURES, Vec::new(), false),
+            move |_, _| Box::new(defense::blockaware_sweep_row(threshold)) as TaskOutput,
         ));
     }
-    deps.push(dag.push(
+    deps.push(b.push(
         "countermeasures/stratum",
         Some(j),
         RANK_CHEAP,
         vec![],
-        |_| Box::new(defense::stratum_diversification()) as TaskOutput,
+        CacheMeta::payload::<Artifact>(LV_COUNTERMEASURES, Vec::new(), false),
+        |_, _| Box::new(defense::stratum_diversification()) as TaskOutput,
     ));
-    deps.push(dag.push(
+    deps.push(b.push(
         "countermeasures/purging",
         Some(j),
         RANK_SIMPLE,
         vec![static_task],
-        move |_| Box::new(defense::route_purging(shared.static_env().0)) as TaskOutput,
+        CacheMeta::payload::<Artifact>(LV_COUNTERMEASURES, Vec::new(), false),
+        move |_, _| Box::new(defense::route_purging(shared.static_env().0)) as TaskOutput,
     ));
     // A long enough window that (a) post-capture staleness alarms
     // fire — at 30 % hash the counterfeit inter-block gap averages
@@ -1236,7 +1554,12 @@ fn push_countermeasures<'a>(
         ("countermeasures/attack[open]", false),
         ("countermeasures/attack[blockaware]", true),
     ] {
-        deps.push(dag.push(label, Some(j), RANK_ARM, vec![], move |_| {
+        let meta = CacheMeta::payload::<TemporalAttackReport>(
+            LV_COUNTERMEASURES,
+            scale_seed.to_vec(),
+            false,
+        );
+        deps.push(b.push(label, Some(j), RANK_ARM, vec![], meta, move |_, _| {
             let mut lab = measurement_lab(config);
             lab.sim.run_for_secs(4 * 600);
             let cfg = if protected {
@@ -1248,12 +1571,13 @@ fn push_countermeasures<'a>(
         }));
     }
     let n_sweep = defense::BLOCKAWARE_SWEEP_THRESHOLDS.len();
-    dag.push(
+    b.push(
         "countermeasures/merge",
         Some(j),
         RANK_MERGE,
         deps,
-        move |ctx| {
+        CacheMeta::payload::<Vec<Artifact>>(LV_COUNTERMEASURES, Vec::new(), false),
+        move |ctx, _| {
             let rows: Vec<BlockAwareTradeoff> = (0..n_sweep).map(|k| *ctx.dep(k)).collect();
             Box::new(vec![
                 defense::blockaware_sweep_from_rows(&rows),
@@ -1275,65 +1599,91 @@ type Table6Row = ((f64, Vec<Option<u64>>), Option<Tracer>);
 /// grid and concatenates the per-row trace streams in λ order, which
 /// reproduces the serial model stream exactly (the model emits
 /// grid-global cell ordinals via the row-offset API).
-fn push_table6<'a>(
-    dag: &mut Dag<'a>,
-    j: usize,
-    reg: Option<&'a bp_obs::Registry>,
-    hub: Option<&'a TraceHub>,
-) -> usize {
+fn push_table6<'a>(b: &mut DagBuilder<'a>, j: usize) -> usize {
     let n = temporal::TABLE6_LAMBDAS.len();
     let mut deps = Vec::new();
     for li in 0..n {
-        deps.push(dag.push(
+        deps.push(b.push(
             format!("table6/row[{li}]"),
             Some(j),
             RANK_MODEL_ROW,
             vec![],
-            move |_| {
-                let out: Table6Row = if hub.is_some() {
+            CacheMeta::payload::<Table6Row>(LV_TABLE6, Vec::new(), true),
+            move |_, obs| {
+                let out: Table6Row = if obs.trace.is_some() {
                     let mut tracer = Tracer::new();
-                    let row = temporal::table6_row_instrumented(li, reg, Some(&mut tracer));
+                    let row = temporal::table6_row_instrumented(li, obs.metrics, Some(&mut tracer));
                     (row, Some(tracer))
                 } else {
-                    (temporal::table6_row_instrumented(li, reg, None), None)
+                    (
+                        temporal::table6_row_instrumented(li, obs.metrics, None),
+                        None,
+                    )
                 };
                 Box::new(out) as TaskOutput
             },
         ));
     }
-    dag.push("table6/merge", Some(j), RANK_MERGE, deps, move |ctx| {
-        let mut grid = Vec::with_capacity(n);
-        let mut merged = Tracer::new();
-        for k in 0..n {
-            let (row, tracer) = ctx.dep::<Table6Row>(k);
-            grid.push(row.clone());
-            if let Some(t) = tracer {
-                merged.append(t.clone());
+    let meta = CacheMeta::payload::<Vec<Artifact>>(LV_TABLE6, Vec::new(), true);
+    b.push(
+        "table6/merge",
+        Some(j),
+        RANK_MERGE,
+        deps,
+        meta,
+        move |ctx, obs| {
+            let mut grid = Vec::with_capacity(n);
+            let mut merged = Tracer::new();
+            for k in 0..n {
+                let (row, tracer) = ctx.dep::<Table6Row>(k);
+                grid.push(row.clone());
+                if let Some(t) = tracer {
+                    merged.append(t.clone());
+                }
             }
-        }
-        if let Some(hub) = hub {
-            hub.set_model(merged);
-        }
-        Box::new(vec![temporal::table6_from_rows(&grid)]) as TaskOutput
-    })
+            if let Some(hub) = obs.trace {
+                hub.set_model(merged);
+            }
+            Box::new(vec![temporal::table6_from_rows(&grid)]) as TaskOutput
+        },
+    )
 }
 
 /// `propagation` chain: warm a measurement lab, then crawl it. Two
 /// tasks so the warmup runs concurrently with unrelated work while the
 /// measure step still sees the exact serial state (single consumer —
 /// the lab moves through a `Mutex`).
-fn push_propagation<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> usize {
-    let prep = dag.push("propagation/prep", Some(j), RANK_PREP, vec![], move |_| {
-        let mut lab = measurement_lab(config);
-        lab.sim.run_for_secs(2 * 600);
-        Box::new(Mutex::new(lab)) as TaskOutput
-    });
-    dag.push(
+fn push_propagation<'a>(
+    b: &mut DagBuilder<'a>,
+    j: usize,
+    config: &'a ReproConfig,
+    scale_seed: &[u8],
+) -> usize {
+    let prep_meta = CacheMeta::volatile(LV_SIM_CHAIN, scale_seed.to_vec(), false);
+    let prep = b.push(
+        "propagation/prep",
+        Some(j),
+        RANK_PREP,
+        vec![],
+        prep_meta,
+        move |_, _| {
+            let mut lab = measurement_lab(config);
+            lab.sim.run_for_secs(2 * 600);
+            Box::new(Mutex::new(lab)) as TaskOutput
+        },
+    );
+    let meta = CacheMeta::payload::<Vec<Artifact>>(
+        LV_SIM_CHAIN,
+        cfg(&[config.day_hours.clamp(1, 4)]),
+        false,
+    );
+    b.push(
         "propagation/measure",
         Some(j),
         RANK_PREP,
         vec![prep],
-        move |ctx| {
+        meta,
+        move |ctx, _| {
             let mut lab = ctx.dep::<Mutex<Lab>>(0).lock().unwrap();
             let lab = &mut *lab;
             Box::new(vec![temporal::propagation(
@@ -1346,18 +1696,33 @@ fn push_propagation<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) ->
 }
 
 /// `fifty_one` chain: same prep/measure split as `propagation`.
-fn push_fifty_one<'a>(dag: &mut Dag<'a>, j: usize, config: &'a ReproConfig) -> usize {
-    let prep = dag.push("fifty_one/prep", Some(j), RANK_PREP, vec![], move |_| {
-        let mut lab = measurement_lab(config);
-        lab.sim.run_for_secs(2 * 600);
-        Box::new(Mutex::new(lab)) as TaskOutput
-    });
-    dag.push(
+fn push_fifty_one<'a>(
+    b: &mut DagBuilder<'a>,
+    j: usize,
+    config: &'a ReproConfig,
+    scale_seed: &[u8],
+) -> usize {
+    let prep_meta = CacheMeta::volatile(LV_SIM_CHAIN, scale_seed.to_vec(), false);
+    let prep = b.push(
+        "fifty_one/prep",
+        Some(j),
+        RANK_PREP,
+        vec![],
+        prep_meta,
+        move |_, _| {
+            let mut lab = measurement_lab(config);
+            lab.sim.run_for_secs(2 * 600);
+            Box::new(Mutex::new(lab)) as TaskOutput
+        },
+    );
+    let meta = CacheMeta::payload::<Vec<Artifact>>(LV_SIM_CHAIN, Vec::new(), false);
+    b.push(
         "fifty_one/measure",
         Some(j),
         RANK_PREP,
         vec![prep],
-        move |ctx| {
+        meta,
+        move |ctx, _| {
             let mut lab = ctx.dep::<Mutex<Lab>>(0).lock().unwrap();
             let lab = &mut *lab;
             Box::new(vec![combined::fifty_one(&mut lab.sim, &lab.census)]) as TaskOutput

@@ -4,19 +4,24 @@
 //! Subcommands (all read the binary `trace.bin` format written by
 //! `repro --trace`):
 //!
-//! * `summary FILE` — record counts by category/kind, busiest nodes.
+//! * `summary FILE` — record counts by category/kind, busiest nodes,
+//!   plus a ring-drop line when the recorder wrapped.
 //! * `filter FILE [--from T] [--to T] [--node N] [--category C] [--kind K]`
 //!   — matching records as JSONL, keeping original sequence numbers.
 //! * `diff LEFT RIGHT` — first divergence between two traces (exit 1
 //!   when they differ, with seq, timestamps and both decoded records).
+//!   When either trace comes from a wrapped ring, drop counts are
+//!   compared first: differing counts are reported as the finding —
+//!   a record-level "divergence" between rings that dropped different
+//!   prefixes would be misleading.
 //! * `timeline FILE [--check CSV]` — reconstruct the per-node
 //!   tip-height / block-lag series from the trace; `--check` compares
 //!   the reconstruction against a published `fig6_day.csv` (exit 1 on
 //!   mismatch).
 
 use bp_obs::trace::{
-    decode_records, filter_records, first_divergence, summary, timeline, timeline_csv,
-    TraceCategory, TraceFilter, TraceKind, TraceRecord,
+    decode_trace, filter_records, first_divergence, summary, timeline, timeline_csv, TraceCategory,
+    TraceFilter, TraceKind, TraceRecord,
 };
 
 /// Result of one `trace` invocation: what to print and the process exit
@@ -54,9 +59,11 @@ pub fn usage() -> String {
         .to_string()
 }
 
-fn load(path: &str) -> Result<Vec<TraceRecord>, String> {
+/// Loads a trace file, returning its retained records and the ring-drop
+/// count (0 for v1 files, which predate drop accounting).
+fn load(path: &str) -> Result<(Vec<TraceRecord>, u64), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    decode_records(&bytes).map_err(|e| format!("{path}: {e}"))
+    decode_trace(&bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
@@ -76,8 +83,19 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "--help" | "-h" | "help" => Ok(Outcome::ok(usage())),
         "summary" => {
             let path = iter.next().ok_or("summary requires a trace file")?;
-            let records = load(path)?;
-            Ok(Outcome::ok(summary(&records)))
+            let (records, dropped) = load(path)?;
+            let mut out = summary(&records);
+            if dropped > 0 {
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str(&format!(
+                    "ring drops: {dropped} (oldest records evicted; {} of {} offered retained)\n",
+                    records.len(),
+                    records.len() as u64 + dropped
+                ));
+            }
+            Ok(Outcome::ok(out))
         }
         "filter" => {
             let path = iter.next().ok_or("filter requires a trace file")?;
@@ -103,7 +121,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
                     other => return Err(format!("unknown filter flag: {other}")),
                 }
             }
-            let records = load(path)?;
+            let (records, _dropped) = load(path)?;
             let mut out = String::new();
             for (seq, r) in filter_records(&records, &filter) {
                 out.push_str(&r.to_json_line(seq));
@@ -114,14 +132,35 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "diff" => {
             let left_path = iter.next().ok_or("diff requires two trace files")?;
             let right_path = iter.next().ok_or("diff requires two trace files")?;
-            let left = load(left_path)?;
-            let right = load(right_path)?;
+            let (left, left_dropped) = load(left_path)?;
+            let (right, right_dropped) = load(right_path)?;
+            // Differing drop counts ARE the divergence: the rings
+            // evicted different prefixes, so a record-level diff would
+            // blame whatever record happened to survive on one side.
+            if left_dropped != right_dropped {
+                return Ok(Outcome::differs(format!(
+                    "ring drop counts differ: {left_path} dropped {left_dropped}, \
+                     {right_path} dropped {right_dropped}\n\
+                     (retained records: {} vs {}; record-level comparison skipped — \
+                     the traces lost different prefixes)",
+                    left.len(),
+                    right.len()
+                )));
+            }
+            let wrapped_note = if left_dropped > 0 {
+                format!(
+                    "\n(both rings dropped {left_dropped} records; comparison covers \
+                     the retained suffix only)"
+                )
+            } else {
+                String::new()
+            };
             match first_divergence(&left, &right) {
                 None => Ok(Outcome::ok(format!(
-                    "traces identical ({} records)",
+                    "traces identical ({} records){wrapped_note}",
                     left.len()
                 ))),
-                Some(d) => Ok(Outcome::differs(d.render())),
+                Some(d) => Ok(Outcome::differs(format!("{}{wrapped_note}", d.render()))),
             }
         }
         "timeline" => {
@@ -133,7 +172,7 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
                     other => return Err(format!("unknown timeline flag: {other}")),
                 }
             }
-            let records = load(path)?;
+            let (records, _dropped) = load(path)?;
             let csv = timeline_csv(&timeline(&records));
             match check {
                 None => Ok(Outcome::ok(csv)),
@@ -185,7 +224,6 @@ fn render_csv_mismatch(ours: &str, reference: &str, reference_path: &str) -> Str
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bp_obs::trace::encode_records;
     use bp_obs::Tracer;
 
     fn argv(args: &[&str]) -> Vec<String> {
@@ -206,7 +244,7 @@ mod tests {
     fn write_trace(name: &str, tracer: &Tracer) -> String {
         let path =
             std::env::temp_dir().join(format!("bp_trace_cli_{name}_{}.bin", std::process::id()));
-        std::fs::write(&path, encode_records(&tracer.records())).unwrap();
+        std::fs::write(&path, tracer.encode()).unwrap();
         path.to_string_lossy().into_owned()
     }
 
@@ -259,6 +297,49 @@ mod tests {
         assert_eq!(differs.code, 1);
         assert!(differs.output.contains("divergence at seq 5"));
         assert!(differs.output.contains("<end of trace>"));
+    }
+
+    #[test]
+    fn diff_reports_drop_counts_on_wrapped_rings() {
+        // Two rings that wrapped by different amounts: the drop counts
+        // are the finding, not whichever surviving records differ.
+        let base = sample_tracer();
+        let wrapped_3 = Tracer::from_parts(base.records(), 3);
+        let wrapped_5 = Tracer::from_parts(base.records(), 5);
+        let a = write_trace("drops_a", &wrapped_3);
+        let b = write_trace("drops_b", &wrapped_5);
+
+        let differs = run(&argv(&["diff", &a, &b])).unwrap();
+        assert_eq!(differs.code, 1);
+        assert!(
+            differs.output.contains("ring drop counts differ"),
+            "{}",
+            differs.output
+        );
+        assert!(differs.output.contains("dropped 3"));
+        assert!(differs.output.contains("dropped 5"));
+        assert!(!differs.output.contains("divergence at seq"));
+
+        // Equal drop counts: retained records compare, with a note that
+        // the comparison only covers the surviving suffix.
+        let c = write_trace("drops_c", &Tracer::from_parts(base.records(), 3));
+        let same = run(&argv(&["diff", &a, &c])).unwrap();
+        assert_eq!(same.code, 0, "{}", same.output);
+        assert!(same.output.contains("identical"));
+        assert!(same.output.contains("retained suffix"), "{}", same.output);
+
+        // Wrapped summaries surface the drop line too.
+        let summary = run(&argv(&["summary", &a])).unwrap();
+        assert!(
+            summary.output.contains("ring drops: 3"),
+            "{}",
+            summary.output
+        );
+        assert!(
+            summary.output.contains("5 of 8 offered"),
+            "{}",
+            summary.output
+        );
     }
 
     #[test]

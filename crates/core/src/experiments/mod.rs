@@ -6,6 +6,7 @@
 //! share one implementation.
 
 pub mod ablation;
+pub mod codec;
 pub mod combined;
 pub mod defense;
 pub mod logical;

@@ -81,6 +81,11 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean observed value (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -88,6 +93,52 @@ impl Histogram {
         } else {
             self.sum as f64 / self.total as f64
         }
+    }
+
+    /// Reconstructs a histogram from its exported parts (the inverse of
+    /// the getter set above) — used to round-trip histograms through
+    /// stable byte encodings such as the bench cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts are inconsistent: empty or
+    /// unsorted bounds, a counts/bounds length mismatch, or a total that
+    /// does not equal the bucket counts plus overflow.
+    pub fn from_parts(
+        bounds: Vec<u64>,
+        counts: Vec<u64>,
+        overflow: u64,
+        total: u64,
+        sum: u64,
+        max: u64,
+    ) -> Result<Self, String> {
+        if bounds.is_empty() {
+            return Err("histogram needs at least one bucket".to_string());
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("histogram bounds must be strictly increasing".to_string());
+        }
+        if counts.len() != bounds.len() {
+            return Err(format!(
+                "histogram has {} bounds but {} counts",
+                bounds.len(),
+                counts.len()
+            ));
+        }
+        let bucketed: u64 = counts.iter().sum();
+        if bucketed + overflow != total {
+            return Err(format!(
+                "histogram total {total} does not match {bucketed} bucketed + {overflow} overflow"
+            ));
+        }
+        Ok(Self {
+            bounds,
+            counts,
+            overflow,
+            total,
+            sum,
+            max,
+        })
     }
 }
 
@@ -106,6 +157,11 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStats>,
+    /// Run-relative counters (cache hit rates, environment facts):
+    /// deliberately excluded from the deterministic `to_json`/`to_csv`
+    /// renderings because they may differ between two runs that produce
+    /// byte-identical results (e.g. a cold vs a warm cache run).
+    volatile: BTreeMap<String, u64>,
 }
 
 /// A thread-safe metric registry (see the crate docs for the
@@ -153,6 +209,15 @@ impl Registry {
     /// Increments a monotonic counter by `delta`.
     pub fn add(&self, name: &str, delta: u64) {
         self.with_inner(|i| *i.counters.entry(name.to_string()).or_default() += delta);
+    }
+
+    /// Increments a *volatile* counter by `delta`. Volatile counters are
+    /// run metadata (cache hits, bytes moved): they appear in
+    /// [`Snapshot::render_table`] and via [`Snapshot::volatile`], but are
+    /// excluded from the deterministic `metrics.json`/`metrics.csv`
+    /// renderings, like span wall times.
+    pub fn add_volatile(&self, name: &str, delta: u64) {
+        self.with_inner(|i| *i.volatile.entry(name.to_string()).or_default() += delta);
     }
 
     /// Sets a gauge to `value` (last write wins).
@@ -248,7 +313,71 @@ impl Registry {
             gauges: i.gauges.clone(),
             histograms: i.histograms.clone(),
             spans: i.spans.clone(),
+            volatile: i.volatile.clone(),
         })
+    }
+
+    /// Folds a snapshot of another registry into this one: counters and
+    /// volatile counters add, gauges take the maximum (inserting when
+    /// absent), histograms merge bucket-wise, and span statistics add
+    /// both hit counts and wall time.
+    ///
+    /// This is the primitive behind scoped observation: each pipeline
+    /// task records into its own registry, and the per-task registries
+    /// are merged in task order afterwards. Because counters, histogram
+    /// buckets and span counts are additive and the deterministic
+    /// renderers sort by name, the merged result is byte-identical to
+    /// recording into one shared registry — regardless of the
+    /// interleaving the worker pool produced. The max rule for gauges
+    /// assumes cross-registry gauge names are either disjoint or
+    /// high-water marks, which holds for every `bp-*` metric family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram in `snap` has different bounds than an
+    /// existing histogram of the same name (same as
+    /// [`merge_histogram`](Self::merge_histogram)).
+    pub fn merge_snapshot(&self, snap: &Snapshot) {
+        self.with_inner(|i| {
+            for (name, value) in &snap.counters {
+                *i.counters.entry(name.clone()).or_default() += value;
+            }
+            for (name, value) in &snap.volatile {
+                *i.volatile.entry(name.clone()).or_default() += value;
+            }
+            for (name, value) in &snap.gauges {
+                let g = i.gauges.entry(name.clone()).or_insert(f64::MIN);
+                if *value > *g {
+                    *g = *value;
+                }
+            }
+            for (name, hist) in &snap.histograms {
+                match i.histograms.get_mut(name) {
+                    None => {
+                        i.histograms.insert(name.clone(), hist.clone());
+                    }
+                    Some(existing) => {
+                        assert_eq!(
+                            existing.bounds(),
+                            hist.bounds(),
+                            "histogram {name} merged with different bounds"
+                        );
+                        for (c, add) in existing.counts.iter_mut().zip(&hist.counts) {
+                            *c += add;
+                        }
+                        existing.overflow += hist.overflow;
+                        existing.total += hist.total;
+                        existing.sum += hist.sum;
+                        existing.max = existing.max.max(hist.max);
+                    }
+                }
+            }
+            for (name, stats) in &snap.spans {
+                let s = i.spans.entry(name.clone()).or_default();
+                s.count += stats.count;
+                s.total += stats.total;
+            }
+        });
     }
 }
 
@@ -259,6 +388,7 @@ pub struct Snapshot {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStats>,
+    volatile: BTreeMap<String, u64>,
 }
 
 /// Escapes a string for a JSON key/value position.
@@ -348,9 +478,26 @@ impl Snapshot {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All histograms in sorted-name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// All span statistics in sorted-name order.
     pub fn spans(&self) -> impl Iterator<Item = (&str, SpanStats)> {
         self.spans.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// A volatile counter's value (0 when never recorded). Volatile
+    /// counters never appear in `to_json`/`to_csv` — see
+    /// [`Registry::add_volatile`].
+    pub fn volatile_counter(&self, name: &str) -> u64 {
+        self.volatile.get(name).copied().unwrap_or(0)
+    }
+
+    /// All volatile counters in sorted-name order.
+    pub fn volatile(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.volatile.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Whether nothing was recorded.

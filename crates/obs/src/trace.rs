@@ -36,6 +36,11 @@
 //! The sequence number of a record is its ordinal position in the file; it
 //! is not stored, which keeps records compact and makes "first divergence"
 //! well-defined as the first differing ordinal.
+//!
+//! A trace written from a *wrapped* bounded ring uses the `b"BPTRACE2"`
+//! header instead, which carries the drop count after the record count
+//! (24 bytes total); [`decode_trace`] reads both versions. Unwrapped
+//! traces keep the original 16-byte `BPTRACE1` header byte-for-byte.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -50,6 +55,13 @@ pub const MAGIC: &[u8; 8] = b"BPTRACE1";
 
 /// Width of the binary file header (magic + record count).
 pub const HEADER_BYTES: usize = 16;
+
+/// Magic bytes of the drop-aware trace header written when a bounded
+/// ring wrapped (see [`encode_trace`]).
+pub const MAGIC_V2: &[u8; 8] = b"BPTRACE2";
+
+/// Width of the drop-aware header (magic + record count + drop count).
+pub const HEADER_V2_BYTES: usize = 24;
 
 /// Event category: which subsystem emitted the record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -359,12 +371,39 @@ impl TraceRecord {
 /// Recording is infallible and side-effect free with respect to the
 /// simulation: no RNG, no event scheduling, no branching on recorder
 /// state leaks back into the caller.
+///
+/// ## Drop-accounting invariant
+///
+/// `len() + dropped() == ` *number of records ever offered to this
+/// recorder*. [`record`](Self::record) counts an eviction the moment a
+/// full ring overwrites its oldest record, and
+/// [`append`](Self::append) preserves the invariant across recorder
+/// merges: it adds the other side's `dropped` (those records were
+/// offered to the logical stream) plus any evictions appending into
+/// this ring causes. Exports derive from the invariant consistently:
+/// `events_recorded` is the offered count, `bytes_written` is the
+/// *retained* bytes (exactly what an [`encode_records`] of the held
+/// records emits), and `ring_drops = events_recorded − bytes_written /
+/// RECORD_BYTES` is the evicted count.
 #[derive(Debug, Default, Clone)]
 pub struct Tracer {
     records: std::collections::VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,
 }
+
+/// Two recorders are equal when they hold the same trace *content*:
+/// retained records plus drop count. `capacity` is recorder
+/// configuration, not content — it is not serialized by
+/// [`Tracer::encode`], so a decode round-trip must compare equal to the
+/// recorder it came from regardless of how that recorder was bounded.
+impl PartialEq for Tracer {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records && self.dropped == other.dropped
+    }
+}
+
+impl Eq for Tracer {}
 
 impl Tracer {
     /// An unbounded streaming recorder.
@@ -379,6 +418,19 @@ impl Tracer {
             records: std::collections::VecDeque::new(),
             capacity,
             dropped: 0,
+        }
+    }
+
+    /// Rebuilds a recorder from previously captured parts (e.g. a cache
+    /// replay). The result is unbounded — it already holds exactly the
+    /// records that survived the original ring, so re-applying a
+    /// capacity would double-count evictions — and it preserves the
+    /// drop-accounting invariant: `offered() == records.len() + dropped`.
+    pub fn from_parts(records: Vec<TraceRecord>, dropped: u64) -> Self {
+        Tracer {
+            records: records.into(),
+            capacity: 0,
+            dropped,
         }
     }
 
@@ -413,6 +465,12 @@ impl Tracer {
         self.dropped
     }
 
+    /// Records ever offered to this recorder: `len() + dropped()` (see
+    /// the drop-accounting invariant in the type docs).
+    pub fn offered(&self) -> u64 {
+        self.records.len() as u64 + self.dropped
+    }
+
     /// Drains this recorder into a plain record vector.
     pub fn into_records(self) -> Vec<TraceRecord> {
         self.records.into_iter().collect()
@@ -423,8 +481,13 @@ impl Tracer {
         self.records.iter().copied().collect()
     }
 
-    /// Appends another recorder's records (stream concatenation), summing
-    /// drop counts.
+    /// Appends another recorder's records (stream concatenation).
+    ///
+    /// Preserves the drop-accounting invariant: the merged recorder's
+    /// `offered()` equals the sum of both sides' `offered()` — records
+    /// the other ring already evicted stay counted as dropped, and
+    /// records this ring must evict to make room are added to the drop
+    /// count as they go.
     pub fn append(&mut self, other: Tracer) {
         self.dropped += other.dropped;
         for r in other.records {
@@ -438,16 +501,26 @@ impl Tracer {
 
     /// Exports `{prefix}.events_recorded`, `{prefix}.bytes_written` and
     /// `{prefix}.ring_drops` counters into `reg`.
+    ///
+    /// Semantics follow the drop-accounting invariant documented on
+    /// [`Tracer`]: `events_recorded` counts every record ever *offered*
+    /// (retained + dropped), `bytes_written` counts only the *retained*
+    /// bytes — exactly the record payload an [`encode_records`] call
+    /// would emit — and `ring_drops` is their difference in records.
     pub fn export_metrics(&self, reg: &Registry, prefix: &str) {
-        reg.add(
-            &format!("{prefix}.events_recorded"),
-            self.records.len() as u64 + self.dropped,
-        );
+        reg.add(&format!("{prefix}.events_recorded"), self.offered());
         reg.add(
             &format!("{prefix}.bytes_written"),
             (self.records.len() * RECORD_BYTES) as u64,
         );
         reg.add(&format!("{prefix}.ring_drops"), self.dropped);
+    }
+
+    /// Encodes the retained records into the binary trace-file format,
+    /// using the drop-aware `BPTRACE2` header when this ring wrapped
+    /// (see [`encode_trace`]).
+    pub fn encode(&self) -> Vec<u8> {
+        encode_trace(&self.records(), self.dropped)
     }
 }
 
@@ -462,7 +535,83 @@ pub fn encode_records(records: &[TraceRecord]) -> Vec<u8> {
     out
 }
 
+/// Encodes records plus a ring-drop count. When `dropped` is zero this
+/// is byte-identical to [`encode_records`] (the classic 16-byte
+/// `BPTRACE1` header); a wrapped ring gets the 24-byte `BPTRACE2`
+/// header that records how many leading records were evicted, so
+/// downstream tools can say "the earliest N records are missing"
+/// instead of reporting a misleading first divergence.
+pub fn encode_trace(records: &[TraceRecord], dropped: u64) -> Vec<u8> {
+    if dropped == 0 {
+        return encode_records(records);
+    }
+    let mut out = Vec::with_capacity(HEADER_V2_BYTES + records.len() * RECORD_BYTES);
+    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    out.extend_from_slice(&dropped.to_le_bytes());
+    for r in records {
+        r.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decodes a binary trace file produced by [`encode_records`] or
+/// [`encode_trace`], returning the records and the ring-drop count
+/// (zero for `BPTRACE1` files, which cannot carry one).
+///
+/// # Errors
+///
+/// Returns a message on a bad magic, a truncated file, a record-count
+/// mismatch, or any malformed record (with its sequence number).
+pub fn decode_trace(bytes: &[u8]) -> Result<(Vec<TraceRecord>, u64), String> {
+    if bytes.len() < 8 {
+        return Err(format!(
+            "file is {} bytes, smaller than the 8-byte magic",
+            bytes.len()
+        ));
+    }
+    let (header_bytes, dropped) = if &bytes[..8] == MAGIC {
+        (HEADER_BYTES, 0u64)
+    } else if &bytes[..8] == MAGIC_V2 {
+        if bytes.len() < HEADER_V2_BYTES {
+            return Err(format!(
+                "file is {} bytes, smaller than the {HEADER_V2_BYTES}-byte BPTRACE2 header",
+                bytes.len()
+            ));
+        }
+        (
+            HEADER_V2_BYTES,
+            u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice")),
+        )
+    } else {
+        return Err("bad magic: not a bp-obs trace file".to_string());
+    };
+    if bytes.len() < header_bytes {
+        return Err(format!(
+            "file is {} bytes, smaller than the {header_bytes}-byte header",
+            bytes.len()
+        ));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")) as usize;
+    let body = &bytes[header_bytes..];
+    if body.len() != count * RECORD_BYTES {
+        return Err(format!(
+            "header promises {count} records ({} bytes) but body is {} bytes",
+            count * RECORD_BYTES,
+            body.len()
+        ));
+    }
+    let mut records = Vec::with_capacity(count);
+    for (seq, chunk) in body.chunks(RECORD_BYTES).enumerate() {
+        records.push(TraceRecord::decode(chunk).map_err(|e| format!("record {seq}: {e}"))?);
+    }
+    Ok((records, dropped))
+}
+
 /// Decodes a binary trace file produced by [`encode_records`].
+///
+/// Accepts both header versions but discards the `BPTRACE2` drop count;
+/// use [`decode_trace`] when drop awareness matters (e.g. diffing).
 ///
 /// # Errors
 ///
@@ -474,6 +623,9 @@ pub fn decode_records(bytes: &[u8]) -> Result<Vec<TraceRecord>, String> {
             "file is {} bytes, smaller than the {HEADER_BYTES}-byte header",
             bytes.len()
         ));
+    }
+    if &bytes[..8] == MAGIC_V2 {
+        return decode_trace(bytes).map(|(records, _)| records);
     }
     if &bytes[..8] != MAGIC {
         return Err("bad magic: not a bp-obs trace file".to_string());
@@ -852,6 +1004,61 @@ mod tests {
         let records = t.into_records();
         assert_eq!(records[0].time, 3);
         assert_eq!(records[1].time, 4);
+    }
+
+    #[test]
+    fn offered_invariant_survives_wrapping_and_append() {
+        let mut a = Tracer::with_capacity(3);
+        for i in 0..7u64 {
+            a.record(TraceKind::Mine, i, 0, 0, 0);
+        }
+        assert_eq!(a.offered(), 7);
+        assert_eq!(a.len() as u64 + a.dropped(), a.offered());
+
+        let mut b = Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            b.record(TraceKind::Churn, i, u32::MAX, 0, 0);
+        }
+        let offered_sum = a.offered() + b.offered();
+        a.append(b);
+        assert_eq!(a.offered(), offered_sum);
+        assert_eq!(a.len(), 3, "ring capacity still bounds retention");
+    }
+
+    #[test]
+    fn wrapped_ring_encodes_drop_count() {
+        let mut t = Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            t.record(TraceKind::Mine, i, 0, i, i);
+        }
+        let bin = t.encode();
+        assert_eq!(&bin[..8], MAGIC_V2);
+        let (records, dropped) = decode_trace(&bin).unwrap();
+        assert_eq!(records, t.records());
+        assert_eq!(dropped, 3);
+        // decode_records tolerates the v2 header, dropping the count.
+        assert_eq!(decode_records(&bin).unwrap(), t.records());
+    }
+
+    #[test]
+    fn unwrapped_encode_matches_classic_format() {
+        let mut t = Tracer::new();
+        for r in sample_records() {
+            t.record(r.kind, r.time, r.node, r.a, r.b);
+        }
+        assert_eq!(t.encode(), encode_records(&t.records()));
+        let (records, dropped) = decode_trace(&t.encode()).unwrap();
+        assert_eq!(records, t.records());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn decode_trace_rejects_truncated_v2_header() {
+        let mut t = Tracer::with_capacity(1);
+        t.record(TraceKind::Mine, 0, 0, 0, 0);
+        t.record(TraceKind::Mine, 1, 0, 0, 0);
+        let bin = t.encode();
+        assert!(decode_trace(&bin[..20]).unwrap_err().contains("BPTRACE2"));
     }
 
     #[test]

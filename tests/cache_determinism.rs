@@ -1,0 +1,245 @@
+//! The content-addressed artifact cache must be invisible in every
+//! output stream: a warm run replays cached task results byte-for-byte
+//! — artifacts, `metrics.json` / `metrics.csv` and the flight-recorder
+//! trace all match a cache-less run at any `--jobs N` — while skipping
+//! (not recomputing) at least 90% of the task graph. Key changes
+//! (config fields, seed) invalidate exactly the dependent subgraph, and
+//! corrupted or truncated store entries are detected, evicted and
+//! recomputed rather than served or panicked on.
+
+use bp_bench::cache::ArtifactStore;
+use bp_bench::pipeline::{RunReport, TraceHub};
+use bp_bench::{generate_cached, ReproConfig};
+use btcpart::experiments::Artifact;
+use btcpart::obs::trace::{first_divergence, TraceRecord};
+use btcpart::obs::Registry;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn test_config() -> ReproConfig {
+    // The quick-profile shape at a slightly smaller scale: every job
+    // runs, including the fan-out ones (ablations, countermeasures,
+    // table6, propagation, fifty_one).
+    ReproConfig {
+        scale: 0.03,
+        day_hours: 1,
+        general_hours: 1,
+        ..ReproConfig::quick()
+    }
+}
+
+/// A fresh per-test store directory under the system temp dir.
+fn store_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bp_cache_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Run {
+    artifacts: Vec<Artifact>,
+    metrics_json: String,
+    metrics_csv: String,
+    trace: Vec<TraceRecord>,
+    report: RunReport,
+}
+
+/// One instrumented pipeline run; `cache` opens (and flushes) a store
+/// in that directory, `None` runs cache-less.
+fn run(config: &ReproConfig, ids: &[&str], jobs: usize, cache: Option<&Path>) -> Run {
+    let ids: Vec<String> = ids.iter().map(|s| s.to_string()).collect();
+    let reg = Registry::new();
+    let hub = TraceHub::new();
+    let mut store = cache.map(|dir| ArtifactStore::open(dir).unwrap());
+    let (artifacts, report) =
+        generate_cached(config, &ids, jobs, Some(&reg), Some(&hub), store.as_mut());
+    if let Some(store) = store.as_mut() {
+        store.flush().unwrap();
+    }
+    let snap = reg.snapshot();
+    Run {
+        artifacts,
+        metrics_json: snap.to_json(),
+        metrics_csv: snap.to_csv(),
+        trace: hub.merged().into_records(),
+        report,
+    }
+}
+
+fn assert_same_outputs(base: &Run, other: &Run, what: &str) {
+    assert_eq!(base.artifacts.len(), other.artifacts.len(), "{what}");
+    for (a, b) in base.artifacts.iter().zip(other.artifacts.iter()) {
+        assert_eq!(a.id, b.id, "artifact order differs: {what}");
+        assert_eq!(a.body, b.body, "body of {} differs: {what}", a.id);
+        assert_eq!(a.csv, b.csv, "csv of {} differs: {what}", a.id);
+    }
+    assert_eq!(
+        base.metrics_json, other.metrics_json,
+        "metrics.json: {what}"
+    );
+    assert_eq!(base.metrics_csv, other.metrics_csv, "metrics.csv: {what}");
+    assert_eq!(
+        first_divergence(&base.trace, &other.trace),
+        None,
+        "trace diverges: {what}"
+    );
+}
+
+fn cache_counts(run: &Run) -> (u64, u64, u64) {
+    let summary = run.report.cache.as_ref().expect("cached run has a summary");
+    (summary.hits, summary.misses, summary.skipped)
+}
+
+#[test]
+fn warm_runs_replay_byte_identically_at_any_worker_count() {
+    let config = test_config();
+    let dir = store_dir("warm_matrix");
+    let reference = run(&config, &["all"], 2, None);
+
+    let cold = run(&config, &["all"], 2, Some(&dir));
+    let (hits, misses, _) = cache_counts(&cold);
+    assert_eq!(hits, 0, "fresh store cannot hit");
+    assert!(misses > 0);
+    assert_same_outputs(&reference, &cold, "cold cached run vs cache-less run");
+
+    for jobs in [1usize, 2, 8] {
+        let warm = run(&config, &["all"], jobs, Some(&dir));
+        assert_same_outputs(&reference, &warm, &format!("warm run at jobs={jobs}"));
+        let (hits, misses, skipped) = cache_counts(&warm);
+        assert_eq!(misses, 0, "warm run at jobs={jobs} recomputed something");
+        assert!(hits > 0);
+        // The acceptance bar: a warm run skips at least 90% of tasks.
+        let total = warm.report.tasks_spawned;
+        assert!(
+            skipped * 10 >= total * 9,
+            "warm run at jobs={jobs} skipped only {skipped} of {total} tasks"
+        );
+        // Scheduler bookkeeping is a function of the graph alone, so
+        // caching must not change it.
+        assert_eq!(warm.report.tasks_spawned, reference.report.tasks_spawned);
+        assert_eq!(warm.report.tasks_claimed, reference.report.tasks_claimed);
+        assert_eq!(warm.report.max_ready, reference.report.max_ready);
+    }
+}
+
+#[test]
+fn config_changes_invalidate_only_the_dependent_subgraph() {
+    let config = test_config();
+    let dir = store_dir("invalidate");
+    run(&config, &["all"], 2, Some(&dir));
+
+    // Flipping `day_hours` re-keys the day-crawl subgraph (and with it
+    // day-backed jobs like table5 and fig6_day); jobs that only consume
+    // the static snapshot or the general crawl still hit.
+    let flipped = ReproConfig {
+        day_hours: 2,
+        ..config
+    };
+    let warm = run(&flipped, &["all"], 2, Some(&dir));
+    let (hits, misses, _) = cache_counts(&warm);
+    assert!(misses > 0, "day_hours flip must miss its subgraph");
+    assert!(hits > 0, "unrelated tasks must still hit");
+    let row = |label: &str| -> &str {
+        warm.report
+            .tasks
+            .iter()
+            .find(|t| t.label == label)
+            .unwrap_or_else(|| panic!("no task labelled {label}"))
+            .cache
+            .expect("cached run labels every task")
+    };
+    assert_eq!(
+        row("table1"),
+        "hit",
+        "table1 only needs the static snapshot"
+    );
+    assert_eq!(row("table5"), "miss", "table5 consumes the day crawl");
+
+    // A seed flip re-keys everything derived from the crawls and
+    // simulations — on this graph, every artifact-bearing task.
+    let reseeded = ReproConfig {
+        seed: config.seed + 1,
+        ..config
+    };
+    let warm = run(&reseeded, &["all"], 2, Some(&dir));
+    let (_, misses, _) = cache_counts(&warm);
+    assert!(misses > 0, "seed flip must invalidate");
+
+    // The original config still hits 100% — new keys appended, old
+    // entries untouched.
+    let warm = run(&config, &["all"], 2, Some(&dir));
+    let (hits, misses, _) = cache_counts(&warm);
+    assert_eq!(misses, 0);
+    assert!(hits > 0);
+}
+
+#[test]
+fn corrupted_and_truncated_entries_are_evicted_and_recomputed() {
+    let config = test_config();
+    let dir = store_dir("corrupt");
+    let reference = run(&config, &["all"], 2, None);
+    run(&config, &["all"], 2, Some(&dir));
+
+    // Flip a byte in the middle of the blob file: the affected entries
+    // fail their stored-hash check, get evicted, and recompute — the
+    // outputs stay byte-identical and nothing panics.
+    let blob_path = dir.join("blobs.bin");
+    let mut blobs = std::fs::read(&blob_path).unwrap();
+    let mid = blobs.len() / 2;
+    blobs[mid] ^= 0xFF;
+    std::fs::write(&blob_path, &blobs).unwrap();
+    let healed = run(&config, &["all"], 2, Some(&dir));
+    let (_, misses, _) = cache_counts(&healed);
+    assert!(misses > 0, "corruption must force recomputation");
+    assert_same_outputs(&reference, &healed, "run over a corrupted store");
+
+    // The recomputed entries were re-staged and flushed: the next run
+    // is fully warm again.
+    let warm = run(&config, &["all"], 2, Some(&dir));
+    let (hits, misses, _) = cache_counts(&warm);
+    assert_eq!(misses, 0, "healed store must be fully warm");
+    assert!(hits > 0);
+
+    // Truncating the blob file (index intact, payloads gone) degrades
+    // to recomputation, never a panic or a wrong answer.
+    let blobs = std::fs::read(&blob_path).unwrap();
+    std::fs::write(&blob_path, &blobs[..blobs.len() / 3]).unwrap();
+    let healed = run(&config, &["all"], 2, Some(&dir));
+    let (_, misses, _) = cache_counts(&healed);
+    assert!(misses > 0, "truncation must force recomputation");
+    assert_same_outputs(&reference, &healed, "run over a truncated store");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Round trip at the pipeline level: for any (seed, selection), a
+    /// warm run over the store written by the cold run hits 100% — no
+    /// misses, no live recomputation — and replays byte-identically.
+    #[test]
+    fn any_config_and_selection_round_trips_through_the_store(
+        seed in 1u64..1_000,
+        which in 0usize..4,
+    ) {
+        const SELECTIONS: [&[&str]; 4] =
+            [&["all"], &["table5"], &["fig7"], &["table6", "fig4"]];
+        let selection = SELECTIONS[which];
+        let config = ReproConfig { seed, ..test_config() };
+        let dir = store_dir(&format!("prop_{seed}_{which}"));
+        let cold = run(&config, selection, 2, Some(&dir));
+        let warm = run(&config, selection, 2, Some(&dir));
+        let (hits, misses, skipped) = cache_counts(&warm);
+        prop_assert_eq!(misses, 0, "same config+selection must be all hits");
+        prop_assert!(hits > 0);
+        prop_assert!(skipped * 10 >= warm.report.tasks_spawned * 9);
+        prop_assert_eq!(cold.artifacts.len(), warm.artifacts.len());
+        for (a, b) in cold.artifacts.iter().zip(warm.artifacts.iter()) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(&a.body, &b.body);
+            prop_assert_eq!(&a.csv, &b.csv);
+        }
+        prop_assert_eq!(&cold.metrics_json, &warm.metrics_json);
+        prop_assert_eq!(&cold.metrics_csv, &warm.metrics_csv);
+        prop_assert_eq!(first_divergence(&cold.trace, &warm.trace), None);
+    }
+}

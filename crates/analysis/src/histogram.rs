@@ -96,7 +96,11 @@ impl Histogram {
         if !(0.0..=1.0).contains(&q) || self.count() == 0 {
             return None;
         }
-        let target = (q * self.count() as f64).ceil() as u64;
+        // `q = 0.0` would otherwise yield `target = 0`, which every
+        // prefix sum trivially satisfies — the 0-quantile must still
+        // land in the first *occupied* bin, so ask for at least one
+        // observation.
+        let target = ((q * self.count() as f64).ceil() as u64).max(1);
         let mut acc = self.underflow;
         if acc >= target && self.underflow > 0 {
             return Some(self.lo);
@@ -168,6 +172,24 @@ mod tests {
         assert!((median - 49.5).abs() <= 1.0, "median {median}");
         assert_eq!(h.quantile(1.5), None);
         assert_eq!(Histogram::new(0.0, 1.0, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn zero_quantile_tracks_the_occupied_bin() {
+        // Regression: with all mass in a high bin, quantile(0.0) used to
+        // compute `target = 0` and return the bin-0 midpoint (0.5 here)
+        // even though bin 0 is empty.
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for _ in 0..10 {
+            h.add(90.5);
+        }
+        assert_eq!(h.quantile(0.0), Some(90.5));
+        assert_eq!(h.quantile(0.0), h.quantile(0.01));
+        // With underflow mass the 0-quantile clamps to `lo`, as before.
+        let mut u = Histogram::new(0.0, 1.0, 4);
+        u.add(-3.0);
+        u.add(0.9);
+        assert_eq!(u.quantile(0.0), Some(0.0));
     }
 
     #[test]

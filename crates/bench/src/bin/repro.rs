@@ -82,6 +82,10 @@ fn main() {
         print_help();
         return;
     }
+    if opts.huge {
+        run_huge_bench(&opts);
+        return;
+    }
     if opts.ids.is_empty() {
         opts.ids.push("all".to_string());
     }
@@ -181,7 +185,7 @@ fn main() {
             ("metrics.csv", snapshot.to_csv()),
             (
                 "BENCH_pipeline.json",
-                bench_json(profile, &config, &report, &snapshot),
+                bench_json(profile, &config, Some(&report), &snapshot, None),
             ),
         ] {
             let path = metrics_dir.join(name);
@@ -206,6 +210,70 @@ fn main() {
         }
     }
     eprintln!("# {} artifacts generated", artifacts.len());
+}
+
+/// `repro --scale huge`: the million-node gossip throughput bench. No
+/// artifact pipeline — one simulation driven straight through
+/// `--hours` of gossip. Writes `scale_gossip.csv` (deterministic,
+/// shard-invariant) to `--out`, and with `--metrics` the BENCH record
+/// whose `scale` section the CI smoke job reads.
+fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
+    if !opts.ids.is_empty() {
+        die("artifact ids cannot be combined with --scale huge");
+    }
+    if opts.cache.is_some() {
+        die("--cache is not supported with --scale huge (nothing is cached)");
+    }
+    if opts.trace.is_some() {
+        die("--trace is not supported with --scale huge");
+    }
+    check_out_dirs(&[
+        ("--out", Some(opts.out_dir.as_str())),
+        ("--metrics", opts.metrics.as_deref()),
+    ]);
+    let config = opts.config;
+    eprintln!(
+        "# huge gossip bench: 1,000,000 nodes, {} h, {} shard(s), seed {}",
+        config.day_hours, config.shards, config.seed
+    );
+    let registry = opts.metrics.as_ref().map(|_| btcpart::obs::Registry::new());
+    let report = bp_bench::scale::run_huge(&config, registry.as_ref());
+    let path = PathBuf::from(&opts.out_dir).join("scale_gossip.csv");
+    std::fs::write(&path, &report.csv).expect("write scale_gossip.csv");
+    eprintln!("# wrote {}", path.display());
+    if let (Some(dir), Some(reg)) = (&opts.metrics, &registry) {
+        let metrics_dir = PathBuf::from(dir);
+        let snapshot = reg.snapshot();
+        for (name, contents) in [
+            ("metrics.json", snapshot.to_json()),
+            ("metrics.csv", snapshot.to_csv()),
+            (
+                "BENCH_pipeline.json",
+                bench_json("huge", &config, None, &snapshot, Some(&report)),
+            ),
+        ] {
+            let path = metrics_dir.join(name);
+            std::fs::write(&path, contents).expect("write metrics export");
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+    let trend = report
+        .rss_hourly_mb
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(" ");
+    eprintln!("# peak RSS by hour (MiB): {trend}");
+    eprintln!(
+        "# {} events over {} participants in {:.1} s ({:.0} events/s), \
+         peak RSS {} MiB (budget {} MiB)",
+        report.events,
+        report.participants,
+        report.wall_ms / 1e3,
+        report.events_per_sec,
+        report.rss_peak_mb,
+        report.memory_budget_mb
+    );
 }
 
 fn print_help() {

@@ -31,6 +31,9 @@ pub struct CliOptions {
     /// Directory of the content-addressed artifact cache; `None`
     /// disables caching.
     pub cache: Option<String>,
+    /// `--scale huge` was given: run the million-node gossip throughput
+    /// bench instead of the artifact pipeline.
+    pub huge: bool,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -63,6 +66,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut metrics = None;
     let mut trace = None;
     let mut cache = None;
+    let mut huge = false;
     let mut help = false;
 
     // Phase 2: per-field overrides, applied in the order given.
@@ -71,11 +75,30 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         match arg.as_str() {
             "--quick" => {}
             "--scale" => {
-                let scale: f64 = parse_value(arg, iter.next())?;
-                if !(scale > 0.0 && scale <= 1.0) {
-                    return Err(format!("--scale must be in (0, 1], got {scale}"));
+                let raw = iter.next();
+                // The named profile spelling: `--scale huge` switches to
+                // the million-node throughput bench. Duplicate --scale
+                // keeps last-wins semantics: a later numeric value
+                // returns to the pipeline.
+                if raw.map(String::as_str) == Some("huge") {
+                    huge = true;
+                    continue;
                 }
+                let scale: f64 = parse_value(arg, raw)?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(format!("--scale must be in (0, 1] or 'huge', got {scale}"));
+                }
+                huge = false;
                 config.scale = scale;
+            }
+            "--shards" => {
+                let n: usize = parse_value(arg, iter.next())?;
+                // Mirrors the NetConfig::validate bound so the error
+                // surfaces at parse time, not minutes into a run.
+                if n == 0 || n > 4096 {
+                    return Err(format!("--shards must be in 1..=4096, got {n}"));
+                }
+                config.shards = n;
             }
             "--seed" => config.seed = parse_value(arg, iter.next())?,
             "--hours" => {
@@ -115,17 +138,19 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         metrics,
         trace,
         cache,
+        huge,
         help,
     })
 }
 
 /// Every flag `repro` understands, in display order. [`usage`] lists all
 /// of them; a test pins the two in sync with the parser.
-pub const FLAGS: [&str; 11] = [
+pub const FLAGS: [&str; 12] = [
     "--quick",
     "--scale",
     "--seed",
     "--hours",
+    "--shards",
     "--jobs",
     "--timings",
     "--metrics",
@@ -139,13 +164,17 @@ pub const FLAGS: [&str; 11] = [
 pub fn usage() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [--quick] [--scale F] [--seed S] [--hours H] [--jobs N]\n\
-         \x20             [--timings] [--metrics DIR] [--trace DIR] [--cache DIR]\n\
-         \x20             [--out DIR] [IDS…]\n\n\
+         usage: repro [--quick] [--scale F|huge] [--seed S] [--hours H] [--shards N]\n\
+         \x20             [--jobs N] [--timings] [--metrics DIR] [--trace DIR]\n\
+         \x20             [--cache DIR] [--out DIR] [IDS…]\n\n\
          --quick        5% scale preset; later or earlier per-field flags override it\n\
-         --scale F      population scale in (0, 1] (1.0 = the paper's 13,635 nodes)\n\
+         --scale F      population scale in (0, 1] (1.0 = the paper's 13,635 nodes),\n\
+         \x20              or 'huge' for the million-node gossip throughput bench\n\
+         \x20              (writes scale_gossip.csv; BENCH gains a `scale` section)\n\
          --seed S       snapshot / simulation seed\n\
          --hours H      one-day crawl hours (the general crawl gets 2×H)\n\
+         --shards N     calendar-wheel shards in 1..=4096 (default 1); output is\n\
+         \x20              byte-identical at any value\n\
          --jobs N       worker threads (default: one per core; output is identical)\n\
          --timings      print per-job wall times and write timings.csv to --out\n\
          --metrics DIR  write metrics.json, metrics.csv and BENCH_pipeline.json\n\
@@ -263,7 +292,7 @@ mod tests {
         for flag in FLAGS {
             let args = match flag {
                 "--scale" => argv(&[flag, "0.5"]),
-                "--seed" | "--hours" | "--jobs" => argv(&[flag, "1"]),
+                "--seed" | "--hours" | "--jobs" | "--shards" => argv(&[flag, "1"]),
                 "--metrics" | "--trace" | "--cache" | "--out" => argv(&[flag, "dir"]),
                 _ => argv(&[flag]),
             };
@@ -280,6 +309,43 @@ mod tests {
         assert!(parse_args(&argv(&["--scale", "abc"])).is_err());
         assert!(parse_args(&argv(&["--hours", "0"])).is_err());
         assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses_and_validates() {
+        let opts = parse_args(&argv(&["--quick", "--shards", "8", "all"])).unwrap();
+        assert_eq!(opts.config.shards, 8);
+        // Default: the unsharded wheel.
+        assert_eq!(parse_args(&argv(&["all"])).unwrap().config.shards, 1);
+        // The NetConfig bound is enforced at parse time, naming the flag.
+        for bad in ["0", "4097"] {
+            let err = parse_args(&argv(&["--shards", bad])).unwrap_err();
+            assert!(
+                err.contains("--shards") && err.contains("1..=4096"),
+                "{err}"
+            );
+        }
+        assert!(parse_args(&argv(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn scale_huge_selects_the_throughput_bench() {
+        let opts = parse_args(&argv(&["--scale", "huge", "--hours", "1"])).unwrap();
+        assert!(opts.huge);
+        assert_eq!(opts.config.day_hours, 1);
+        // Default: off, at any numeric scale.
+        assert!(!parse_args(&argv(&["--quick", "all"])).unwrap().huge);
+        // Last-wins, like every duplicated flag: a later numeric scale
+        // returns to the pipeline, a later 'huge' leaves it.
+        let opts = parse_args(&argv(&["--scale", "huge", "--scale", "0.5"])).unwrap();
+        assert!(!opts.huge);
+        assert_eq!(opts.config.scale, 0.5);
+        let opts = parse_args(&argv(&["--scale", "0.5", "--scale", "huge"])).unwrap();
+        assert!(opts.huge);
+        // Composes with --shards for the CI identity check.
+        let opts = parse_args(&argv(&["--scale", "huge", "--shards", "8"])).unwrap();
+        assert!(opts.huge);
+        assert_eq!(opts.config.shards, 8);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod cache;
 pub mod cli;
 pub mod dag;
 pub mod pipeline;
+pub mod scale;
 pub mod trace_cli;
 
 use btcpart::crawler::CrawlResult;
@@ -31,6 +32,12 @@ pub struct ReproConfig {
     /// Simulated hours behind the one-day crawls (Figure 6(b), Figure 8,
     /// Tables V and VII).
     pub day_hours: u64,
+    /// Calendar-wheel shard count threaded into every simulation
+    /// (`repro --shards N`). Pure mechanism: artifacts, metrics and
+    /// traces are byte-identical at any value, which is why this field
+    /// is deliberately absent from the artifact-cache keys — a warm
+    /// cache hits across shard counts.
+    pub shards: usize,
 }
 
 impl ReproConfig {
@@ -41,6 +48,7 @@ impl ReproConfig {
             seed: 20_180_228,
             general_hours: 48,
             day_hours: 24,
+            shards: 1,
         }
     }
 
@@ -51,6 +59,7 @@ impl ReproConfig {
             seed: 20_180_228,
             general_hours: 4,
             day_hours: 2,
+            shards: 1,
         }
     }
 }
@@ -63,12 +72,18 @@ pub fn measurement_net_config(seed: u64) -> NetConfig {
     }
 }
 
-/// Builds a lab with the measurement network profile.
+/// Builds a lab with the measurement network profile. The shard count
+/// rides along into the simulation's event queue; everything the lab
+/// computes is byte-identical at any `config.shards`.
 pub fn measurement_lab(config: &ReproConfig) -> Lab {
+    let net = NetConfig {
+        shards: config.shards,
+        ..measurement_net_config(config.seed.wrapping_add(1))
+    };
     Scenario::new()
         .scale(config.scale)
         .seed(config.seed)
-        .net_config(measurement_net_config(config.seed.wrapping_add(1)))
+        .net_config(net)
         .build()
 }
 
@@ -225,38 +240,62 @@ pub fn generate_cached(
 /// per-stage wall times from the [`RunReport`], and the key simulation
 /// counters from the metrics snapshot. Wall times vary run to run; the
 /// `counters` section is deterministic for a given config.
+///
+/// pipeline-v5: the numeric population factor moved from `scale` to
+/// `scale_factor`; `scale` now holds the huge-bench throughput section
+/// (see [`scale::ScaleReport`]), or null for pipeline runs. `report` is
+/// null-able for the same reason — the huge bench bypasses the task
+/// DAG, so it has no stage or task rows.
 pub fn bench_json(
     profile: &str,
     config: &ReproConfig,
-    report: &RunReport,
+    report: Option<&RunReport>,
     snapshot: &bp_obs::Snapshot,
+    scale: Option<&scale::ScaleReport>,
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v4\",\n");
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v5\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile}\",");
-    let _ = writeln!(out, "  \"scale\": {},", config.scale);
+    let _ = writeln!(out, "  \"scale_factor\": {},", config.scale);
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
-    let _ = writeln!(out, "  \"threads\": {},", report.threads);
-    let _ = writeln!(
-        out,
-        "  \"total_wall_ms\": {:.3},",
-        report.total.as_secs_f64() * 1e3
-    );
-    let _ = writeln!(
-        out,
-        "  \"serial_estimate_ms\": {:.3},",
-        report.serial_estimate().as_secs_f64() * 1e3
-    );
-    let _ = writeln!(
-        out,
-        "  \"critical_path_ms\": {:.3},",
-        report.critical_path.as_secs_f64() * 1e3
-    );
-    let _ = writeln!(out, "  \"tasks_spawned\": {},", report.tasks_spawned);
-    let _ = writeln!(out, "  \"tasks_claimed\": {},", report.tasks_claimed);
-    let _ = writeln!(out, "  \"max_ready\": {},", report.max_ready);
-    // pipeline-v4: cache totals (null when the run had no store).
-    match &report.cache {
+    let _ = writeln!(out, "  \"shards\": {},", config.shards);
+    match scale {
+        None => out.push_str("  \"scale\": null,\n"),
+        Some(s) => {
+            let _ = writeln!(out, "  \"scale\": {},", s.json_section());
+        }
+    }
+    if let Some(report) = report {
+        let _ = writeln!(out, "  \"threads\": {},", report.threads);
+        let _ = writeln!(
+            out,
+            "  \"total_wall_ms\": {:.3},",
+            report.total.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "  \"serial_estimate_ms\": {:.3},",
+            report.serial_estimate().as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "  \"critical_path_ms\": {:.3},",
+            report.critical_path.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(out, "  \"tasks_spawned\": {},", report.tasks_spawned);
+        let _ = writeln!(out, "  \"tasks_claimed\": {},", report.tasks_claimed);
+        let _ = writeln!(out, "  \"max_ready\": {},", report.max_ready);
+    } else {
+        out.push_str("  \"threads\": null,\n");
+        out.push_str("  \"total_wall_ms\": null,\n");
+        out.push_str("  \"serial_estimate_ms\": null,\n");
+        out.push_str("  \"critical_path_ms\": null,\n");
+        out.push_str("  \"tasks_spawned\": null,\n");
+        out.push_str("  \"tasks_claimed\": null,\n");
+        out.push_str("  \"max_ready\": null,\n");
+    }
+    // Cache totals (null when the run had no store).
+    match report.and_then(|r| r.cache.as_ref()) {
         None => out.push_str("  \"cache\": null,\n"),
         Some(c) => {
             let _ = writeln!(
@@ -269,11 +308,15 @@ pub fn bench_json(
     }
     out.push_str("  \"stages\": [\n");
     let stages: Vec<_> = report
-        .shared
-        .iter()
-        .map(|s| ("shared", s))
-        .chain(report.jobs.iter().map(|s| ("job", s)))
-        .collect();
+        .map(|report| {
+            report
+                .shared
+                .iter()
+                .map(|s| ("shared", s))
+                .chain(report.jobs.iter().map(|s| ("job", s)))
+                .collect()
+        })
+        .unwrap_or_default();
     for (i, (kind, stage)) in stages.iter().enumerate() {
         let sep = if i + 1 == stages.len() { "" } else { "," };
         let _ = writeln!(
@@ -284,8 +327,9 @@ pub fn bench_json(
     }
     out.push_str("  ],\n");
     out.push_str("  \"tasks\": [\n");
-    for (i, task) in report.tasks.iter().enumerate() {
-        let sep = if i + 1 == report.tasks.len() { "" } else { "," };
+    let tasks = report.map(|r| r.tasks.as_slice()).unwrap_or_default();
+    for (i, task) in tasks.iter().enumerate() {
+        let sep = if i + 1 == tasks.len() { "" } else { "," };
         let job = match &task.job {
             Some(id) => format!("\"{id}\""),
             None => "null".to_string(),

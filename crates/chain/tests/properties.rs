@@ -147,7 +147,7 @@ proptest! {
         let mut s = seed;
         while ia < len_a || ib < len_b {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let take_a = ib >= len_b || (ia < len_a && s % 2 == 0);
+            let take_a = ib >= len_b || (ia < len_a && s.is_multiple_of(2));
             if take_a {
                 order.push(branch_a[ia].clone());
                 ia += 1;

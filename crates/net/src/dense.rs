@@ -114,6 +114,146 @@ impl DenseSet {
     }
 }
 
+/// A pool of [`DenseSet`]-semantics rows, one per node, backed by a
+/// single stamps matrix.
+///
+/// A million-node simulation needs a `requested` and a `seen_invs` set
+/// per node; one `DenseSet` each means two million separate `Vec`
+/// allocations plus per-set growth bookkeeping. The pool stores every
+/// node's stamps in one flat `nodes × stride` matrix (stride grows to
+/// the largest key seen, rounded to a power of two), with per-node
+/// generations and lengths, so the per-node semantics stay identical to
+/// [`DenseSet`] while the allocation count stays O(1).
+#[derive(Debug, Clone)]
+pub struct DenseSetPool {
+    stamps: Vec<u32>,
+    gens: Vec<u32>,
+    lens: Vec<u32>,
+    stride: usize,
+    total: usize,
+}
+
+impl DenseSetPool {
+    /// Creates a pool of `nodes` empty sets.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            stamps: Vec::new(),
+            gens: vec![1; nodes],
+            lens: vec![0; nodes],
+            stride: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of rows (nodes) in the pool.
+    pub fn nodes(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Number of keys in node's set.
+    #[inline]
+    pub fn len_of(&self, node: u32) -> usize {
+        self.lens[node as usize] as usize
+    }
+
+    /// Total keys across every node's set — the pool's live footprint.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Grows the stride so `key` fits, re-striding existing rows.
+    #[cold]
+    fn grow(&mut self, key: u32) {
+        let new_stride = (key as usize + 1).next_power_of_two().max(64);
+        let nodes = self.gens.len();
+        let mut stamps = vec![0u32; nodes * new_stride];
+        for node in 0..nodes {
+            let src = node * self.stride;
+            let dst = node * new_stride;
+            stamps[dst..dst + self.stride].copy_from_slice(&self.stamps[src..src + self.stride]);
+        }
+        self.stamps = stamps;
+        self.stride = new_stride;
+    }
+
+    /// Whether `key` is in node's set.
+    #[inline]
+    pub fn contains(&self, node: u32, key: u32) -> bool {
+        let node = node as usize;
+        (key as usize) < self.stride
+            && self.stamps[node * self.stride + key as usize] == self.gens[node]
+    }
+
+    /// Inserts `key` into node's set; `true` if it was not present.
+    #[inline]
+    pub fn insert(&mut self, node: u32, key: u32) -> bool {
+        if key as usize >= self.stride {
+            self.grow(key);
+        }
+        let node = node as usize;
+        let idx = node * self.stride + key as usize;
+        if self.stamps[idx] == self.gens[node] {
+            return false;
+        }
+        self.stamps[idx] = self.gens[node];
+        self.lens[node] += 1;
+        self.total += 1;
+        true
+    }
+
+    /// Removes `key` from node's set; `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, node: u32, key: u32) -> bool {
+        if key as usize >= self.stride {
+            return false;
+        }
+        let node = node as usize;
+        let idx = node * self.stride + key as usize;
+        if self.stamps[idx] != self.gens[node] {
+            return false;
+        }
+        self.stamps[idx] = 0;
+        self.lens[node] -= 1;
+        self.total -= 1;
+        true
+    }
+
+    /// Clears node's set in O(1) by bumping its generation.
+    pub fn clear(&mut self, node: u32) {
+        let n = node as usize;
+        self.total -= self.lens[n] as usize;
+        self.lens[n] = 0;
+        if self.gens[n] == u32::MAX {
+            // Generation wrap: wipe this row so stale first-generation
+            // stamps cannot alias. Amortized over 2^32 clears per node.
+            self.stamps[n * self.stride..(n + 1) * self.stride].fill(0);
+            self.gens[n] = 1;
+        } else {
+            self.gens[n] += 1;
+        }
+    }
+
+    /// Removes every key in node's set for which `keep` returns `false`,
+    /// returning the number removed. O(stride); cold-path only.
+    pub fn retain(&mut self, node: u32, mut keep: impl FnMut(u32) -> bool) -> usize {
+        let n = node as usize;
+        let gen = self.gens[n];
+        let mut removed = 0u32;
+        for (i, stamp) in self.stamps[n * self.stride..(n + 1) * self.stride]
+            .iter_mut()
+            .enumerate()
+        {
+            if *stamp == gen && !keep(i as u32) {
+                *stamp = 0;
+                removed += 1;
+            }
+        }
+        self.lens[n] -= removed;
+        self.total -= removed as usize;
+        removed as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +362,76 @@ mod tests {
         s.clear();
         assert_eq!(s.gen, 2);
         assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn pool_rows_match_independent_dense_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let nodes = 17u32;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut pool = DenseSetPool::new(nodes as usize);
+        let mut reference: Vec<DenseSet> = (0..nodes).map(|_| DenseSet::new()).collect();
+        for _ in 0..40_000 {
+            let node = rng.random_range(0..nodes);
+            let key = rng.random_range(0..700u32);
+            let r = &mut reference[node as usize];
+            match rng.random_range(0..12u32) {
+                0..=4 => assert_eq!(pool.insert(node, key), r.insert(key)),
+                5..=7 => assert_eq!(pool.remove(node, key), r.remove(key)),
+                8..=9 => assert_eq!(pool.contains(node, key), r.contains(key)),
+                10 => {
+                    let kept = key % 3;
+                    assert_eq!(
+                        pool.retain(node, |k| k % 3 == kept),
+                        r.retain(|k| k % 3 == kept)
+                    );
+                }
+                _ => {
+                    pool.clear(node);
+                    r.clear();
+                }
+            }
+            assert_eq!(pool.len_of(node), r.len());
+        }
+        let total: usize = reference.iter().map(|r| r.len()).sum();
+        assert_eq!(pool.total_len(), total);
+    }
+
+    #[test]
+    fn pool_generation_wrap_stays_isolated_per_node() {
+        let mut pool = DenseSetPool::new(3);
+        pool.insert(0, 5);
+        pool.insert(1, 5);
+        pool.clear(0);
+        // Force node 0 to the last generation and wrap it.
+        pool.gens[0] = u32::MAX;
+        pool.insert(0, 9);
+        pool.clear(0);
+        assert_eq!(pool.gens[0], 1, "generation must wrap to 1");
+        assert!(!pool.contains(0, 5), "pre-wrap stamp aliased after wrap");
+        assert!(!pool.contains(0, 9));
+        // The neighbouring row is untouched by the wrap wipe.
+        assert!(pool.contains(1, 5));
+        assert!(pool.insert(0, 5));
+        assert!(pool.contains(0, 5));
+        assert_eq!(pool.total_len(), 2);
+    }
+
+    #[test]
+    fn pool_grow_preserves_rows() {
+        let mut pool = DenseSetPool::new(4);
+        pool.insert(2, 3);
+        pool.insert(3, 60);
+        pool.clear(3);
+        pool.insert(3, 7);
+        // Key beyond the current stride forces a re-stride.
+        pool.insert(1, 5_000);
+        assert!(pool.contains(2, 3));
+        assert!(pool.contains(3, 7));
+        assert!(!pool.contains(3, 60), "cleared key revived by grow");
+        assert!(pool.contains(1, 5_000));
+        assert_eq!(pool.total_len(), 3);
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //!   counterfeit block injection (temporal attack), and direct adversary
 //!   connections.
 
-use crate::dense::DenseSet;
-use crate::engine::{EventQueue, SimTime};
+use crate::dense::DenseSetPool;
+use crate::engine::{ShardedQueue, SimTime};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::index::{BlockIndex, NO_BLOCK};
 use crate::view::{NodeView, ViewOutcome};
@@ -58,11 +58,41 @@ pub enum RelayMode {
     },
 }
 
+/// How [`Simulation::new`] samples zombies and peer sets.
+///
+/// Both modes draw from the same seeded RNG, but the draw *sequences*
+/// differ, so they build different (equally valid) networks. The split
+/// exists because the legacy sampler's RNG stream is pinned by every
+/// committed ground-truth artifact, while its rejection loops degenerate
+/// at million-node scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// The original construction: zombie picks rejection-sample into a
+    /// `HashSet` (a coupon-collector loop whose expected draws blow up
+    /// as the zombie fraction times the population grows) and each
+    /// node's peers rejection-sample against a per-node set. Byte-exact
+    /// with the pre-arena simulator — every existing scale profile uses
+    /// this.
+    Rejection,
+    /// Million-node construction: zombies come from a partial
+    /// Fisher–Yates shuffle (exactly one draw per zombie), and peer
+    /// picks reject against the ≤ `out_degree` already-chosen slots by
+    /// linear scan instead of hashing. O(n) draws total, no per-node
+    /// allocations.
+    PartialShuffle,
+}
+
 /// Network-simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetConfig {
     /// RNG seed.
     pub seed: u64,
+    /// Calendar-wheel shards for the event queue (1 = unsharded). Pure
+    /// mechanism: results are byte-identical at every shard count; only
+    /// the volatile merge counters differ.
+    pub shards: usize,
+    /// Construction sampler (see [`SamplingMode`]).
+    pub sampling: SamplingMode,
     /// Outbound peer connections per node (Bitcoin default: 8).
     pub out_degree: usize,
     /// Announcement relay discipline (diffusion vs. trickle).
@@ -108,6 +138,8 @@ impl NetConfig {
     pub fn paper() -> Self {
         Self {
             seed: 0xB17C017,
+            shards: 1,
+            sampling: SamplingMode::Rejection,
             out_degree: 8,
             relay_mode: RelayMode::Diffusion,
             diffusion_mean_ms: 6_000.0,
@@ -128,6 +160,8 @@ impl NetConfig {
     pub fn fast_test() -> Self {
         Self {
             seed: 7,
+            shards: 1,
+            sampling: SamplingMode::Rejection,
             out_degree: 8,
             relay_mode: RelayMode::Diffusion,
             diffusion_mean_ms: 200.0,
@@ -190,6 +224,9 @@ impl NetConfig {
         if self.churn_period_secs == 0 {
             return Err("churn_period_secs must be >= 1".to_string());
         }
+        if self.shards == 0 || self.shards > 4096 {
+            return Err(format!("shards must be in 1..=4096, got {}", self.shards));
+        }
         Ok(())
     }
 }
@@ -233,25 +270,154 @@ enum NetEvent {
     Churn,
 }
 
-#[derive(Debug, Clone)]
-struct SimNode {
-    view: NodeView,
-    peers: Vec<u32>,
-    online: bool,
-    zombie: bool,
-    relay_quality: f64,
-    link_factor: f64,
-    /// Mean lazy-fetch delay for this node (ms).
-    fetch_mean_ms: f64,
-    /// Blocks (by dense index) with an outstanding fetch.
-    requested: DenseSet,
-    /// Blocks (by dense index) whose announcements this node has already
+/// Per-node simulation state as a struct of arrays.
+///
+/// The former `Vec<SimNode>` interleaved every node's hot scalars with
+/// its cold collections (hash maps, peer vectors), so a million-node
+/// population meant a million scattered allocations and a cache line of
+/// padding per field touched. Here each field is one flat vector indexed
+/// by sim node id, the adjacency is a CSR (`peer_start`/`peer_edges`)
+/// over one shared edge array, and the two per-node block sets share
+/// generation-stamped [`DenseSetPool`] matrices instead of a heap
+/// allocation per node.
+#[derive(Debug)]
+struct NodeArena {
+    /// CSR offsets: peers of node `i` are
+    /// `peer_edges[peer_start[i] .. peer_start[i + 1]]`, sorted.
+    peer_start: Vec<u32>,
+    /// Flattened union of in- and out-edges for all nodes.
+    peer_edges: Vec<u32>,
+    views: Vec<NodeView>,
+    online: Vec<bool>,
+    zombie: Vec<bool>,
+    relay_quality: Vec<f64>,
+    link_factor: Vec<f64>,
+    /// Mean lazy-fetch delay per node (ms).
+    fetch_mean_ms: Vec<f64>,
+    /// Blocks (by dense index) with an outstanding fetch, per node.
+    requested: DenseSetPool,
+    /// Blocks (by dense index) whose announcements each node has already
     /// forwarded.
-    seen_invs: DenseSet,
-    /// Unconfirmed transactions this node holds.
-    mempool: FxHashSet<u64>,
+    seen_invs: DenseSetPool,
+    /// Unconfirmed transactions each node holds.
+    mempool: Vec<FxHashSet<u64>>,
     /// First-seen conflict rule: which tx claims each conflict group.
-    claimed_groups: FxHashMap<u64, u64>,
+    claimed_groups: Vec<FxHashMap<u64, u64>>,
+}
+
+impl NodeArena {
+    fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    #[inline]
+    fn peers(&self, node: u32) -> &[u32] {
+        let lo = self.peer_start[node as usize] as usize;
+        let hi = self.peer_start[node as usize + 1] as usize;
+        &self.peer_edges[lo..hi]
+    }
+}
+
+/// Peer selection: `out_degree` outbound per node, uniform over the
+/// population; the adjacency used for relay is the union of in- and
+/// out-edges, as in Bitcoin. This is the legacy sampler — its RNG draw
+/// sequence is pinned by committed ground-truth artifacts, so it must
+/// stay byte-exact (see [`SamplingMode::Rejection`]). Returns sorted CSR
+/// rows.
+fn adjacency_by_rejection(n: usize, out_degree: usize, rng: &mut StdRng) -> (Vec<u32>, Vec<u32>) {
+    let mut adjacency: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    for i in 0..n {
+        let mut chosen = HashSet::new();
+        while chosen.len() < out_degree.min(n - 1) {
+            let peer = rng.random_range(0..n) as u32;
+            if peer as usize != i {
+                chosen.insert(peer);
+            }
+        }
+        for p in chosen {
+            adjacency[i].insert(p);
+            adjacency[p as usize].insert(i as u32);
+        }
+    }
+    let mut peer_start = Vec::with_capacity(n + 1);
+    peer_start.push(0u32);
+    let mut peer_edges = Vec::new();
+    for adj in adjacency {
+        let row = peer_edges.len();
+        peer_edges.extend(adj);
+        peer_edges[row..].sort_unstable();
+        peer_start.push(u32::try_from(peer_edges.len()).expect("edge count fits u32"));
+    }
+    (peer_start, peer_edges)
+}
+
+/// The million-node peer sampler: same degree distribution in
+/// expectation, but each node's picks reject against its ≤ `out_degree`
+/// already-chosen slots by linear scan (no hashing, no per-node
+/// allocation), and the in/out union is a counting-sort CSR build plus
+/// one per-row sort/dedup compaction pass. Returns sorted CSR rows.
+fn adjacency_by_partial_shuffle(
+    n: usize,
+    out_degree: usize,
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>) {
+    let deg = out_degree.min(n - 1);
+    let mut out_edges = vec![0u32; n * deg];
+    for i in 0..n {
+        let row = &mut out_edges[i * deg..(i + 1) * deg];
+        let mut filled = 0;
+        while filled < deg {
+            let peer = rng.random_range(0..n) as u32;
+            if peer as usize == i || row[..filled].contains(&peer) {
+                continue;
+            }
+            row[filled] = peer;
+            filled += 1;
+        }
+    }
+    // Raw row sizes: the node's own picks plus every pick that chose it.
+    let mut row_len = vec![deg as u32; n];
+    for &p in &out_edges {
+        row_len[p as usize] += 1;
+    }
+    let mut start = vec![0u32; n + 1];
+    for i in 0..n {
+        start[i + 1] = start[i]
+            .checked_add(row_len[i])
+            .expect("edge count fits u32");
+    }
+    let mut raw = vec![0u32; start[n] as usize];
+    let mut cursor: Vec<u32> = start[..n].to_vec();
+    for i in 0..n {
+        for k in 0..deg {
+            let p = out_edges[i * deg + k];
+            raw[cursor[i] as usize] = p;
+            cursor[i] += 1;
+            raw[cursor[p as usize] as usize] = i as u32;
+            cursor[p as usize] += 1;
+        }
+    }
+    // Sort each row and compact duplicates in place (`write` never
+    // overtakes the read cursor — dedup only shrinks).
+    let mut peer_start = vec![0u32; n + 1];
+    let mut write = 0usize;
+    for i in 0..n {
+        let (lo, hi) = (start[i] as usize, start[i + 1] as usize);
+        raw[lo..hi].sort_unstable();
+        let mut prev = u32::MAX;
+        for k in lo..hi {
+            let v = raw[k];
+            if v != prev {
+                raw[write] = v;
+                write += 1;
+                prev = v;
+            }
+        }
+        peer_start[i + 1] = write as u32;
+    }
+    raw.truncate(write);
+    raw.shrink_to_fit();
+    (peer_start, raw)
 }
 
 /// Aggregate fork statistics.
@@ -378,10 +544,10 @@ impl Default for SimMetrics {
 #[derive(Debug)]
 pub struct Simulation {
     config: NetConfig,
-    queue: EventQueue<NetEvent>,
+    queue: ShardedQueue<NetEvent>,
     rng: StdRng,
     index: BlockIndex,
-    nodes: Vec<SimNode>,
+    arena: NodeArena,
     /// Pool gateway node per mining entity.
     gateways: Vec<u32>,
     /// Per-node gateway bit (`gateway_flags[i]` ⇔ `gateways` contains `i`),
@@ -458,69 +624,67 @@ impl Simulation {
             participants.len() > config.out_degree,
             "need more than out_degree nodes"
         );
+        let n = participants.len();
 
-        let mut nodes: Vec<SimNode> = participants
+        // Profile-derived scalars — no RNG, straight into flat arrays.
+        let relay_quality: Vec<f64> = participants.iter().map(|p| p.relay_quality()).collect();
+        let link_factor: Vec<f64> = participants
             .iter()
-            .map(|p| SimNode {
-                view: NodeView::new(&index),
-                peers: Vec::new(),
-                online: true,
-                zombie: false,
-                relay_quality: p.relay_quality(),
-                link_factor: (p.link_speed_mbps / 25.0).clamp(0.2, 5.0),
-                fetch_mean_ms: config.fetch_delay_mean_ms * (2.0 - p.relay_quality()),
-                requested: DenseSet::new(),
-                seen_invs: DenseSet::new(),
-                mempool: FxHashSet::default(),
-                claimed_groups: FxHashMap::default(),
-            })
+            .map(|p| (p.link_speed_mbps / 25.0).clamp(0.2, 5.0))
+            .collect();
+        let mut fetch_mean_ms: Vec<f64> = relay_quality
+            .iter()
+            .map(|&q| config.fetch_delay_mean_ms * (2.0 - q))
             .collect();
 
         // Zombies: sampled uniformly; they receive but never fetch.
-        let zombie_count = (nodes.len() as f64 * config.zombie_fraction).round() as usize;
-        let mut zombie_picked = HashSet::new();
-        while zombie_picked.len() < zombie_count {
-            zombie_picked.insert(rng.random_range(0..nodes.len()));
-        }
-        for idx in &zombie_picked {
-            nodes[*idx].zombie = true;
-        }
-
-        // Peer selection: 8 outbound per node, uniform over the
-        // population; the adjacency used for relay is the union of in-
-        // and out-edges, as in Bitcoin.
-        let n = nodes.len();
-        let mut adjacency: Vec<HashSet<u32>> = vec![HashSet::new(); n];
-        for i in 0..n {
-            let mut chosen = HashSet::new();
-            while chosen.len() < config.out_degree.min(n - 1) {
-                let peer = rng.random_range(0..n) as u32;
-                if peer as usize != i {
-                    chosen.insert(peer);
+        let zombie_count = (n as f64 * config.zombie_fraction).round() as usize;
+        let mut zombie = vec![false; n];
+        let (peer_start, peer_edges) = match config.sampling {
+            SamplingMode::Rejection => {
+                let mut zombie_picked = HashSet::new();
+                while zombie_picked.len() < zombie_count {
+                    zombie_picked.insert(rng.random_range(0..n));
                 }
+                for idx in &zombie_picked {
+                    zombie[*idx] = true;
+                }
+                adjacency_by_rejection(n, config.out_degree, &mut rng)
             }
-            for p in chosen {
-                adjacency[i].insert(p);
-                adjacency[p as usize].insert(i as u32);
+            SamplingMode::PartialShuffle => {
+                // One draw per zombie: shuffle a prefix of the identity
+                // permutation and mark it.
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                for k in 0..zombie_count.min(n) {
+                    let j = rng.random_range(k..n);
+                    order.swap(k, j);
+                    zombie[order[k] as usize] = true;
+                }
+                adjacency_by_partial_shuffle(n, config.out_degree, &mut rng)
             }
-        }
-        for (i, adj) in adjacency.into_iter().enumerate() {
-            nodes[i].peers = adj.into_iter().collect();
-            nodes[i].peers.sort_unstable();
-        }
+        };
 
         // Map each pool to a gateway node inside its primary stratum AS.
-        // `participants[i]` corresponds to sim node `i`.
+        // `participants[i]` corresponds to sim node `i`. Zombies are
+        // excluded: a zombie never fetches blocks, so a zombie gateway
+        // mined on a view frozen at genesis forever — the contradiction
+        // of a node that "never fetches" yet enjoys the pools'
+        // zero-delay fetch infrastructure.
         let arrivals = ArrivalProcess::from_census(census);
+        let all_zombies = zombie_count >= n;
         let gateways: Vec<u32> = census
             .pools()
             .iter()
             .map(|pool| {
                 let asn = pool.stratum[0].asn;
-                participants
-                    .iter()
-                    .position(|p| p.asn == asn)
-                    .unwrap_or_else(|| rng.random_range(0..n)) as u32
+                (0..n)
+                    .find(|&i| participants[i].asn == asn && (all_zombies || !zombie[i]))
+                    .unwrap_or_else(|| loop {
+                        let g = rng.random_range(0..n);
+                        if all_zombies || !zombie[g] {
+                            break g;
+                        }
+                    }) as u32
             })
             .collect();
 
@@ -536,18 +700,35 @@ impl Simulation {
         // honest chain grows at the full hash rate rather than being
         // dragged by stale-parent mining.
         for &g in &gateways {
-            nodes[g as usize].fetch_mean_ms = 0.0;
+            fetch_mean_ms[g as usize] = 0.0;
         }
 
-        let mut queue = EventQueue::new();
-        queue.schedule(SimTime::ZERO, NetEvent::Churn);
+        let arena = NodeArena {
+            peer_start,
+            peer_edges,
+            views: (0..n).map(|_| NodeView::new(&index)).collect(),
+            online: vec![true; n],
+            zombie,
+            relay_quality,
+            link_factor,
+            fetch_mean_ms,
+            requested: DenseSetPool::new(n),
+            seen_invs: DenseSetPool::new(n),
+            mempool: vec![FxHashSet::default(); n],
+            claimed_groups: vec![FxHashMap::default(); n],
+        };
+
+        // Cross-shard deliveries all carry at least the floor latency,
+        // so the minimum link latency is a sound merge lookahead.
+        let mut queue = ShardedQueue::new(config.shards, config.min_latency_ms);
+        queue.schedule(SimTime::ZERO, 0, NetEvent::Churn);
         let groups = vec![0u32; n];
         let mut sim = Self {
             config,
             queue,
             rng,
             index,
-            nodes,
+            arena,
             gateways,
             gateway_flags,
             arrivals,
@@ -578,7 +759,14 @@ impl Simulation {
 
     /// Number of participating (up) nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
+    }
+
+    /// Queue shard owning `node`'s deliveries: contiguous node ranges,
+    /// so a shard's wheel holds the traffic of one population slice.
+    #[inline]
+    fn shard_of(&self, node: u32) -> usize {
+        (node as u64 * self.config.shards as u64 / self.arena.len() as u64) as usize
     }
 
     /// The topology [`NodeId`] behind sim participant `node` — use this to
@@ -626,39 +814,39 @@ impl Simulation {
     /// thousands of samples).
     pub fn lags_into(&self, out: &mut Vec<u64>) {
         out.clear();
-        out.extend(self.nodes.iter().map(|n| n.view.lag(self.network_best)));
+        out.extend(self.arena.views.iter().map(|v| v.lag(self.network_best)));
     }
 
     /// A node's current tip.
     pub fn tip_of(&self, node: u32) -> BlockId {
-        self.nodes[node as usize].view.best_tip()
+        self.arena.views[node as usize].best_tip()
     }
 
     /// A node's current height.
     pub fn height_of(&self, node: u32) -> Height {
-        self.nodes[node as usize].view.best_height()
+        self.arena.views[node as usize].best_height()
     }
 
     /// Sim-seconds timestamp of a node's tip (BlockAware input).
     pub fn tip_found_secs(&self, node: u32) -> u64 {
-        self.nodes[node as usize].view.best_found_secs()
+        self.arena.views[node as usize].best_found_secs()
     }
 
     /// Whether a node currently follows a counterfeit (adversary) chain.
     pub fn follows_counterfeit(&self, node: u32) -> bool {
         self.index
-            .meta_at(self.nodes[node as usize].view.best_dense())
+            .meta_at(self.arena.views[node as usize].best_dense())
             .counterfeit
     }
 
     /// Whether a node is online right now.
     pub fn is_online(&self, node: u32) -> bool {
-        self.nodes[node as usize].online
+        self.arena.online[node as usize]
     }
 
     /// Whether a node is a zombie (never fetches blocks).
     pub fn is_zombie(&self, node: u32) -> bool {
-        self.nodes[node as usize].zombie
+        self.arena.zombie[node as usize]
     }
 
     /// Whether a node is a mining-pool gateway (the stratum-side node a
@@ -669,7 +857,7 @@ impl Simulation {
 
     /// Peers of a node.
     pub fn peers_of(&self, node: u32) -> &[u32] {
-        &self.nodes[node as usize].peers
+        self.arena.peers(node)
     }
 
     /// Submits a transaction at `origin`, tagged with a conflict group:
@@ -678,30 +866,28 @@ impl Simulation {
     /// protection the paper's partitions subvert). Returns the txid, or
     /// `None` if the origin already holds a conflicting transaction.
     pub fn submit_tx(&mut self, origin: u32, conflict_group: u64) -> Option<u64> {
-        let node = &mut self.nodes[origin as usize];
-        if let Some(&existing) = node.claimed_groups.get(&conflict_group) {
-            if node.mempool.contains(&existing) {
+        if let Some(&existing) = self.arena.claimed_groups[origin as usize].get(&conflict_group) {
+            if self.arena.mempool[origin as usize].contains(&existing) {
                 return None;
             }
         }
         let txid = self.next_txid;
         self.next_txid += 1;
         self.tx_groups.insert(txid, conflict_group);
-        let node = &mut self.nodes[origin as usize];
-        node.mempool.insert(txid);
-        node.claimed_groups.insert(conflict_group, txid);
+        self.arena.mempool[origin as usize].insert(txid);
+        self.arena.claimed_groups[origin as usize].insert(conflict_group, txid);
         self.relay_tx(origin, txid);
         Some(txid)
     }
 
     /// Number of unconfirmed transactions a node holds.
     pub fn mempool_size(&self, node: u32) -> usize {
-        self.nodes[node as usize].mempool.len()
+        self.arena.mempool[node as usize].len()
     }
 
     /// Whether a node's mempool holds the transaction.
     pub fn tx_in_mempool(&self, node: u32, txid: u64) -> bool {
-        self.nodes[node as usize].mempool.contains(&txid)
+        self.arena.mempool[node as usize].contains(&txid)
     }
 
     /// Whether a transaction is confirmed on the canonical chain.
@@ -737,13 +923,26 @@ impl Simulation {
     /// Relay-bookkeeping footprint, for memory-bound assertions:
     /// `(total seen_invs entries across nodes, block→tx map entries)`.
     pub fn relay_state_footprint(&self) -> (usize, usize) {
-        let seen: usize = self.nodes.iter().map(|n| n.seen_invs.len()).sum();
-        (seen, self.block_txs.len())
+        (self.arena.seen_invs.total_len(), self.block_txs.len())
     }
 
     /// Hot-path observability counters collected so far.
     pub fn metrics(&self) -> &SimMetrics {
         &self.metrics
+    }
+
+    /// Event-queue counters so far — shard-invariant: identical at any
+    /// `NetConfig::shards` (the throughput bench reads `scheduled` as
+    /// its events figure).
+    pub fn queue_stats(&self) -> crate::engine::QueueStats {
+        self.queue.stats()
+    }
+
+    /// Shard-merge counters of the calendar wheel. Unlike
+    /// [`Simulation::queue_stats`] these *do* vary with the shard
+    /// count; they are exported as volatile metrics only.
+    pub fn merge_stats(&self) -> crate::engine::MergeStats {
+        self.queue.merge_stats()
     }
 
     /// Exports counters, traffic and fork statistics into a metrics
@@ -767,6 +966,21 @@ impl Simulation {
         reg.add(&format!("{prefix}.queue.late"), q.late);
         reg.add(&format!("{prefix}.queue.overflow"), q.overflow);
         reg.add(&format!("{prefix}.queue.cascaded"), q.cascaded);
+        // Shard-merge counters depend on the shard count (results do
+        // not), so they are volatile: visible live, excluded from the
+        // deterministic exports the byte-identity contract covers.
+        let ms = self.queue.merge_stats();
+        reg.add_volatile(
+            &format!("{prefix}.queue.shards"),
+            self.queue.shard_count() as u64,
+        );
+        reg.add_volatile(&format!("{prefix}.queue.merge.fast"), ms.fast);
+        reg.add_volatile(&format!("{prefix}.queue.merge.rescans"), ms.rescans);
+        reg.add_volatile(&format!("{prefix}.queue.merge.shrinks"), ms.shrinks);
+        reg.add_volatile(
+            &format!("{prefix}.queue.merge.horizon_breaches"),
+            ms.horizon_breaches,
+        );
         reg.add(&format!("{prefix}.relay.announce_calls"), m.announce_calls);
         reg.add(&format!("{prefix}.relay.invs_scheduled"), m.invs_scheduled);
         reg.merge_histogram(&format!("{prefix}.reorg.depth"), &m.reorg_depth);
@@ -829,7 +1043,7 @@ impl Simulation {
     /// best height. Called by `bp-crawler` on every sample so the trace
     /// alone can reconstruct the published lag series.
     pub fn trace_crawl_sample(&mut self, synced: u64) {
-        let nodes = self.nodes.len() as u32;
+        let nodes = self.arena.len() as u32;
         let best = self.network_best.0;
         self.trace(TraceKind::CrawlSample, nodes, synced, best);
     }
@@ -944,8 +1158,10 @@ impl Simulation {
             .dense_of(&block)
             .expect("pushed block must exist in the index");
         let delay = self.config.min_latency_ms + 20;
+        let shard = self.shard_of(to);
         self.queue.schedule_in(
             delay,
+            shard,
             NetEvent::Block {
                 from: u32::MAX,
                 to,
@@ -966,10 +1182,12 @@ impl Simulation {
             .index
             .ancestry(&tip)
             .expect("tip must exist in the index");
+        let shard = self.shard_of(to);
         for (i, meta) in ancestry.iter().rev().enumerate() {
             let delay = self.config.min_latency_ms + 20 + i as u64;
             self.queue.schedule_in(
                 delay,
+                shard,
                 NetEvent::Block {
                     from: u32::MAX,
                     to,
@@ -1015,8 +1233,9 @@ impl Simulation {
         let (dt_secs, _) = self.arrivals.next_block(&mut self.rng);
         // Round, don't truncate: truncation shaved up to 1 ms off every
         // inter-block gap, biasing the mining process slightly fast.
+        // Global events (Mine, Churn) live on shard 0.
         self.queue
-            .schedule_in((dt_secs * 1000.0).round() as u64, NetEvent::Mine);
+            .schedule_in((dt_secs * 1000.0).round() as u64, 0, NetEvent::Mine);
     }
 
     fn handle(&mut self, event: NetEvent) {
@@ -1063,7 +1282,7 @@ impl Simulation {
         if !self.mining_paused {
             let (_, pool_idx) = self.arrivals.next_block(&mut self.rng);
             let gateway = self.gateways[pool_idx];
-            let parent = self.nodes[gateway as usize].view.best_tip();
+            let parent = self.arena.views[gateway as usize].best_tip();
             let meta = self
                 .index
                 .mine(parent, self.queue.now(), pool_idx as u32, false);
@@ -1074,10 +1293,10 @@ impl Simulation {
             self.network_best = self.network_best.max(meta.height);
             // The mining gateway confirms its mempool into the block.
             let included: Vec<u64> = {
-                let node = &mut self.nodes[gateway as usize];
-                let txs: Vec<u64> = node.mempool.iter().copied().take(2_000).collect();
+                let mempool = &mut self.arena.mempool[gateway as usize];
+                let txs: Vec<u64> = mempool.iter().copied().take(2_000).collect();
                 for tx in &txs {
-                    node.mempool.remove(tx);
+                    mempool.remove(tx);
                 }
                 txs
             };
@@ -1160,10 +1379,12 @@ impl Simulation {
     fn relay_tx(&mut self, from: u32, tx: u64) {
         let mut scratch = std::mem::take(&mut self.announce_scratch);
         scratch.clear();
-        scratch.extend_from_slice(&self.nodes[from as usize].peers);
+        scratch.extend_from_slice(self.arena.peers(from));
         for &to in &scratch {
             let delay = self.edge_delay(from, to);
-            self.queue.schedule_in(delay, NetEvent::Tx { from, to, tx });
+            let shard = self.shard_of(to);
+            self.queue
+                .schedule_in(delay, shard, NetEvent::Tx { from, to, tx });
         }
         self.announce_scratch = scratch;
     }
@@ -1182,47 +1403,51 @@ impl Simulation {
             Some(g) => *g,
             None => return,
         };
-        let node = &mut self.nodes[to as usize];
-        if !node.online || node.zombie || node.mempool.contains(&tx) {
+        if !self.arena.online[to as usize]
+            || self.arena.zombie[to as usize]
+            || self.arena.mempool[to as usize].contains(&tx)
+        {
             return;
         }
-        if let Some(&existing) = node.claimed_groups.get(&group) {
+        if let Some(&existing) = self.arena.claimed_groups[to as usize].get(&group) {
             if existing != tx {
                 // First-seen wins: the double spend is rejected here.
                 self.conflicts_rejected += 1;
                 return;
             }
         }
-        node.mempool.insert(tx);
-        node.claimed_groups.insert(group, tx);
+        self.arena.mempool[to as usize].insert(tx);
+        self.arena.claimed_groups[to as usize].insert(group, tx);
         self.relay_tx(to, tx);
     }
 
     fn handle_churn(&mut self) {
         let mut went_offline = 0u64;
         let mut came_online = 0u64;
-        for i in 0..self.nodes.len() {
+        for i in 0..self.arena.len() {
             // Outstanding fetches are abandoned at each churn tick (the
             // retry budget resets); these are the dropped `requested`
             // entries the prune counters report.
-            self.metrics.pruned_requested += self.nodes[i].requested.len() as u64;
-            self.nodes[i].requested.clear();
-            if self.nodes[i].online {
+            self.metrics.pruned_requested += self.arena.requested.len_of(i as u32) as u64;
+            self.arena.requested.clear(i as u32);
+            if self.arena.online[i] {
                 let p_off = self.config.churn_off_scale
-                    * (1.0 - self.nodes[i].relay_quality).clamp(0.0, 1.0);
+                    * (1.0 - self.arena.relay_quality[i]).clamp(0.0, 1.0);
                 if self.rng.random::<f64>() < p_off {
-                    self.nodes[i].online = false;
+                    self.arena.online[i] = false;
                     went_offline += 1;
                 }
             } else if self.rng.random::<f64>() < self.config.churn_on_prob {
-                self.nodes[i].online = true;
+                self.arena.online[i] = true;
                 came_online += 1;
                 // Resync: a random peer announces its tip to us.
                 if let Some(peer) = self.pick_peer(i as u32) {
-                    let tip = self.nodes[peer as usize].view.best_dense();
+                    let tip = self.arena.views[peer as usize].best_dense();
                     let delay = self.edge_delay(peer, i as u32);
+                    let shard = self.shard_of(i as u32);
                     self.queue.schedule_in(
                         delay,
+                        shard,
                         NetEvent::Inv {
                             from: peer,
                             to: i as u32,
@@ -1235,7 +1460,7 @@ impl Simulation {
         self.trace(TraceKind::Churn, u32::MAX, went_offline, came_online);
         self.prune_finalized();
         self.queue
-            .schedule_in(self.config.churn_period_secs * 1000, NetEvent::Churn);
+            .schedule_in(self.config.churn_period_secs * 1000, 0, NetEvent::Churn);
     }
 
     /// Drops relay bookkeeping for blocks buried deeper than the
@@ -1262,14 +1487,15 @@ impl Simulation {
         let metrics = &mut self.metrics;
         let keep = |d: u32| index.meta_at(d).height.0 >= horizon;
         let mut swept = 0u64;
-        for node in &mut self.nodes {
-            if !node.seen_invs.is_empty() {
-                let removed = node.seen_invs.retain(keep) as u64;
+        for i in 0..self.arena.online.len() {
+            let node = i as u32;
+            if self.arena.seen_invs.len_of(node) > 0 {
+                let removed = self.arena.seen_invs.retain(node, keep) as u64;
                 metrics.pruned_seen_invs += removed;
                 swept += removed;
             }
-            if !node.requested.is_empty() {
-                let removed = node.requested.retain(keep) as u64;
+            if self.arena.requested.len_of(node) > 0 {
+                let removed = self.arena.requested.retain(node, keep) as u64;
                 metrics.pruned_requested += removed;
                 swept += removed;
             }
@@ -1283,19 +1509,19 @@ impl Simulation {
     }
 
     fn pick_peer(&mut self, node: u32) -> Option<u32> {
-        let len = self.nodes[node as usize].peers.len();
-        if len == 0 {
+        let peers = self.arena.peers(node);
+        if peers.is_empty() {
             None
         } else {
-            let k = self.rng.random_range(0..len);
-            Some(self.nodes[node as usize].peers[k])
+            let k = self.rng.random_range(0..peers.len());
+            Some(peers[k])
         }
     }
 
     /// Exponential diffusion delay for an announcement on edge a→b.
     fn edge_delay(&mut self, a: u32, b: u32) -> u64 {
-        let qa = self.nodes[a as usize].relay_quality;
-        let qb = self.nodes[b as usize].relay_quality;
+        let qa = self.arena.relay_quality[a as usize];
+        let qb = self.arena.relay_quality[b as usize];
         let quality = ((qa + qb) / 2.0).clamp(0.05, 1.0);
         let mean = self.config.diffusion_mean_ms / quality;
         let exp = Exponential::with_mean(mean);
@@ -1304,7 +1530,7 @@ impl Simulation {
 
     /// Block transfer time on edge a→b, scaled by the receiver's link.
     fn transfer_delay(&mut self, to: u32) -> u64 {
-        let factor = self.nodes[to as usize].link_factor;
+        let factor = self.arena.link_factor[to as usize];
         self.config.min_latency_ms + (self.config.block_transfer_ms as f64 / factor) as u64
     }
 
@@ -1314,18 +1540,15 @@ impl Simulation {
     /// from it, since a relaying peer always holds the full ancestry of
     /// what it relays.
     fn accept_block(&mut self, node: u32, block: u32, source: Option<u32>) {
-        let old_tip = self.nodes[node as usize].view.best_dense();
-        let old_height = self.nodes[node as usize].view.best_height().0;
-        let outcome = {
-            let n = &mut self.nodes[node as usize];
-            n.requested.remove(block);
-            n.view.offer_dense(&self.index, block)
-        };
+        let old_tip = self.arena.views[node as usize].best_dense();
+        let old_height = self.arena.views[node as usize].best_height().0;
+        self.arena.requested.remove(node, block);
+        let outcome = self.arena.views[node as usize].offer_dense(&self.index, block);
         // Confirmed transactions leave the mempool.
         if let Some(txs) = self.block_txs.get(&block) {
-            let n = &mut self.nodes[node as usize];
+            let mempool = &mut self.arena.mempool[node as usize];
             for tx in txs {
-                n.mempool.remove(tx);
+                mempool.remove(tx);
             }
         }
         // Unless the parent is still missing, the node now holds the
@@ -1336,13 +1559,13 @@ impl Simulation {
         // complete for reference runs.
         if self.config.finalization_depth > 0
             && !matches!(outcome, ViewOutcome::MissingParent(_))
-            && self.nodes[node as usize].seen_invs.remove(block)
+            && self.arena.seen_invs.remove(node, block)
         {
             self.metrics.pruned_seen_invs += 1;
         }
         match outcome {
             ViewOutcome::NewTip { reorg_depth } => {
-                let new_height = self.nodes[node as usize].view.best_height().0;
+                let new_height = self.arena.views[node as usize].best_height().0;
                 if reorg_depth > 0 {
                     self.stats.reorgs += 1;
                     self.stats.max_depth = self.stats.max_depth.max(reorg_depth);
@@ -1350,7 +1573,7 @@ impl Simulation {
                     self.trace(TraceKind::ReorgBegin, node, reorg_depth, new_height);
                     // Any transactions this node had confirmed on the
                     // abandoned branch are reversed from its view.
-                    let new_tip = self.nodes[node as usize].view.best_dense();
+                    let new_tip = self.arena.views[node as usize].best_dense();
                     self.node_reversals += self.count_reversed(old_tip, new_tip);
                 }
                 self.trace(TraceKind::BlockAccept, node, block as u64, new_height);
@@ -1370,7 +1593,7 @@ impl Simulation {
                 // The relay correctly stays quiet — but the flight
                 // recorder must still see the height change, or trace
                 // timeline reconstruction drifts from the crawler.
-                let new_height = self.nodes[node as usize].view.best_height().0;
+                let new_height = self.arena.views[node as usize].best_height().0;
                 if new_height != old_height {
                     self.trace(TraceKind::BlockAccept, node, block as u64, new_height);
                 }
@@ -1386,7 +1609,7 @@ impl Simulation {
         // the scratch copy, never the node's (sorted) peer list.
         let mut scratch = std::mem::take(&mut self.announce_scratch);
         scratch.clear();
-        scratch.extend_from_slice(&self.nodes[from as usize].peers);
+        scratch.extend_from_slice(self.arena.peers(from));
         self.metrics.announce_calls += 1;
         self.metrics.invs_scheduled += scratch.len() as u64;
         self.trace(
@@ -1399,8 +1622,9 @@ impl Simulation {
             RelayMode::Diffusion => {
                 for &to in &scratch {
                     let delay = self.edge_delay(from, to);
+                    let shard = self.shard_of(to);
                     self.queue
-                        .schedule_in(delay, NetEvent::Inv { from, to, block });
+                        .schedule_in(delay, shard, NetEvent::Inv { from, to, block });
                 }
             }
             RelayMode::Trickle { interval_ms } => {
@@ -1412,8 +1636,9 @@ impl Simulation {
                 for (k, &to) in scratch.iter().enumerate() {
                     let jitter = self.rng.random_range(0..interval_ms.max(1));
                     let delay = self.config.min_latency_ms + (k as u64 + 1) * interval_ms + jitter;
+                    let shard = self.shard_of(to);
                     self.queue
-                        .schedule_in(delay, NetEvent::Inv { from, to, block });
+                        .schedule_in(delay, shard, NetEvent::Inv { from, to, block });
                 }
             }
         }
@@ -1424,15 +1649,15 @@ impl Simulation {
     /// processing/poll delay (first-fetch of an announced tip); backfill
     /// requests during catch-up are immediate.
     fn request(&mut self, node: u32, peer: u32, block: u32, lazy: bool) {
-        if self.nodes[node as usize].zombie {
+        if self.arena.zombie[node as usize] {
             return;
         }
-        if !self.nodes[node as usize].requested.insert(block) {
+        if !self.arena.requested.insert(node, block) {
             return;
         }
         let mut delay = self.config.min_latency_ms;
         if lazy {
-            let mean = self.nodes[node as usize].fetch_mean_ms;
+            let mean = self.arena.fetch_mean_ms[node as usize];
             if mean > 0.0 {
                 // Uniform on [0, 2·mean]: the bounded tail means a node's
                 // behind-runs end within 2·mean of a block, producing the
@@ -1441,8 +1666,10 @@ impl Simulation {
                 delay += (self.rng.random::<f64>() * 2.0 * mean) as u64;
             }
         }
+        let shard = self.shard_of(peer);
         self.queue.schedule_in(
             delay,
+            shard,
             NetEvent::GetData {
                 from: node,
                 to: peer,
@@ -1462,8 +1689,10 @@ impl Simulation {
             return;
         }
         self.traffic.invs += 1;
-        let receiver = &self.nodes[to as usize];
-        if !receiver.online || receiver.zombie || receiver.view.knows_dense(block) {
+        if !self.arena.online[to as usize]
+            || self.arena.zombie[to as usize]
+            || self.arena.views[to as usize].knows_dense(block)
+        {
             return;
         }
         // Headers-first relay: announcements are forwarded immediately,
@@ -1471,7 +1700,7 @@ impl Simulation {
         // the announcement epidemic fast while each node's *chain view*
         // updates on its own (lazy) schedule, which is exactly the
         // staleness distribution Bitnodes measures.
-        if self.nodes[to as usize].seen_invs.insert(block) {
+        if self.arena.seen_invs.insert(to, block) {
             self.announce(to, block);
         }
         self.request(to, from, block, true);
@@ -1487,17 +1716,18 @@ impl Simulation {
             return;
         }
         self.traffic.getdatas += 1;
-        let holder = &self.nodes[to as usize];
-        if !holder.online {
+        if !self.arena.online[to as usize] {
             return;
         }
-        if !holder.view.knows_dense(block) {
+        if !self.arena.views[to as usize].knows_dense(block) {
             // The holder announced the block (headers-first) but has not
             // fetched it yet; retry shortly, bounded so requests to
             // permanently blockless peers eventually give up.
             if retries < 40 {
+                let shard = self.shard_of(to);
                 self.queue.schedule_in(
                     30_000,
+                    shard,
                     NetEvent::GetData {
                         from,
                         to,
@@ -1510,8 +1740,10 @@ impl Simulation {
         }
         self.trace(TraceKind::GetData, from, block as u64, to as u64);
         let delay = self.transfer_delay(from);
+        let shard = self.shard_of(from);
         self.queue.schedule_in(
             delay,
+            shard,
             NetEvent::Block {
                 from: to,
                 to: from,
@@ -1533,7 +1765,7 @@ impl Simulation {
             }
         }
         self.traffic.blocks += 1;
-        if !self.nodes[to as usize].online && !forced {
+        if !self.arena.online[to as usize] && !forced {
             return;
         }
         let source = (from != u32::MAX).then_some(from);
@@ -1952,6 +2184,110 @@ mod tests {
             ..NetConfig::fast_test()
         };
         let _ = Simulation::new(&snap, &PoolCensus::paper_table_iv(), config);
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_unsharded() {
+        // Sharding is pure mechanism: the merged pop order equals the
+        // single wheel's, so every observable — results, metrics, the
+        // trace stream — must be identical at any shard count.
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        let config = NetConfig {
+            zombie_fraction: 0.1,
+            failure_rate: 0.05,
+            ..NetConfig::fast_test()
+        };
+        let mut one = Simulation::new(&snap, &census, config.clone());
+        let mut four = Simulation::new(
+            &snap,
+            &census,
+            NetConfig {
+                shards: 4,
+                ..config
+            },
+        );
+        one.set_tracer(Tracer::new());
+        four.set_tracer(Tracer::new());
+        one.run_for_secs(1800);
+        four.run_for_secs(1800);
+        assert_eq!(one.network_best(), four.network_best());
+        assert_eq!(one.lags(), four.lags());
+        assert_eq!(one.stats(), four.stats());
+        assert_eq!(one.traffic(), four.traffic());
+        assert_eq!(one.metrics(), four.metrics());
+        // Queue stats come from the shard-invariant shadow classifier.
+        assert_eq!(one.queue.stats(), four.queue.stats());
+        let a = one.take_tracer().unwrap().into_records();
+        let b = four.take_tracer().unwrap().into_records();
+        assert_eq!(
+            bp_obs::trace::first_divergence(&a, &b),
+            None,
+            "trace diverged across shard counts"
+        );
+    }
+
+    #[test]
+    fn gateways_are_never_zombies() {
+        // Regression: gateway selection used to take the first
+        // participant in the pool's stratum AS even when the zombie
+        // sampler had hit it, producing a node that "never fetches"
+        // blocks yet carries the pools' zero-delay fetch
+        // infrastructure — a pool mining on a genesis-frozen view
+        // forever. With a 30 % zombie fraction some seed in this range
+        // collides with near-certainty.
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        for seed in 0..10u64 {
+            let config = NetConfig {
+                seed,
+                zombie_fraction: 0.3,
+                ..NetConfig::fast_test()
+            };
+            let s = Simulation::new(&snap, &census, config);
+            for &g in &s.gateways {
+                assert!(!s.is_zombie(g), "seed {seed}: gateway {g} is a zombie");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_shuffle_builder_matches_invariants() {
+        // The million-node sampler must build a valid network: exact
+        // zombie count, per-node degree >= out_degree, sorted rows, no
+        // self-loops, no duplicates, symmetric edges — and be
+        // deterministic for a seed.
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        let config = NetConfig {
+            sampling: SamplingMode::PartialShuffle,
+            zombie_fraction: 0.1,
+            ..NetConfig::fast_test()
+        };
+        let s = Simulation::new(&snap, &census, config.clone());
+        let n = s.node_count() as u32;
+        let zombies = (0..n).filter(|&i| s.is_zombie(i)).count();
+        assert_eq!(zombies, (n as f64 * 0.1).round() as usize);
+        for i in 0..n {
+            let peers = s.peers_of(i);
+            assert!(peers.len() >= 8, "node {i} degree {}", peers.len());
+            assert!(
+                peers.windows(2).all(|w| w[0] < w[1]),
+                "row {i} unsorted/dup"
+            );
+            assert!(!peers.contains(&i), "node {i} self-loop");
+            for &p in peers {
+                assert!(s.peers_of(p).contains(&i), "edge {i}<->{p} not symmetric");
+            }
+        }
+        let t = Simulation::new(&snap, &census, config);
+        for i in 0..n {
+            assert_eq!(s.peers_of(i), t.peers_of(i), "non-deterministic row {i}");
+        }
+        // And the network it builds actually works.
+        let mut s = s;
+        s.run_for_secs(1800);
+        assert!(s.network_best().0 >= 1);
     }
 
     #[test]

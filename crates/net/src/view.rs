@@ -35,8 +35,10 @@ pub enum ViewOutcome {
 /// One node's view of the block tree.
 #[derive(Debug, Clone)]
 pub struct NodeView {
-    /// `known[dense]` — whether this node has accepted the block.
-    known: Vec<bool>,
+    /// Known-block bitvec: bit `dense` set — the node has accepted the
+    /// block. Word-packed so a million views over a few hundred blocks
+    /// cost ~5 words each instead of a byte per block.
+    known: Vec<u64>,
     known_count: usize,
     /// Orphans waiting on a parent, by parent dense index.
     orphans: FxHashMap<u32, Vec<u32>>,
@@ -52,7 +54,7 @@ impl NodeView {
     /// Creates a view that knows only genesis.
     pub fn new(index: &BlockIndex) -> Self {
         Self {
-            known: vec![true],
+            known: vec![1], // genesis bit
             known_count: 1,
             orphans: FxHashMap::default(),
             best_tip: index.genesis(),
@@ -85,7 +87,8 @@ impl NodeView {
     /// Whether the node knows the block with dense index `dense`.
     #[inline]
     pub fn knows_dense(&self, dense: u32) -> bool {
-        self.known.get(dense as usize).copied().unwrap_or(false)
+        let word = self.known.get((dense / 64) as usize).copied().unwrap_or(0);
+        word >> (dense % 64) & 1 == 1
     }
 
     /// Whether the node knows a block by id.
@@ -130,12 +133,13 @@ impl NodeView {
     }
 
     fn mark_known(&mut self, dense: u32) {
-        let idx = dense as usize;
-        if idx >= self.known.len() {
-            self.known.resize(idx + 1, false);
+        let word = (dense / 64) as usize;
+        if word >= self.known.len() {
+            self.known.resize(word + 1, 0);
         }
-        if !self.known[idx] {
-            self.known[idx] = true;
+        let bit = 1u64 << (dense % 64);
+        if self.known[word] & bit == 0 {
+            self.known[word] |= bit;
             self.known_count += 1;
         }
     }

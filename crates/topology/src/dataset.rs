@@ -21,7 +21,7 @@
 //! All randomness flows from a single seed, so snapshots are reproducible.
 
 use crate::ids::{Asn, ConnType, Country, Ipv4Prefix, NodeAddr, NodeId, OrgId};
-use crate::profile::NodeProfile;
+use crate::profile::{NodeProfile, ScaleProfile};
 use crate::registry::Registry;
 use crate::versions::VersionCensus;
 use bp_analysis::dist::{standard_normal, zipf_weights, LogNormal, WeightedIndex};
@@ -235,6 +235,20 @@ impl SnapshotConfig {
             tail_zipf_exponent: 1.2,
             tail_rank_offset: 12.0,
             version_tail: 283,
+        }
+    }
+
+    /// The million-node stress profile behind `repro --scale huge`
+    /// ([`ScaleProfile::Huge`]): the paper population scaled so the
+    /// rounded total is exactly 1,000,000 nodes, with every node up so
+    /// the simulator's arenas carry the full population. The documented
+    /// day-of-gossip memory budget lives in
+    /// [`ScaleProfile::memory_budget_mb`].
+    pub fn huge() -> Self {
+        Self {
+            scale: ScaleProfile::Huge.factor(),
+            up_fraction: 1.0,
+            ..Self::paper()
         }
     }
 
@@ -741,6 +755,13 @@ mod tests {
             (v6 as i64 - expected as i64).abs() <= 2,
             "v6 count {v6} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn huge_profile_generates_exactly_one_million_up_nodes() {
+        let snap = Snapshot::generate(SnapshotConfig::huge());
+        assert_eq!(snap.node_count(), ScaleProfile::Huge.nodes());
+        assert_eq!(snap.up_count(), snap.node_count());
     }
 
     #[test]

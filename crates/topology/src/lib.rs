@@ -30,6 +30,6 @@ pub mod versions;
 
 pub use dataset::{Snapshot, SnapshotConfig, TOR_ASN};
 pub use ids::{Asn, ConnType, Country, Ipv4Prefix, NodeAddr, NodeId, OrgId};
-pub use profile::NodeProfile;
+pub use profile::{NodeProfile, ScaleProfile};
 pub use registry::{AsRecord, OrgRecord, Registry};
 pub use versions::{SoftwareVersion, VersionCensus};

@@ -8,6 +8,70 @@
 
 use crate::ids::{Asn, ConnType, NodeAddr, NodeId, OrgId};
 
+/// Named population scales for snapshot generation and the `repro`
+/// harness. `Quick` and `Paper` are spellings of the continuous
+/// `--scale` factor the CLI already accepts; `Huge` is the
+/// million-node stress profile behind `repro --scale huge`, sized so
+/// the paper's spatial claims can be probed at internet scale rather
+/// than snapshot scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleProfile {
+    /// 5 % of the paper population (~680 nodes): CI and benches.
+    Quick,
+    /// The paper's 13,635-node February 28, 2018 snapshot.
+    Paper,
+    /// Exactly 1,000,000 nodes, every node up. Built with the
+    /// partial-Fisher–Yates samplers — the legacy rejection samplers
+    /// degenerate into coupon collection at this population.
+    Huge,
+}
+
+impl ScaleProfile {
+    /// The linear factor this profile applies to the paper's 13,635
+    /// nodes. `Huge`'s factor is calibrated so the rounded total is
+    /// exactly one million.
+    pub fn factor(self) -> f64 {
+        match self {
+            Self::Quick => 0.05,
+            Self::Paper => 1.0,
+            Self::Huge => 73.3407,
+        }
+    }
+
+    /// Total nodes the profile generates (before the up-fraction cut;
+    /// `Huge` keeps every node up).
+    pub fn nodes(self) -> usize {
+        match self {
+            Self::Quick => 682,
+            Self::Paper => 13_635,
+            Self::Huge => 1_000_000,
+        }
+    }
+
+    /// Documented peak-RSS budget, in MiB, for a full day of gossip at
+    /// this scale. The huge-scale CI smoke job enforces its budget
+    /// against the measured `VmHWM`; the smaller profiles' budgets are
+    /// generous ceilings for regression tracking.
+    pub fn memory_budget_mb(self) -> u64 {
+        match self {
+            Self::Quick => 256,
+            Self::Paper => 2048,
+            Self::Huge => 6144,
+        }
+    }
+
+    /// Parses a named `--scale` spelling. Numeric scales are handled by
+    /// the caller; only profile names resolve here.
+    pub fn from_flag(raw: &str) -> Option<Self> {
+        match raw {
+            "quick" => Some(Self::Quick),
+            "paper" => Some(Self::Paper),
+            "huge" => Some(Self::Huge),
+            _ => None,
+        }
+    }
+}
+
 /// Static profile of one full node, as a crawler would record it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeProfile {
@@ -92,5 +156,16 @@ mod tests {
     fn conn_type_follows_addr() {
         let p = profile(0.5, 0.5);
         assert_eq!(p.conn_type(), ConnType::IPv4);
+    }
+
+    #[test]
+    fn scale_profiles_round_trip_and_round_to_their_populations() {
+        for p in [ScaleProfile::Quick, ScaleProfile::Paper, ScaleProfile::Huge] {
+            assert_eq!((13_635.0 * p.factor()).round() as usize, p.nodes());
+            assert!(p.memory_budget_mb() > 0);
+        }
+        assert_eq!(ScaleProfile::from_flag("huge"), Some(ScaleProfile::Huge));
+        assert_eq!(ScaleProfile::from_flag("0.5"), None);
+        assert_eq!(ScaleProfile::from_flag("HUGE"), None);
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the attack analyses: analytic-model
 //! monotonicity, optimizer consistency and hijack-curve invariants.
 
-use bp_attacks::countermeasures::{blockaware_stale, diversify_stratum};
+use bp_attacks::countermeasures::{blockaware_stale, blockaware_tradeoff_one, diversify_stratum};
 use bp_attacks::temporal::model::{ln_binomial, TemporalModel};
 use bp_attacks::temporal::optimizer::{rows_are_consistent, table_v};
 use bp_bgp::HijackEngine;
@@ -99,6 +99,29 @@ proptest! {
             // Raising the clock further keeps it stale.
             prop_assert!(blockaware_stale(tc + 1, tl, threshold));
         }
+    }
+
+    /// BlockAware tradeoff is monotone in the threshold for a fixed
+    /// arrival rate λ: a longer threshold never detects faster and never
+    /// raises the false-alarm rate (`e^{-λt}` is decreasing in t).
+    #[test]
+    fn blockaware_tradeoff_monotone_in_threshold(
+        lambda in 0.05f64..5.0,
+        threshold in 0u64..100_000,
+        bump in 1u64..100_000,
+    ) {
+        let interval = 1.0 / lambda;
+        let lo = blockaware_tradeoff_one(threshold, interval);
+        let hi = blockaware_tradeoff_one(threshold + bump, interval);
+        prop_assert!(lo.detection_delay_secs < hi.detection_delay_secs);
+        prop_assert!(
+            hi.false_alarm_rate <= lo.false_alarm_rate,
+            "false alarms rose with threshold: {} -> {}",
+            lo.false_alarm_rate,
+            hi.false_alarm_rate
+        );
+        prop_assert!((0.0..=1.0).contains(&lo.false_alarm_rate));
+        prop_assert!((0.0..=1.0).contains(&hi.false_alarm_rate));
     }
 
     /// Table V outputs are internally consistent for arbitrary matrices.

@@ -1,0 +1,113 @@
+//! Microbenches for the serving hot path: what one query of each family
+//! costs as (a) a memo-table hit, (b) a cold micro-DAG evaluation, and
+//! (c) the full-pipeline baseline it replaces — the before/after that
+//! justifies the serving tier. The memo hit should sit in the
+//! microseconds; the cold eval in the micro-to-milliseconds; the
+//! pipeline baseline (substrate rebuild + artifact job) in the hundreds
+//! of milliseconds. `cargo bench -p bp-bench --bench query_hotpath`.
+
+use bp_bench::serve::{build_substrate, serve_key_fn};
+use bp_bench::{generate, ReproConfig};
+use bp_serve::{EngineOptions, Query, QueryEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config() -> ReproConfig {
+    ReproConfig {
+        scale: 0.02,
+        general_hours: 1,
+        day_hours: 1,
+        ..ReproConfig::quick()
+    }
+}
+
+fn engine() -> QueryEngine {
+    let config = config();
+    QueryEngine::new(build_substrate(&config), EngineOptions::default())
+        .with_key_fn(serve_key_fn(&config))
+}
+
+/// One representative query per family.
+fn families() -> Vec<(&'static str, Query)> {
+    vec![
+        ("partition_cost", Query::PartitionCost { target_as: 24940 }),
+        (
+            "blockaware",
+            Query::BlockawareTradeoff {
+                threshold_secs: 600,
+                lambda: 1.0,
+            },
+        ),
+        (
+            "eclipse",
+            Query::Eclipse {
+                target_as: 24940,
+                prefixes: 15,
+                cascade: true,
+            },
+        ),
+        (
+            "min_timing",
+            Query::MinTiming {
+                min_blocks: 1,
+                window_samples: 3,
+                lambda: 1.0,
+            },
+        ),
+    ]
+}
+
+/// Memo-table hit: the steady-state serving cost.
+fn memo_hit(c: &mut Criterion) {
+    let engine = engine();
+    let mut group = c.benchmark_group("query_memo_hit");
+    for (name, query) in families() {
+        // Prime the memo so every timed execute is a hit.
+        black_box(engine.execute(&query));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.execute(black_box(&query))))
+        });
+    }
+    group.finish();
+}
+
+/// Cold micro-DAG evaluation: a miss over a loaded substrate.
+fn cold_eval(c: &mut Criterion) {
+    let engine = engine();
+    let mut group = c.benchmark_group("query_cold_eval");
+    group.sample_size(20);
+    for (name, query) in families() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Invalidate first so every timed execute recomputes.
+                engine.invalidate_memo();
+                black_box(engine.execute(black_box(&query)))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-serving baseline: answering one what-if question by running
+/// the pipeline job that contains it (substrate included — that is what
+/// a fresh `repro` invocation pays).
+fn pipeline_baseline(c: &mut Criterion) {
+    let config = config();
+    let mut group = c.benchmark_group("query_pipeline_baseline");
+    group.sample_size(10);
+    // (family, artifact whose job answers that family's question)
+    for (name, artifact) in [
+        ("partition_cost", "fig4"),
+        ("blockaware", "countermeasures"),
+        ("eclipse", "cascade"),
+        ("min_timing", "table5"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(generate(&config, &[artifact.to_string()])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, memo_hit, cold_eval, pipeline_baseline);
+criterion_main!(benches);

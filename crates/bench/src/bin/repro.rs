@@ -82,8 +82,22 @@ fn main() {
         print_help();
         return;
     }
+    if opts.serve.is_some() && opts.serve_bench {
+        die("--serve and --serve-bench are mutually exclusive");
+    }
+    if opts.huge && (opts.serve.is_some() || opts.serve_bench) {
+        die("--scale huge cannot be combined with --serve / --serve-bench");
+    }
     if opts.huge {
         run_huge_bench(&opts);
+        return;
+    }
+    if opts.serve_bench {
+        run_serve_bench(&opts);
+        return;
+    }
+    if opts.serve.is_some() {
+        run_serve(&opts);
         return;
     }
     if opts.ids.is_empty() {
@@ -185,7 +199,7 @@ fn main() {
             ("metrics.csv", snapshot.to_csv()),
             (
                 "BENCH_pipeline.json",
-                bench_json(profile, &config, Some(&report), &snapshot, None),
+                bench_json(profile, &config, Some(&report), &snapshot, None, None),
             ),
         ] {
             let path = metrics_dir.join(name);
@@ -249,7 +263,7 @@ fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
             ("metrics.csv", snapshot.to_csv()),
             (
                 "BENCH_pipeline.json",
-                bench_json("huge", &config, None, &snapshot, Some(&report)),
+                bench_json("huge", &config, None, &snapshot, Some(&report), None),
             ),
         ] {
             let path = metrics_dir.join(name);
@@ -273,6 +287,136 @@ fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
         report.events_per_sec,
         report.rss_peak_mb,
         report.memory_budget_mb
+    );
+}
+
+/// Shared guard for the two serve modes: no artifact ids, no pipeline
+/// trace (the service has no task DAG to record).
+fn check_serve_opts(opts: &bp_bench::cli::CliOptions, mode: &str) {
+    if !opts.ids.is_empty() {
+        die(&format!("artifact ids cannot be combined with {mode}"));
+    }
+    if opts.trace.is_some() {
+        die(&format!("--trace is not supported with {mode}"));
+    }
+    if opts.timings {
+        die(&format!("--timings is not supported with {mode}"));
+    }
+}
+
+/// `repro --serve PORT`: load the substrate once, answer batched
+/// what-if queries over TCP until killed. `--cache DIR` attaches the
+/// artifact store as a persistent memo backend — responses survive
+/// restarts — and is flushed in the background as queries land.
+fn run_serve(opts: &bp_bench::cli::CliOptions) {
+    check_serve_opts(opts, "--serve");
+    if opts.metrics.is_some() {
+        die("--metrics is not supported with --serve (use --serve-bench)");
+    }
+    check_out_dirs(&[("--cache", opts.cache.as_deref())]);
+    let port = opts.serve.expect("dispatched on --serve");
+    let config = opts.config;
+    let workers = opts.jobs.unwrap_or_else(default_jobs);
+    eprintln!(
+        "# loading substrate at scale {} (day crawl: {} h, workers: {workers})",
+        config.scale, config.day_hours
+    );
+    let engine = bp_bench::serve::build_engine(&config, workers, opts.cache.as_deref())
+        .unwrap_or_else(|e| die(&e));
+    let handle = bp_serve::serve(
+        std::sync::Arc::clone(&engine),
+        &format!("127.0.0.1:{port}"),
+        opts.serve_conns,
+    )
+    .unwrap_or_else(|e| die(&format!("--serve {port}: {e}")));
+    eprintln!(
+        "# serving on {} ({} connections max)",
+        handle.addr(),
+        opts.serve_conns
+    );
+    // Park the main thread; a background loop persists freshly memoized
+    // responses so a kill loses at most one flush interval of work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        engine
+            .flush_backend()
+            .unwrap_or_else(|e| die(&format!("cache flush failed: {e}")));
+    }
+}
+
+/// `repro --serve-bench`: the synthetic query-load bench against an
+/// in-process engine. Writes the deterministic response stream
+/// `serve_responses.bin` to `--serve-out` (the byte-identity artifact
+/// CI compares across worker counts and restarts) and, with
+/// `--metrics`, the BENCH record with a `serve` section.
+fn run_serve_bench(opts: &bp_bench::cli::CliOptions) {
+    check_serve_opts(opts, "--serve-bench");
+    check_out_dirs(&[
+        ("--serve-out", Some(opts.serve_out.as_str())),
+        ("--metrics", opts.metrics.as_deref()),
+        ("--cache", opts.cache.as_deref()),
+    ]);
+    let config = opts.config;
+    let workers = opts.jobs.unwrap_or_else(default_jobs);
+    eprintln!(
+        "# serve bench: scale {}, {} queries, {} mix, {} pacing, workers: {workers}",
+        config.scale,
+        bp_bench::serve::BENCH_QUERIES,
+        opts.serve_mix,
+        opts.serve_mode
+    );
+    let engine = bp_bench::serve::build_engine(&config, workers, opts.cache.as_deref())
+        .unwrap_or_else(|e| die(&e));
+    let registry = btcpart::obs::Registry::new();
+    let mut sink = Vec::new();
+    let report = bp_bench::serve::run_bench(
+        &engine,
+        &config,
+        &opts.serve_mode,
+        &opts.serve_mix,
+        workers,
+        &registry,
+        Some(&mut sink),
+    )
+    .unwrap_or_else(|e| die(&e));
+    let path = PathBuf::from(&opts.serve_out).join("serve_responses.bin");
+    std::fs::write(&path, &sink).expect("write serve_responses.bin");
+    eprintln!("# wrote {}", path.display());
+    engine
+        .flush_backend()
+        .unwrap_or_else(|e| die(&format!("cache flush failed: {e}")));
+    if let Some(dir) = &opts.metrics {
+        let metrics_dir = PathBuf::from(dir);
+        let snapshot = registry.snapshot();
+        let profile = if config == bp_bench::ReproConfig::quick() {
+            "quick"
+        } else if config == bp_bench::ReproConfig::paper() {
+            "paper"
+        } else {
+            "custom"
+        };
+        for (name, contents) in [
+            ("metrics.json", snapshot.to_json()),
+            ("metrics.csv", snapshot.to_csv()),
+            (
+                "BENCH_pipeline.json",
+                bench_json(profile, &config, None, &snapshot, None, Some(&report)),
+            ),
+        ] {
+            let path = metrics_dir.join(name);
+            std::fs::write(&path, contents).expect("write metrics export");
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+    let l = &report.load;
+    eprintln!(
+        "# {} queries ({} distinct) over {} ASes: {:.0} qps warm, \
+         p50 {} µs, p99 {} µs, p99.9 {} µs",
+        l.warm_queries, l.cold_queries, report.universe, l.qps, l.p50_us, l.p99_us, l.p999_us
+    );
+    eprintln!(
+        "# memo: {} hits / {} misses, {} cold evals, {} backend hits",
+        l.memo_hits, l.memo_misses, l.cold_evals, l.backend_hits
     );
 }
 

@@ -34,6 +34,24 @@ pub struct CliOptions {
     /// `--scale huge` was given: run the million-node gossip throughput
     /// bench instead of the artifact pipeline.
     pub huge: bool,
+    /// `--serve PORT`: run the query service on this TCP port instead
+    /// of the artifact pipeline; `None` otherwise.
+    pub serve: Option<u16>,
+    /// `--serve-bench` was given: run the synthetic query-load bench
+    /// instead of the artifact pipeline.
+    pub serve_bench: bool,
+    /// Maximum concurrent connections the query service accepts
+    /// (`--serve-conns`, default 64).
+    pub serve_conns: usize,
+    /// Load pacing for `--serve-bench`: `"closed"` (default) or
+    /// `"open"`.
+    pub serve_mode: String,
+    /// Target-AS mix for `--serve-bench`: `"zipf"` (default) or
+    /// `"uniform"`.
+    pub serve_mix: String,
+    /// Directory `--serve-bench` artifacts (`serve_responses.bin`) are
+    /// written to.
+    pub serve_out: String,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -67,6 +85,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut trace = None;
     let mut cache = None;
     let mut huge = false;
+    let mut serve = None;
+    let mut serve_bench = false;
+    let mut serve_conns = 64usize;
+    let mut serve_mode = "closed".to_string();
+    let mut serve_mix = "zipf".to_string();
+    let mut serve_out = "serve_out".to_string();
     let mut help = false;
 
     // Phase 2: per-field overrides, applied in the order given.
@@ -120,6 +144,35 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--metrics" => metrics = Some(parse_value(arg, iter.next())?),
             "--trace" => trace = Some(parse_value(arg, iter.next())?),
             "--cache" => cache = Some(parse_value(arg, iter.next())?),
+            "--serve" => {
+                // u16 already rejects > 65535 in parse_value; port 0
+                // (kernel-assigned) is refused so scripts always know
+                // the address they asked for.
+                let port: u16 = parse_value(arg, iter.next())?;
+                if port == 0 {
+                    return Err("--serve port must be in 1..=65535, got 0".to_string());
+                }
+                serve = Some(port);
+            }
+            "--serve-bench" => serve_bench = true,
+            "--serve-conns" => {
+                let n: usize = parse_value(arg, iter.next())?;
+                if n == 0 || n > 1024 {
+                    return Err(format!("--serve-conns must be in 1..=1024, got {n}"));
+                }
+                serve_conns = n;
+            }
+            "--serve-mode" => {
+                let mode: String = parse_value(arg, iter.next())?;
+                crate::serve::parse_pacing(&mode)?;
+                serve_mode = mode;
+            }
+            "--serve-mix" => {
+                let mix: String = parse_value(arg, iter.next())?;
+                crate::serve::parse_mix(&mix)?;
+                serve_mix = mix;
+            }
+            "--serve-out" => serve_out = parse_value(arg, iter.next())?,
             "--out" => out_dir = parse_value(arg, iter.next())?,
             "--help" | "-h" => help = true,
             other if other.starts_with("--") => {
@@ -139,13 +192,19 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         trace,
         cache,
         huge,
+        serve,
+        serve_bench,
+        serve_conns,
+        serve_mode,
+        serve_mix,
+        serve_out,
         help,
     })
 }
 
 /// Every flag `repro` understands, in display order. [`usage`] lists all
 /// of them; a test pins the two in sync with the parser.
-pub const FLAGS: [&str; 12] = [
+pub const FLAGS: [&str; 18] = [
     "--quick",
     "--scale",
     "--seed",
@@ -156,6 +215,12 @@ pub const FLAGS: [&str; 12] = [
     "--metrics",
     "--trace",
     "--cache",
+    "--serve",
+    "--serve-bench",
+    "--serve-conns",
+    "--serve-mode",
+    "--serve-mix",
+    "--serve-out",
     "--out",
     "--help",
 ];
@@ -166,7 +231,10 @@ pub fn usage() -> String {
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--scale F|huge] [--seed S] [--hours H] [--shards N]\n\
          \x20             [--jobs N] [--timings] [--metrics DIR] [--trace DIR]\n\
-         \x20             [--cache DIR] [--out DIR] [IDS…]\n\n\
+         \x20             [--cache DIR] [--serve PORT | --serve-bench]\n\
+         \x20             [--serve-conns N] [--serve-mode open|closed]\n\
+         \x20             [--serve-mix zipf|uniform] [--serve-out DIR]\n\
+         \x20             [--out DIR] [IDS…]\n\n\
          --quick        5% scale preset; later or earlier per-field flags override it\n\
          --scale F      population scale in (0, 1] (1.0 = the paper's 13,635 nodes),\n\
          \x20              or 'huge' for the million-node gossip throughput bench\n\
@@ -184,7 +252,20 @@ pub fn usage() -> String {
          \x20              inspect with the `trace` binary)\n\
          --cache DIR    content-addressed artifact cache: store task results in\n\
          \x20              DIR and replay them on later runs with the same\n\
-         \x20              config (byte-identical output, most work skipped)\n\
+         \x20              config (byte-identical output, most work skipped);\n\
+         \x20              with --serve / --serve-bench it persists memoized\n\
+         \x20              query responses across restarts instead\n\
+         --serve PORT   load the substrate once and answer what-if queries\n\
+         \x20              over TCP on 127.0.0.1:PORT (no artifact pipeline)\n\
+         --serve-bench  drive the synthetic query load against an in-process\n\
+         \x20              engine; writes serve_responses.bin to --serve-out\n\
+         \x20              and, with --metrics, a BENCH `serve` section\n\
+         --serve-conns N  concurrent connections --serve accepts (1..=1024,\n\
+         \x20              default 64)\n\
+         --serve-mode M   serve-bench pacing: 'closed' (default; peak\n\
+         \x20              throughput) or 'open' (fixed-rate, queueing delay)\n\
+         --serve-mix M    serve-bench target mix: 'zipf' (default) or 'uniform'\n\
+         --serve-out DIR  serve-bench artifact directory (default serve_out/)\n\
          --out DIR      CSV export directory (default repro_out/)\n\
          --help         this text\n\n\
          artifacts: {}",
@@ -293,7 +374,13 @@ mod tests {
             let args = match flag {
                 "--scale" => argv(&[flag, "0.5"]),
                 "--seed" | "--hours" | "--jobs" | "--shards" => argv(&[flag, "1"]),
-                "--metrics" | "--trace" | "--cache" | "--out" => argv(&[flag, "dir"]),
+                "--metrics" | "--trace" | "--cache" | "--out" | "--serve-out" => {
+                    argv(&[flag, "dir"])
+                }
+                "--serve" => argv(&[flag, "8080"]),
+                "--serve-conns" => argv(&[flag, "8"]),
+                "--serve-mode" => argv(&[flag, "open"]),
+                "--serve-mix" => argv(&[flag, "uniform"]),
                 _ => argv(&[flag]),
             };
             assert!(
@@ -358,6 +445,83 @@ mod tests {
         // Composes with the other export flags.
         let all = parse_args(&argv(&["--metrics", "m", "--trace", "t", "--cache", "c"])).unwrap();
         assert_eq!(all.cache.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn serve_flag_takes_a_bounded_port() {
+        let opts = parse_args(&argv(&["--quick", "--serve", "7070"])).unwrap();
+        assert_eq!(opts.serve, Some(7070));
+        // Defaults: the pipeline, not the service.
+        let opts = parse_args(&argv(&["all"])).unwrap();
+        assert_eq!(opts.serve, None);
+        assert!(!opts.serve_bench);
+        assert_eq!(opts.serve_conns, 64);
+        assert_eq!(opts.serve_mode, "closed");
+        assert_eq!(opts.serve_mix, "zipf");
+        assert_eq!(opts.serve_out, "serve_out");
+        // The port bound surfaces at parse time, naming the range.
+        let err = parse_args(&argv(&["--serve", "0"])).unwrap_err();
+        assert!(
+            err.contains("--serve") && err.contains("1..=65535"),
+            "{err}"
+        );
+        // Out-of-range ports fail in the u16 parser, naming the flag.
+        let err = parse_args(&argv(&["--serve", "65536"])).unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+        assert!(parse_args(&argv(&["--serve"])).is_err());
+    }
+
+    #[test]
+    fn serve_conns_bounds_are_parse_time() {
+        let opts = parse_args(&argv(&["--serve", "7070", "--serve-conns", "1024"])).unwrap();
+        assert_eq!(opts.serve_conns, 1024);
+        for bad in ["0", "1025"] {
+            let err = parse_args(&argv(&["--serve-conns", bad])).unwrap_err();
+            assert!(
+                err.contains("--serve-conns") && err.contains("1..=1024"),
+                "{err}"
+            );
+        }
+        assert!(parse_args(&argv(&["--serve-conns"])).is_err());
+    }
+
+    #[test]
+    fn serve_mode_and_mix_reject_unknown_values_at_parse_time() {
+        let opts = parse_args(&argv(&[
+            "--serve-bench",
+            "--serve-mode",
+            "open",
+            "--serve-mix",
+            "uniform",
+        ]))
+        .unwrap();
+        assert!(opts.serve_bench);
+        assert_eq!(opts.serve_mode, "open");
+        assert_eq!(opts.serve_mix, "uniform");
+        let err = parse_args(&argv(&["--serve-mode", "strided"])).unwrap_err();
+        assert!(
+            err.contains("--serve-mode") && err.contains("strided"),
+            "{err}"
+        );
+        let err = parse_args(&argv(&["--serve-mix", "pareto"])).unwrap_err();
+        assert!(
+            err.contains("--serve-mix") && err.contains("pareto"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_flags_are_last_wins_and_order_insensitive() {
+        let opts = parse_args(&argv(&["--serve", "7070", "--serve", "9090"])).unwrap();
+        assert_eq!(opts.serve, Some(9090));
+        let opts = parse_args(&argv(&["--serve-mode", "open", "--serve-mode", "closed"])).unwrap();
+        assert_eq!(opts.serve_mode, "closed");
+        // Still validated per occurrence.
+        assert!(parse_args(&argv(&["--serve-conns", "8", "--serve-conns", "0"])).is_err());
+        // Order-insensitive with the preset, like every other flag.
+        let a = parse_args(&argv(&["--serve-bench", "--quick"])).unwrap();
+        let b = parse_args(&argv(&["--quick", "--serve-bench"])).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

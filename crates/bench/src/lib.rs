@@ -12,6 +12,7 @@ pub mod cli;
 pub mod dag;
 pub mod pipeline;
 pub mod scale;
+pub mod serve;
 pub mod trace_cli;
 
 use btcpart::crawler::CrawlResult;
@@ -246,15 +247,20 @@ pub fn generate_cached(
 /// (see [`scale::ScaleReport`]), or null for pipeline runs. `report` is
 /// null-able for the same reason — the huge bench bypasses the task
 /// DAG, so it has no stage or task rows.
+///
+/// pipeline-v6: adds the `serve` section (see [`serve::ServeReport`]),
+/// null for every run but `repro --serve-bench` — which in turn has no
+/// task DAG, so its `report` and `scale` are null.
 pub fn bench_json(
     profile: &str,
     config: &ReproConfig,
     report: Option<&RunReport>,
     snapshot: &bp_obs::Snapshot,
     scale: Option<&scale::ScaleReport>,
+    serve: Option<&serve::ServeReport>,
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v5\",\n");
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v6\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile}\",");
     let _ = writeln!(out, "  \"scale_factor\": {},", config.scale);
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
@@ -263,6 +269,12 @@ pub fn bench_json(
         None => out.push_str("  \"scale\": null,\n"),
         Some(s) => {
             let _ = writeln!(out, "  \"scale\": {},", s.json_section());
+        }
+    }
+    match serve {
+        None => out.push_str("  \"serve\": null,\n"),
+        Some(s) => {
+            let _ = writeln!(out, "  \"serve\": {},", s.json_section());
         }
     }
     if let Some(report) = report {

@@ -138,6 +138,163 @@ impl<'a> HijackEngine<'a> {
     }
 }
 
+/// One AS's prebuilt hijack plan: its member count and per-prefix node
+/// lists, largest population first.
+#[derive(Debug, Clone)]
+struct RankedAs {
+    /// All member nodes in ascending id order, including ones without a
+    /// covering IPv4 prefix.
+    members: Vec<NodeId>,
+    /// Per-prefix node lists, ranked descending by population. The rank
+    /// is a stable sort over the registry's prefix order, exactly like
+    /// [`HijackEngine::hijack_top_prefixes`], so outcomes match the
+    /// engine byte for byte.
+    prefixes: Vec<Vec<NodeId>>,
+}
+
+/// A prebuilt, owned hijack-planning index over a whole snapshot.
+///
+/// [`HijackEngine`] re-ranks the victim's prefixes on every call — fine
+/// for a batch pipeline that evaluates each AS once, wasteful for a
+/// long-running query engine that answers thousands of overlapping
+/// what-if queries. This index performs the ranking once for every AS
+/// (one pass over the node table) and answers each query with a map
+/// lookup plus an `O(k)` scan. It owns its data (no borrow of the
+/// snapshot), so a server can keep it alongside the snapshot without
+/// self-referential lifetimes.
+///
+/// Every result is bit-identical to the corresponding [`HijackEngine`]
+/// call on the same snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct HijackIndex {
+    per_as: std::collections::BTreeMap<u32, RankedAs>,
+}
+
+impl HijackIndex {
+    /// Builds the index: one pass over the registry and one over the
+    /// node table.
+    pub fn new(snapshot: &Snapshot) -> Self {
+        let mut per_as: std::collections::BTreeMap<u32, RankedAs> = snapshot
+            .registry
+            .ases()
+            .map(|record| {
+                (
+                    record.asn.0,
+                    RankedAs {
+                        members: Vec::new(),
+                        prefixes: vec![Vec::new(); record.prefixes.len()],
+                    },
+                )
+            })
+            .collect();
+        for i in 0..snapshot.node_count() as u32 {
+            let n = snapshot.node(NodeId(i));
+            let ranked = per_as.entry(n.asn.0).or_insert_with(|| RankedAs {
+                members: Vec::new(),
+                prefixes: Vec::new(),
+            });
+            ranked.members.push(n.id);
+            if let Some(pi) = n.prefix_idx {
+                ranked.prefixes[pi as usize].push(n.id);
+            }
+        }
+        for ranked in per_as.values_mut() {
+            // Stable sort: ties keep registry prefix order, matching the
+            // engine's per-call ranking.
+            ranked
+                .prefixes
+                .sort_by_key(|nodes| std::cmp::Reverse(nodes.len()));
+        }
+        Self { per_as }
+    }
+
+    /// ASes that host at least one node, ascending by number — the
+    /// query universe a load generator draws targets from.
+    pub fn populated_ases(&self) -> Vec<Asn> {
+        self.per_as
+            .iter()
+            .filter(|(_, r)| !r.members.is_empty())
+            .map(|(a, _)| Asn(*a))
+            .collect()
+    }
+
+    /// Nodes hosted by `victim` (0 for an unknown AS).
+    pub fn members(&self, victim: Asn) -> usize {
+        self.per_as.get(&victim.0).map_or(0, |r| r.members.len())
+    }
+
+    /// The Figure 4 isolation curve — see
+    /// [`HijackEngine::isolation_curve`].
+    pub fn isolation_curve(&self, victim: Asn) -> Vec<f64> {
+        let Some(ranked) = self.per_as.get(&victim.0) else {
+            return Vec::new();
+        };
+        if ranked.members.is_empty() {
+            return Vec::new();
+        }
+        let total = ranked.members.len() as f64;
+        let mut acc = 0usize;
+        ranked
+            .prefixes
+            .iter()
+            .map(|nodes| {
+                acc += nodes.len();
+                acc as f64 / total
+            })
+            .collect()
+    }
+
+    /// Minimum prefixes to isolate at least `fraction` of the victim —
+    /// see [`HijackEngine::prefixes_for_fraction`].
+    pub fn prefixes_for_fraction(&self, victim: Asn, fraction: f64) -> Option<usize> {
+        self.isolation_curve(victim)
+            .iter()
+            .position(|f| *f + 1e-12 >= fraction)
+            .map(|i| i + 1)
+    }
+
+    /// Greedy hijack of the victim's `k` most populated prefixes — see
+    /// [`HijackEngine::hijack_top_prefixes`].
+    pub fn hijack_top_prefixes(&self, victim: Asn, k: usize) -> HijackOutcome {
+        let Some(ranked) = self.per_as.get(&victim.0) else {
+            return HijackOutcome {
+                victim,
+                prefixes_hijacked: 0,
+                isolated_nodes: Vec::new(),
+                fraction_of_as: 0.0,
+            };
+        };
+        let k = k.min(ranked.prefixes.len());
+        let isolated: Vec<NodeId> = ranked
+            .prefixes
+            .iter()
+            .take(k)
+            .flat_map(|nodes| nodes.iter().copied())
+            .collect();
+        let fraction = if ranked.members.is_empty() {
+            0.0
+        } else {
+            isolated.len() as f64 / ranked.members.len() as f64
+        };
+        HijackOutcome {
+            victim,
+            prefixes_hijacked: k,
+            isolated_nodes: isolated,
+            fraction_of_as: fraction,
+        }
+    }
+
+    /// Hijacks entire ASes — see [`HijackEngine::hijack_ases`]. Nodes
+    /// come out in ascending id order per AS, like the engine's.
+    pub fn hijack_ases(&self, victims: &[Asn]) -> Vec<NodeId> {
+        victims
+            .iter()
+            .filter_map(|asn| self.per_as.get(&asn.0))
+            .flat_map(|ranked| ranked.members.iter().copied())
+            .collect()
+    }
+}
+
 /// Result of a same-length origin hijack computed over the routing graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OriginHijack {
@@ -244,6 +401,43 @@ mod tests {
         let nodes = engine.hijack_ases(&[Asn(37963), Asn(45102)]);
         let expected = s.nodes_in_as(Asn(37963)).len() + s.nodes_in_as(Asn(45102)).len();
         assert_eq!(nodes.len(), expected);
+    }
+
+    #[test]
+    fn index_matches_engine_everywhere() {
+        let s = snap();
+        let engine = HijackEngine::new(&s);
+        let index = HijackIndex::new(&s);
+        for asn in index.populated_ases() {
+            assert_eq!(
+                index.isolation_curve(asn),
+                engine.isolation_curve(asn),
+                "curve diverges for {asn:?}"
+            );
+            for k in [0, 1, 5, 50, 10_000] {
+                assert_eq!(
+                    index.hijack_top_prefixes(asn, k),
+                    engine.hijack_top_prefixes(asn, k),
+                    "outcome diverges for {asn:?} k={k}"
+                );
+            }
+            for f in [0.3, 0.8, 1.0] {
+                assert_eq!(
+                    index.prefixes_for_fraction(asn, f),
+                    engine.prefixes_for_fraction(asn, f)
+                );
+            }
+            assert_eq!(index.members(asn), s.nodes_in_as(asn).len());
+        }
+        // Unknown AS: empty everywhere, like the engine.
+        assert!(index.isolation_curve(Asn(424242)).is_empty());
+        assert_eq!(index.prefixes_for_fraction(Asn(424242), 0.5), None);
+        let empty = index.hijack_top_prefixes(Asn(424242), 3);
+        assert!(empty.isolated_nodes.is_empty());
+        assert_eq!(empty.prefixes_hijacked, 0);
+        // Whole-AS hijacks include prefix-less nodes, like the engine.
+        let victims = [Asn(37963), Asn(45102)];
+        assert_eq!(index.hijack_ases(&victims), engine.hijack_ases(&victims));
     }
 
     #[test]

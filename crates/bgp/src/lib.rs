@@ -28,6 +28,7 @@ pub mod routing;
 
 pub use graph::{AsGraph, Relationship};
 pub use hijack::{
-    origin_hijack, origin_hijack_with_defense, HijackEngine, HijackOutcome, OriginHijack,
+    origin_hijack, origin_hijack_with_defense, HijackEngine, HijackIndex, HijackOutcome,
+    OriginHijack,
 };
 pub use routing::{Route, RouteClass, RouteMap};

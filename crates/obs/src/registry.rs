@@ -86,6 +86,31 @@ impl Histogram {
         self.sum
     }
 
+    /// The `q`-quantile as the inclusive upper bound of the bucket where
+    /// the cumulative count first reaches `ceil(q · total)` — a
+    /// conservative (upper) estimate, exact at bucket boundaries.
+    /// Observations past the last bound report [`max`](Self::max), and an
+    /// empty histogram reports 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` lies in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (count, bound) in self.counts.iter().zip(&self.bounds) {
+            seen += count;
+            if seen >= target {
+                return *bound;
+            }
+        }
+        self.max
+    }
+
     /// Mean observed value (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -704,6 +729,28 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::with_bounds(&[2, 1]);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::with_bounds(&[1, 2, 4, 8]);
+        assert_eq!(h.quantile(0.5), 0); // empty
+        for v in [1, 1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            h.record(v);
+        }
+        // 10 observations: 2 in <=1, 1 in <=2, 2 in <=4, 4 in <=8, 1 over.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.2), 1);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(0.9), 8);
+        // Past the last bound: the tracked max, not a fake bucket.
+        assert_eq!(h.quantile(1.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_rejected() {
+        Histogram::with_bounds(&[1]).quantile(1.5);
     }
 
     #[test]

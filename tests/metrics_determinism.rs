@@ -61,8 +61,8 @@ fn two_metered_runs_render_identical_metrics() {
 
     // The BENCH record's deterministic sections agree too (wall times
     // legitimately differ, so compare the counter maps, not the file).
-    let b1 = bench_json("quick", &config, Some(&report1), &snap1, None);
-    let b2 = bench_json("quick", &config, Some(&report2), &snap2, None);
+    let b1 = bench_json("quick", &config, Some(&report1), &snap1, None, None);
+    let b2 = bench_json("quick", &config, Some(&report2), &snap2, None, None);
     let counters = |s: &str| -> String {
         let start = s.find("\"counters\"").expect("counters section");
         s[start..].to_string()

@@ -1,0 +1,147 @@
+//! Serving determinism: the response stream for a fixed load script is
+//! byte-identical at any worker count, and across an engine "restart"
+//! against a warm persistent store — the two properties `repro
+//! --serve-bench` ships to CI.
+
+use bp_bench::serve::{build_substrate, run_bench, serve_key_fn, StoreBackend};
+use bp_bench::ReproConfig;
+use bp_serve::{EngineOptions, QueryEngine};
+use std::sync::Arc;
+
+fn tiny() -> ReproConfig {
+    ReproConfig {
+        scale: 0.02,
+        general_hours: 1,
+        day_hours: 1,
+        ..ReproConfig::quick()
+    }
+}
+
+fn engine(
+    substrate: &Arc<bp_serve::Substrate>,
+    config: &ReproConfig,
+    workers: usize,
+    cache_dir: Option<&str>,
+) -> QueryEngine {
+    let mut engine = QueryEngine::new(
+        Arc::clone(substrate),
+        EngineOptions {
+            workers,
+            memo_shards: 16,
+        },
+    )
+    .with_key_fn(serve_key_fn(config));
+    if let Some(dir) = cache_dir {
+        engine = engine.with_backend(Box::new(StoreBackend::open(dir).unwrap()));
+    }
+    engine
+}
+
+#[test]
+fn response_stream_is_byte_identical_across_worker_counts() {
+    let config = tiny();
+    let substrate = build_substrate(&config);
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    for workers in [1usize, 8] {
+        let engine = engine(&substrate, &config, workers, None);
+        let mut sink = Vec::new();
+        let report = run_bench(
+            &engine,
+            &config,
+            "closed",
+            "zipf",
+            workers,
+            &bp_obs::Registry::new(),
+            Some(&mut sink),
+        )
+        .unwrap();
+        assert!(report.load.cold_queries > 0);
+        assert!(report.load.warm_queries > report.load.cold_queries);
+        streams.push(sink);
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "response stream diverged between 1 and 8 workers"
+    );
+}
+
+#[test]
+fn warm_store_replays_across_a_restart_without_recomputing() {
+    let config = tiny();
+    let dir = std::env::temp_dir().join(format!("bp-serve-restart-{}", std::process::id()));
+    let dir = dir.to_str().unwrap().to_string();
+    let _ = std::fs::remove_dir_all(&dir);
+    let substrate = build_substrate(&config);
+
+    // Cold process: compute everything, persist the memo store.
+    let cold = engine(&substrate, &config, 4, Some(&dir));
+    let mut cold_sink = Vec::new();
+    let cold_report = run_bench(
+        &cold,
+        &config,
+        "closed",
+        "zipf",
+        4,
+        &bp_obs::Registry::new(),
+        Some(&mut cold_sink),
+    )
+    .unwrap();
+    assert!(cold_report.load.cold_evals > 0);
+    assert_eq!(cold_report.load.backend_hits, 0, "store was not empty");
+    cold.flush_backend().unwrap();
+    drop(cold);
+
+    // "Restarted" process: a fresh engine (empty memo) over the same
+    // store answers every distinct query from disk, byte-identically.
+    let warm = engine(&substrate, &config, 1, Some(&dir));
+    let mut warm_sink = Vec::new();
+    let warm_report = run_bench(
+        &warm,
+        &config,
+        "closed",
+        "zipf",
+        1,
+        &bp_obs::Registry::new(),
+        Some(&mut warm_sink),
+    )
+    .unwrap();
+    assert_eq!(
+        warm_report.load.cold_evals, 0,
+        "restart recomputed answers the store already held"
+    );
+    assert_eq!(
+        warm_report.load.backend_hits, cold_report.load.cold_queries as u64,
+        "not every distinct query replayed from the store"
+    );
+    assert_eq!(
+        cold_sink, warm_sink,
+        "response stream changed across the restart"
+    );
+
+    // A read-only reopen of the store serves the same answers without
+    // write access (`--serve` against a batch-produced store).
+    let ro = QueryEngine::new(
+        Arc::clone(&substrate),
+        EngineOptions {
+            workers: 1,
+            memo_shards: 16,
+        },
+    )
+    .with_key_fn(serve_key_fn(&config))
+    .with_backend(Box::new(StoreBackend::open_read_only(&dir).unwrap()));
+    let mut ro_sink = Vec::new();
+    run_bench(
+        &ro,
+        &config,
+        "closed",
+        "zipf",
+        1,
+        &bp_obs::Registry::new(),
+        Some(&mut ro_sink),
+    )
+    .unwrap();
+    assert_eq!(ro.cold_evals(), 0, "read-only store missed");
+    assert_eq!(cold_sink, ro_sink);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

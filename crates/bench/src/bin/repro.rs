@@ -25,9 +25,11 @@
 
 use bp_bench::cache::ArtifactStore;
 use bp_bench::cli::{parse_args, usage};
-use bp_bench::pipeline::{default_jobs, TraceHub};
+use bp_bench::pipeline::{default_jobs, TraceHub, STREAM_RANK_DETECT};
 use bp_bench::{bench_json, generate_cached, ARTIFACT_IDS};
+use bp_detect::{DetectConfig, DetectEngine, OnlineTap};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Validates the output directories up front: every `--out` /
 /// `--metrics` / `--trace` / `--cache` target must be creatable as a
@@ -88,6 +90,9 @@ fn main() {
     if opts.huge && (opts.serve.is_some() || opts.serve_bench) {
         die("--scale huge cannot be combined with --serve / --serve-bench");
     }
+    if opts.detect_matrix && (opts.huge || opts.serve.is_some() || opts.serve_bench) {
+        die("--detect-matrix cannot be combined with --scale huge / --serve / --serve-bench");
+    }
     if opts.huge {
         run_huge_bench(&opts);
         return;
@@ -98,6 +103,10 @@ fn main() {
     }
     if opts.serve.is_some() {
         run_serve(&opts);
+        return;
+    }
+    if opts.detect_matrix {
+        run_detect_matrix(&opts);
         return;
     }
     if opts.ids.is_empty() {
@@ -116,6 +125,7 @@ fn main() {
         ("--metrics", opts.metrics.as_deref()),
         ("--trace", opts.trace.as_deref()),
         ("--cache", opts.cache.as_deref()),
+        ("--detect", opts.detect.as_deref()),
     ]);
 
     let jobs = opts.jobs.unwrap_or_else(default_jobs);
@@ -125,7 +135,19 @@ fn main() {
         opts.ids, config.scale, config.day_hours
     );
     let registry = opts.metrics.as_ref().map(|_| btcpart::obs::Registry::new());
-    let hub = opts.trace.as_ref().map(|_| TraceHub::new());
+    // --detect needs the flight recorder running even without --trace:
+    // the detection suite consumes the same record stream the trace
+    // exports would, tapped live off the hub as each task's stream is
+    // merged in.
+    let hub = (opts.trace.is_some() || opts.detect.is_some()).then(TraceHub::new);
+    let tap = opts.detect.as_ref().map(|_| {
+        let tap = Arc::new(OnlineTap::new());
+        let sink = Arc::clone(&tap);
+        hub.as_ref()
+            .expect("hub exists whenever --detect is set")
+            .set_tap(move |rank, name, tracer| sink.absorb(rank, name, &tracer.records()));
+        tap
+    });
     let mut store = opts.cache.as_ref().map(|dir| {
         ArtifactStore::open(dir).unwrap_or_else(|e| die(&format!("--cache {dir}: {e}")))
     });
@@ -152,6 +174,47 @@ fn main() {
         let path = out_dir.join("timings.csv");
         std::fs::write(&path, report.timings_csv()).expect("write timings.csv");
         eprintln!("# wrote {}", path.display());
+    }
+    if let (Some(dir), Some(tap)) = (&opts.detect, &tap) {
+        // Replay the tapped streams through the detection suite. The
+        // tap saw exactly the records the merged trace carries (same
+        // streams, same rank order), so `trace detect` on trace.bin
+        // reproduces this alert stream byte-for-byte.
+        let detect_dir = PathBuf::from(dir);
+        let mut engine = DetectEngine::new(DetectConfig::default());
+        engine.feed_all(&tap.merged());
+        let detect_report = engine.finish();
+        if let Some(reg) = &registry {
+            detect_report.export_metrics(reg);
+        }
+        let alerts = detect_report.alerts.clone();
+        // Publish the alert stream as the hub's rank-3 stream before
+        // the trace export below, so trace.bin carries the alerts too.
+        if let Some(hub) = &hub {
+            hub.set_stream(
+                STREAM_RANK_DETECT,
+                "detect",
+                btcpart::obs::Tracer::from_parts(alerts.clone(), 0),
+            );
+        }
+        for (name, contents) in [
+            ("alerts.bin", btcpart::obs::trace::encode_records(&alerts)),
+            (
+                "alerts.jsonl",
+                btcpart::obs::trace::render_jsonl(&alerts).into_bytes(),
+            ),
+            ("detect_report.txt", detect_report.render().into_bytes()),
+        ] {
+            let path = detect_dir.join(name);
+            std::fs::write(&path, contents).expect("write detect export");
+            eprintln!("# wrote {}", path.display());
+        }
+        eprintln!(
+            "# detect: {} alerts over {} ticks ({} records)",
+            alerts.len(),
+            detect_report.ticks,
+            detect_report.records
+        );
     }
     if let (Some(dir), Some(hub)) = (&opts.trace, &hub) {
         let trace_dir = PathBuf::from(dir);
@@ -241,6 +304,9 @@ fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
     if opts.trace.is_some() {
         die("--trace is not supported with --scale huge");
     }
+    if opts.detect.is_some() {
+        die("--detect is not supported with --scale huge");
+    }
     check_out_dirs(&[
         ("--out", Some(opts.out_dir.as_str())),
         ("--metrics", opts.metrics.as_deref()),
@@ -290,6 +356,63 @@ fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
     );
 }
 
+/// `repro --detect-matrix`: the detection scoring harness. No artifact
+/// pipeline — each scenario in the matrix is one seeded simulation on
+/// the day-crawl cadence, replayed through the detector suite and
+/// graded against its own ground-truth partition records. Writes
+/// `detection_roc.csv` plus a per-scenario `trace_<name>.bin` (records
+/// with the alert stream appended) to the `--detect` directory.
+fn run_detect_matrix(opts: &bp_bench::cli::CliOptions) {
+    if !opts.ids.is_empty() {
+        die("artifact ids cannot be combined with --detect-matrix");
+    }
+    if opts.trace.is_some() || opts.metrics.is_some() || opts.cache.is_some() || opts.timings {
+        die(
+            "--detect-matrix writes only to --detect DIR; drop --trace/--metrics/--cache/--timings",
+        );
+    }
+    let Some(dir) = opts.detect.as_deref() else {
+        die("--detect-matrix requires --detect DIR for its outputs");
+    };
+    check_out_dirs(&[("--detect", Some(dir))]);
+    let config = opts.config;
+    eprintln!(
+        "# detect matrix: scenarios {:?} at scale {} ({} h each, seed {})",
+        bp_bench::detect::SCENARIOS,
+        config.scale,
+        config.day_hours,
+        config.seed
+    );
+    let result = bp_bench::detect::run_detect_matrix(&config);
+    let detect_dir = PathBuf::from(dir);
+    let path = detect_dir.join("detection_roc.csv");
+    std::fs::write(&path, &result.csv).expect("write detection_roc.csv");
+    eprintln!("# wrote {}", path.display());
+    for (name, bytes) in &result.traces {
+        let path = detect_dir.join(name);
+        std::fs::write(&path, bytes).expect("write scenario trace");
+        eprintln!("# wrote {}", path.display());
+    }
+    for (scenario, scores) in &result.scores {
+        for s in scores {
+            let latency = s
+                .latency_ms
+                .map(|ms| format!("{} s", ms / 1_000))
+                .unwrap_or_else(|| "-".to_string());
+            eprintln!(
+                "# {scenario:>10} {:<12} alerts {:>3} (true {:>3} / false {:>3}) \
+                 latency {latency:>7}  fpr {}.{:01}%",
+                s.detector,
+                s.alerts,
+                s.true_alerts,
+                s.false_alerts,
+                s.fpr_permille / 10,
+                s.fpr_permille % 10
+            );
+        }
+    }
+}
+
 /// Shared guard for the two serve modes: no artifact ids, no pipeline
 /// trace (the service has no task DAG to record).
 fn check_serve_opts(opts: &bp_bench::cli::CliOptions, mode: &str) {
@@ -298,6 +421,9 @@ fn check_serve_opts(opts: &bp_bench::cli::CliOptions, mode: &str) {
     }
     if opts.trace.is_some() {
         die(&format!("--trace is not supported with {mode}"));
+    }
+    if opts.detect.is_some() {
+        die(&format!("--detect is not supported with {mode}"));
     }
     if opts.timings {
         die(&format!("--timings is not supported with {mode}"));

@@ -31,6 +31,14 @@ pub struct CliOptions {
     /// Directory of the content-addressed artifact cache; `None`
     /// disables caching.
     pub cache: Option<String>,
+    /// Directory for the detection exports `alerts.bin` /
+    /// `alerts.jsonl` / `detect_report.txt`; `None` disables the
+    /// online detection tap.
+    pub detect: Option<String>,
+    /// `--detect-matrix` was given: run the detection scoring harness
+    /// (scenario matrix → `detection_roc.csv`) instead of the artifact
+    /// pipeline.
+    pub detect_matrix: bool,
     /// `--scale huge` was given: run the million-node gossip throughput
     /// bench instead of the artifact pipeline.
     pub huge: bool,
@@ -84,6 +92,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut metrics = None;
     let mut trace = None;
     let mut cache = None;
+    let mut detect = None;
+    let mut detect_matrix = false;
     let mut huge = false;
     let mut serve = None;
     let mut serve_bench = false;
@@ -144,6 +154,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--metrics" => metrics = Some(parse_value(arg, iter.next())?),
             "--trace" => trace = Some(parse_value(arg, iter.next())?),
             "--cache" => cache = Some(parse_value(arg, iter.next())?),
+            "--detect" => detect = Some(parse_value(arg, iter.next())?),
+            "--detect-matrix" => detect_matrix = true,
             "--serve" => {
                 // u16 already rejects > 65535 in parse_value; port 0
                 // (kernel-assigned) is refused so scripts always know
@@ -191,6 +203,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         metrics,
         trace,
         cache,
+        detect,
+        detect_matrix,
         huge,
         serve,
         serve_bench,
@@ -204,7 +218,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 /// Every flag `repro` understands, in display order. [`usage`] lists all
 /// of them; a test pins the two in sync with the parser.
-pub const FLAGS: [&str; 18] = [
+pub const FLAGS: [&str; 20] = [
     "--quick",
     "--scale",
     "--seed",
@@ -215,6 +229,8 @@ pub const FLAGS: [&str; 18] = [
     "--metrics",
     "--trace",
     "--cache",
+    "--detect",
+    "--detect-matrix",
     "--serve",
     "--serve-bench",
     "--serve-conns",
@@ -231,7 +247,8 @@ pub fn usage() -> String {
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--scale F|huge] [--seed S] [--hours H] [--shards N]\n\
          \x20             [--jobs N] [--timings] [--metrics DIR] [--trace DIR]\n\
-         \x20             [--cache DIR] [--serve PORT | --serve-bench]\n\
+         \x20             [--cache DIR] [--detect DIR] [--detect-matrix]\n\
+         \x20             [--serve PORT | --serve-bench]\n\
          \x20             [--serve-conns N] [--serve-mode open|closed]\n\
          \x20             [--serve-mix zipf|uniform] [--serve-out DIR]\n\
          \x20             [--out DIR] [IDS…]\n\n\
@@ -255,6 +272,15 @@ pub fn usage() -> String {
          \x20              config (byte-identical output, most work skipped);\n\
          \x20              with --serve / --serve-bench it persists memoized\n\
          \x20              query responses across restarts instead\n\
+         --detect DIR   tap the live trace stream through the partition-\n\
+         \x20              detection suite and write alerts.bin, alerts.jsonl\n\
+         \x20              and detect_report.txt to DIR (artifact output is\n\
+         \x20              unchanged; inspect with `trace detect`)\n\
+         --detect-matrix  run the detection scoring harness instead of the\n\
+         \x20              pipeline: every detector against the benign /\n\
+         \x20              cut_half / as_eclipse / miner_cut scenarios;\n\
+         \x20              writes detection_roc.csv and per-scenario traces\n\
+         \x20              to --detect DIR (required)\n\
          --serve PORT   load the substrate once and answer what-if queries\n\
          \x20              over TCP on 127.0.0.1:PORT (no artifact pipeline)\n\
          --serve-bench  drive the synthetic query load against an in-process\n\
@@ -374,7 +400,7 @@ mod tests {
             let args = match flag {
                 "--scale" => argv(&[flag, "0.5"]),
                 "--seed" | "--hours" | "--jobs" | "--shards" => argv(&[flag, "1"]),
-                "--metrics" | "--trace" | "--cache" | "--out" | "--serve-out" => {
+                "--metrics" | "--trace" | "--cache" | "--detect" | "--out" | "--serve-out" => {
                     argv(&[flag, "dir"])
                 }
                 "--serve" => argv(&[flag, "8080"]),
@@ -445,6 +471,30 @@ mod tests {
         // Composes with the other export flags.
         let all = parse_args(&argv(&["--metrics", "m", "--trace", "t", "--cache", "c"])).unwrap();
         assert_eq!(all.cache.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn detect_flags_mirror_the_other_exports() {
+        let opts = parse_args(&argv(&["--quick", "--detect", "ddir", "all"])).unwrap();
+        assert_eq!(opts.detect.as_deref(), Some("ddir"));
+        assert!(!opts.detect_matrix);
+        // A bare --detect is an error, exactly like a bare --trace.
+        assert!(parse_args(&argv(&["--detect"])).is_err());
+        // Defaults: both off.
+        let opts = parse_args(&argv(&["all"])).unwrap();
+        assert_eq!(opts.detect, None);
+        assert!(!opts.detect_matrix);
+        // Order-insensitive with the preset, like every other flag.
+        let a = parse_args(&argv(&["--detect", "d", "--quick", "all"])).unwrap();
+        let b = parse_args(&argv(&["--quick", "--detect", "d", "all"])).unwrap();
+        assert_eq!(a, b);
+        // --detect composes with the other export flags.
+        let all = parse_args(&argv(&["--metrics", "m", "--trace", "t", "--detect", "d"])).unwrap();
+        assert_eq!(all.detect.as_deref(), Some("d"));
+        // --detect-matrix composes with --detect and the preset.
+        let opts = parse_args(&argv(&["--quick", "--detect-matrix", "--detect", "ddir"])).unwrap();
+        assert!(opts.detect_matrix);
+        assert_eq!(opts.detect.as_deref(), Some("ddir"));
     }
 
     #[test]

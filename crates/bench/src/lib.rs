@@ -10,6 +10,7 @@
 pub mod cache;
 pub mod cli;
 pub mod dag;
+pub mod detect;
 pub mod pipeline;
 pub mod scale;
 pub mod serve;
@@ -117,6 +118,7 @@ pub fn day_crawl_instrumented(
     let mut lab = measurement_lab(config);
     if trace {
         lab.sim.set_tracer(bp_obs::Tracer::new());
+        seed_node_as(&mut lab);
     }
     let crawl = temporal::run_crawl_metered(
         &mut lab.sim,
@@ -127,6 +129,20 @@ pub fn day_crawl_instrumented(
         reg,
     );
     (crawl, lab)
+}
+
+/// Seeds one `node_as` record per node into a freshly traced
+/// simulation, carrying the crawler's node→AS slot join (first-seen
+/// slot numbering — see `bp_crawler::AsSlotIndex`). Emitted at the head
+/// of the stream, before any simulated event, so the trace alone is
+/// enough for per-AS consumers: `trace timeline --by-as` and the
+/// `bp-detect` AS-skew detector need no out-of-band sidecar.
+pub fn seed_node_as(lab: &mut Lab) {
+    let index = btcpart::crawler::AsSlotIndex::build(&lab.sim, &lab.snapshot);
+    for (node, &slot) in index.node_slots().iter().enumerate() {
+        let asn = index.asn_of_slot(slot).0 as u64;
+        lab.sim.trace_node_as(node as u32, asn, slot as u64);
+    }
 }
 
 /// Runs the long, 10-minute-sampled crawl of Figure 6(a).

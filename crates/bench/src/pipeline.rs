@@ -144,9 +144,29 @@ impl SharedInputs {
 /// logical stream (the per-λ Table VI rows) concatenate their records in
 /// presentation order before depositing, so the stream set is the same
 /// as a serial run's.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct TraceHub {
     streams: Mutex<BTreeMap<(u32, String), Tracer>>,
+    tap: Mutex<Option<StreamTap>>,
+}
+
+/// A live observer of stream deposits (`repro --detect`): invoked from
+/// [`TraceHub::set_stream`] with every `(rank, name, tracer)` as it
+/// lands — including effect replays from a warm artifact cache, so a
+/// tap-fed consumer sees the same streams whether they were simulated
+/// or replayed.
+type StreamTap = Box<dyn Fn(u32, &str, &Tracer) + Send + Sync>;
+
+impl std::fmt::Debug for TraceHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHub")
+            .field("streams", &self.streams)
+            .field(
+                "tap",
+                &self.tap.lock().map(|t| t.is_some()).unwrap_or(false),
+            )
+            .finish()
+    }
 }
 
 /// Merge rank of the day-crawl stream.
@@ -155,6 +175,8 @@ pub const STREAM_RANK_DAY: u32 = 0;
 pub const STREAM_RANK_GRID: u32 = 1;
 /// Merge rank of the Table VI model stream.
 pub const STREAM_RANK_MODEL: u32 = 2;
+/// Merge rank of the detection alert stream (`repro --detect`).
+pub const STREAM_RANK_DETECT: u32 = 3;
 
 impl TraceHub {
     /// Creates an empty hub.
@@ -166,10 +188,20 @@ impl TraceHub {
     /// position and the `trace.<name>.*` metric prefix; depositing the
     /// same key twice replaces the stream.
     pub fn set_stream(&self, rank: u32, name: &str, tracer: Tracer) {
+        if let Some(tap) = self.tap.lock().unwrap().as_ref() {
+            tap(rank, name, &tracer);
+        }
         self.streams
             .lock()
             .unwrap()
             .insert((rank, name.to_string()), tracer);
+    }
+
+    /// Installs a live stream tap: `tap` runs inside every subsequent
+    /// [`set_stream`](Self::set_stream) call, before the stream is
+    /// stored. One tap at a time; installing replaces the previous one.
+    pub fn set_tap(&self, tap: impl Fn(u32, &str, &Tracer) + Send + Sync + 'static) {
+        *self.tap.lock().unwrap() = Some(Box::new(tap));
     }
 
     /// Deposits the day-crawl simulation's stream.
@@ -1203,7 +1235,10 @@ fn simple_rank(id: &str) -> u8 {
 // family's version whenever its task code changes behaviour without a
 // config or dependency change — old store entries then miss instead of
 // replaying stale results.
-const LV_SHARED: u32 = 1;
+// LV_SHARED v2: the traced day crawl now seeds node→AS join records
+// (`node_as`) into its stream, so v1 store entries would replay traces
+// without them.
+const LV_SHARED: u32 = 2;
 const LV_SIMPLE: u32 = 1;
 const LV_ABLATIONS: u32 = 1;
 const LV_COUNTERMEASURES: u32 = 1;

@@ -17,8 +17,15 @@
 //! * `timeline FILE [--check CSV]` — reconstruct the per-node
 //!   tip-height / block-lag series from the trace; `--check` compares
 //!   the reconstruction against a published `fig6_day.csv` (exit 1 on
-//!   mismatch).
+//!   mismatch); `--by-as` instead emits the per-AS sync breakdown
+//!   (which ASes went dark, the spatial-partition hunting view).
+//! * `detect FILE [--report]` — replay the trace through the standard
+//!   `bp-detect` suite and print the alert stream as JSONL; `--report`
+//!   prints the engine report instead, plus detector scores when the
+//!   trace carries ground-truth partition markers.
 
+use bp_detect::score::{roc_rows, ROC_HEADER};
+use bp_detect::{attack_windows, score_detectors, DetectConfig, DetectEngine, StreamState};
 use bp_obs::trace::{
     decode_trace, filter_records, first_divergence, summary, timeline, timeline_csv, TraceCategory,
     TraceFilter, TraceKind, TraceRecord,
@@ -50,12 +57,17 @@ pub fn usage() -> String {
      usage: trace summary FILE\n\
      \x20      trace filter FILE [--from T] [--to T] [--node N] [--category C] [--kind K]\n\
      \x20      trace diff LEFT RIGHT\n\
-     \x20      trace timeline FILE [--check CSV]\n\n\
+     \x20      trace timeline FILE [--check CSV | --by-as]\n\
+     \x20      trace detect FILE [--report]\n\n\
      summary    record counts by category and kind, busiest nodes\n\
      filter     matching records as JSONL (original sequence numbers kept)\n\
      diff       first divergence between two traces (exit 1 when they differ)\n\
      timeline   rebuild the crawler's block-lag series from the trace;\n\
-     \x20          --check compares it against a published fig6_day.csv"
+     \x20          --check compares it against a published fig6_day.csv;\n\
+     \x20          --by-as emits the per-AS sync breakdown instead\n\
+     detect     replay the trace through the partition-detection suite;\n\
+     \x20          alerts as JSONL, or --report for the engine report\n\
+     \x20          (with detector scores when ground truth is present)"
         .to_string()
 }
 
@@ -166,13 +178,21 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
         "timeline" => {
             let path = iter.next().ok_or("timeline requires a trace file")?;
             let mut check: Option<String> = None;
+            let mut by_as = false;
             while let Some(arg) = iter.next() {
                 match arg.as_str() {
                     "--check" => check = Some(parse_flag_value(arg, iter.next())?),
+                    "--by-as" => by_as = true,
                     other => return Err(format!("unknown timeline flag: {other}")),
                 }
             }
+            if by_as && check.is_some() {
+                return Err("--by-as and --check are mutually exclusive".to_string());
+            }
             let (records, _dropped) = load(path)?;
+            if by_as {
+                return Ok(Outcome::ok(by_as_csv(&records)));
+            }
             let csv = timeline_csv(&timeline(&records));
             match check {
                 None => Ok(Outcome::ok(csv)),
@@ -194,8 +214,79 @@ pub fn run(args: &[String]) -> Result<Outcome, String> {
                 }
             }
         }
+        "detect" => {
+            let path = iter.next().ok_or("detect requires a trace file")?;
+            let mut report_mode = false;
+            for arg in iter.by_ref() {
+                match arg.as_str() {
+                    "--report" => report_mode = true,
+                    other => return Err(format!("unknown detect flag: {other}")),
+                }
+            }
+            let (records, _dropped) = load(path)?;
+            let mut engine = DetectEngine::new(DetectConfig::default());
+            engine.feed_all(&records);
+            let report = engine.finish();
+            if report_mode {
+                let mut out = report.render();
+                // A trace carrying ground-truth partition markers can be
+                // scored outright: same grading as `--detect-matrix`.
+                if !attack_windows(&records).is_empty() {
+                    let scores = score_detectors(&records, &report, crate::detect::GRACE_MS);
+                    if !out.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    out.push('\n');
+                    out.push_str(ROC_HEADER);
+                    out.push_str(&roc_rows("trace", &scores));
+                }
+                Ok(Outcome::ok(out))
+            } else {
+                let mut out = String::new();
+                for (seq, alert) in report.alerts.iter().enumerate() {
+                    out.push_str(&alert.to_json_line(seq as u64));
+                    out.push('\n');
+                }
+                Ok(Outcome::ok(out))
+            }
+        }
         other => Err(format!("unknown command: {other} (try `trace --help`)")),
     }
+}
+
+/// The per-AS sync breakdown: one row per (tick, populated AS slot),
+/// with the slot's synced count against the tick's global total. Dark
+/// slots — populated ASes contributing zero synced nodes — keep their
+/// rows, which is exactly what an operator greps for when hunting a
+/// spatial partition.
+fn by_as_csv(records: &[TraceRecord]) -> String {
+    let mut state = StreamState::new();
+    let mut out = String::from("t_secs,asn,synced,total_synced,share_permille\n");
+    for r in records {
+        if matches!(
+            r.kind.category(),
+            TraceCategory::Attack | TraceCategory::Detect
+        ) {
+            continue;
+        }
+        if let Some(tick) = state.consume(r) {
+            let total: u64 = state.as_synced().iter().sum();
+            for (slot, &synced) in state.as_synced().iter().enumerate() {
+                if state.slot_population()[slot] == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    tick.t_ms / 1000,
+                    state.slot_asn()[slot],
+                    synced,
+                    total,
+                    synced * 1000 / total.max(1)
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// First differing line between the reconstructed timeline and the
@@ -377,14 +468,92 @@ mod tests {
         assert!(bad.output.contains("line 2"));
     }
 
+    /// A trace whose node 1 goes dark while the tip keeps advancing —
+    /// enough to trip the BlockAware detector — with ground-truth
+    /// partition markers around the dark stretch.
+    fn partitioned_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        for i in 0..45u64 {
+            let ms = (i + 1) * 60_000;
+            let height = i + 1;
+            if i == 10 {
+                t.record(TraceKind::PartitionApply, ms - 600, u32::MAX, 2, 1);
+            }
+            t.record(TraceKind::Mine, ms - 500, 0, height, height);
+            t.record(TraceKind::BlockAccept, ms - 400, 0, height, height);
+            if i < 10 {
+                t.record(TraceKind::BlockAccept, ms - 400, 1, height, height);
+            }
+            let synced = if i < 10 { 2 } else { 1 };
+            t.record(TraceKind::CrawlSample, ms, 2, synced, height);
+        }
+        t.record(TraceKind::PartitionHeal, 46 * 60_000, u32::MAX, 0, 0);
+        t
+    }
+
+    #[test]
+    fn detect_replays_the_suite_offline() {
+        let path = write_trace("detect", &partitioned_tracer());
+        let out = run(&argv(&["detect", &path])).unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.output.contains("detect_blockaware"), "{}", out.output);
+        // Every line is alert JSONL.
+        for line in out.output.lines() {
+            assert!(line.contains("\"cat\":\"detect\""), "{line}");
+        }
+        // --report renders the engine report plus scores (the trace
+        // carries ground-truth markers).
+        let report = run(&argv(&["detect", &path, "--report"])).unwrap();
+        assert!(report.output.contains("blockaware"), "{}", report.output);
+        assert!(
+            report.output.contains("scenario,detector"),
+            "{}",
+            report.output
+        );
+        // A benign trace yields no alerts and no score block.
+        let benign = write_trace("detect_benign", &sample_tracer());
+        let quiet = run(&argv(&["detect", &benign])).unwrap();
+        assert_eq!(quiet.output, "");
+        let quiet_report = run(&argv(&["detect", &benign, "--report"])).unwrap();
+        assert!(
+            !quiet_report.output.contains("scenario,detector"),
+            "{}",
+            quiet_report.output
+        );
+        assert!(run(&argv(&["detect", &path, "--nope"])).is_err());
+    }
+
+    #[test]
+    fn timeline_by_as_breaks_out_slots() {
+        let mut t = Tracer::new();
+        t.record(TraceKind::NodeAs, 0, 0, 100, 0);
+        t.record(TraceKind::NodeAs, 0, 1, 200, 1);
+        t.record(TraceKind::Mine, 1_000, 0, 1, 1);
+        t.record(TraceKind::BlockAccept, 1_050, 0, 1, 1);
+        t.record(TraceKind::CrawlSample, 60_000, 2, 1, 1);
+        let path = write_trace("by_as", &t);
+        let out = run(&argv(&["timeline", &path, "--by-as"])).unwrap();
+        assert_eq!(out.code, 0);
+        let lines: Vec<&str> = out.output.lines().collect();
+        assert_eq!(lines[0], "t_secs,asn,synced,total_synced,share_permille");
+        // AS 100 holds the only synced node; AS 200 is dark but keeps
+        // its row.
+        assert_eq!(lines[1], "60,100,1,1,1000");
+        assert_eq!(lines[2], "60,200,0,1,0");
+        assert!(run(&argv(&["timeline", &path, "--by-as", "--check", "x.csv"])).is_err());
+    }
+
     #[test]
     fn bad_invocations_error_cleanly() {
         assert!(run(&argv(&["summary"])).is_err());
         assert!(run(&argv(&["diff", "only_one"])).is_err());
         assert!(run(&argv(&["frobnicate"])).is_err());
         assert!(run(&argv(&["summary", "/nonexistent/trace.bin"])).is_err());
+        assert!(run(&argv(&["detect"])).is_err());
         let help = run(&argv(&["--help"])).unwrap();
         assert!(help.output.contains("trace diff"));
+        assert!(help.output.contains("trace detect"));
+        assert!(help.output.contains("--by-as"));
         assert_eq!(run(&[]).unwrap().output, help.output);
     }
 }

@@ -1,0 +1,182 @@
+//! The node→AS slot index shared by the crawler's per-AS tallies, the
+//! flight recorder's `node_as` records, and the detection layer.
+//!
+//! Joining a sim node back to its AS through the snapshot is cheap once
+//! but too slow to repeat every sample at 13k nodes, so the crawler
+//! numbers the distinct ASes in first-seen node order ("slots") and keeps
+//! a dense `node → slot` vector. The same index, serialized as one
+//! `TraceKind::NodeAs` record per node, makes a trace self-describing:
+//! offline consumers (`trace timeline --by-as`, `bp-detect` replay)
+//! rebuild the identical slot numbering from the trace alone.
+
+use bp_net::Simulation;
+use bp_obs::trace::{TraceKind, TraceRecord};
+use bp_topology::{Asn, Snapshot};
+use std::collections::HashMap;
+
+/// A dense node→AS join: `slot_of(node)` indexes into the distinct-AS
+/// list `slot_asn`, numbered in first-seen node order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsSlotIndex {
+    node_slot: Vec<u32>,
+    slot_asn: Vec<Asn>,
+}
+
+impl AsSlotIndex {
+    /// Builds the index from an arbitrary node→AS function over nodes
+    /// `0..count` (slots numbered by first appearance).
+    pub fn from_fn<F: FnMut(u32) -> Asn>(count: usize, mut asn_of: F) -> Self {
+        let mut slot_of: HashMap<Asn, u32> = HashMap::new();
+        let mut slot_asn: Vec<Asn> = Vec::new();
+        let node_slot = (0..count as u32)
+            .map(|i| {
+                let asn = asn_of(i);
+                *slot_of.entry(asn).or_insert_with(|| {
+                    slot_asn.push(asn);
+                    (slot_asn.len() - 1) as u32
+                })
+            })
+            .collect();
+        Self {
+            node_slot,
+            slot_asn,
+        }
+    }
+
+    /// Joins every sim node to its AS through the snapshot the simulation
+    /// was built from.
+    pub fn build(sim: &Simulation, snapshot: &Snapshot) -> Self {
+        Self::from_fn(sim.node_count(), |i| snapshot.node(sim.topology_id(i)).asn)
+    }
+
+    /// Rebuilds the index from a trace's `node_as` records. Records may
+    /// arrive in any order; gaps (nodes without a record) are absent from
+    /// [`slot_of`](Self::slot_of). The slot stored in each record wins,
+    /// so a rebuilt index matches the emitting one bit for bit.
+    pub fn from_trace(records: &[TraceRecord]) -> Self {
+        let mut node_slot = Vec::new();
+        let mut slot_asn = Vec::new();
+        for r in records {
+            if r.kind != TraceKind::NodeAs {
+                continue;
+            }
+            let node = r.node as usize;
+            if node >= node_slot.len() {
+                node_slot.resize(node + 1, u32::MAX);
+            }
+            node_slot[node] = r.b as u32;
+            let slot = r.b as usize;
+            if slot >= slot_asn.len() {
+                slot_asn.resize(slot + 1, Asn(0));
+            }
+            slot_asn[slot] = Asn(r.a as u32);
+        }
+        Self {
+            node_slot,
+            slot_asn,
+        }
+    }
+
+    /// Number of nodes in the index.
+    pub fn node_count(&self) -> usize {
+        self.node_slot.len()
+    }
+
+    /// Number of distinct AS slots.
+    pub fn slot_count(&self) -> usize {
+        self.slot_asn.len()
+    }
+
+    /// The AS slot of `node`, or `None` when the node has no join (only
+    /// possible for indexes rebuilt from partial traces).
+    pub fn slot_of(&self, node: u32) -> Option<u32> {
+        match self.node_slot.get(node as usize) {
+            Some(&s) if s != u32::MAX => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The AS number a slot stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    pub fn asn_of_slot(&self, slot: u32) -> Asn {
+        self.slot_asn[slot as usize]
+    }
+
+    /// The dense node→slot vector (`u32::MAX` marks a missing join).
+    pub fn node_slots(&self) -> &[u32] {
+        &self.node_slot
+    }
+
+    /// One `node_as` trace record per node, in node order — what a
+    /// freshly installed tracer is seeded with so the trace carries the
+    /// index.
+    pub fn to_records(&self, time: u64) -> Vec<TraceRecord> {
+        self.node_slot
+            .iter()
+            .enumerate()
+            .filter(|(_, &slot)| slot != u32::MAX)
+            .map(|(node, &slot)| TraceRecord {
+                time,
+                node: node as u32,
+                kind: TraceKind::NodeAs,
+                a: self.slot_asn[slot as usize].0 as u64,
+                b: slot as u64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_number_ases_in_first_seen_order() {
+        let asns = [7u32, 3, 7, 9, 3];
+        let idx = AsSlotIndex::from_fn(asns.len(), |i| Asn(asns[i as usize]));
+        assert_eq!(idx.node_count(), 5);
+        assert_eq!(idx.slot_count(), 3);
+        assert_eq!(idx.node_slots(), &[0, 1, 0, 2, 1]);
+        assert_eq!(idx.asn_of_slot(0), Asn(7));
+        assert_eq!(idx.asn_of_slot(2), Asn(9));
+        assert_eq!(idx.slot_of(4), Some(1));
+    }
+
+    #[test]
+    fn trace_roundtrip_preserves_the_index() {
+        let asns = [5u32, 5, 11, 2];
+        let idx = AsSlotIndex::from_fn(asns.len(), |i| Asn(asns[i as usize]));
+        let records = idx.to_records(0);
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.kind == TraceKind::NodeAs));
+        assert_eq!(AsSlotIndex::from_trace(&records), idx);
+    }
+
+    #[test]
+    fn from_trace_tolerates_gaps_and_other_kinds() {
+        let records = vec![
+            TraceRecord {
+                time: 0,
+                node: 2,
+                kind: TraceKind::NodeAs,
+                a: 42,
+                b: 0,
+            },
+            TraceRecord {
+                time: 10,
+                node: 0,
+                kind: TraceKind::Mine,
+                a: 1,
+                b: 1,
+            },
+        ];
+        let idx = AsSlotIndex::from_trace(&records);
+        assert_eq!(idx.slot_of(2), Some(0));
+        assert_eq!(idx.slot_of(0), None);
+        assert_eq!(idx.slot_of(9), None);
+        assert_eq!(idx.asn_of_slot(0), Asn(42));
+    }
+}

@@ -9,6 +9,7 @@
 //! (Figure 6) and the full per-node lag matrix used by the temporal
 //! vulnerability analysis (Table V).
 
+use crate::asindex::AsSlotIndex;
 use crate::matrix::LagMatrix;
 use crate::series::{LagSample, LagSeries};
 use bp_net::Simulation;
@@ -79,24 +80,14 @@ impl Crawler {
         let mut matrix = LagMatrix::new(sim.node_count());
         let mut synced_by_as = Vec::with_capacity(steps as usize);
 
-        // Join each sim node to its AS once, up front: `slot_asn` lists
-        // the distinct ASes in first-seen order and `node_slot[i]` is
-        // node i's position in it. Each sample then tallies synced nodes
-        // with a dense counter bump per node instead of a snapshot
-        // lookup plus hash-map insert, which dominates sampling cost at
-        // 13k nodes × 1-minute periods.
-        let mut slot_of: HashMap<Asn, u32> = HashMap::new();
-        let mut slot_asn: Vec<Asn> = Vec::new();
-        let node_slot: Vec<u32> = (0..sim.node_count() as u32)
-            .map(|i| {
-                let asn = snapshot.node(sim.topology_id(i)).asn;
-                *slot_of.entry(asn).or_insert_with(|| {
-                    slot_asn.push(asn);
-                    (slot_asn.len() - 1) as u32
-                })
-            })
-            .collect();
-        let mut counts = vec![0usize; slot_asn.len()];
+        // Join each sim node to its AS once, up front (see
+        // [`AsSlotIndex`]): each sample then tallies synced nodes with a
+        // dense counter bump per node instead of a snapshot lookup plus
+        // hash-map insert, which dominates sampling cost at 13k nodes ×
+        // 1-minute periods.
+        let index = AsSlotIndex::build(sim, snapshot);
+        let node_slot = index.node_slots();
+        let mut counts = vec![0usize; index.slot_count()];
         let mut lags: Vec<u64> = Vec::new();
 
         for _ in 0..steps {
@@ -122,7 +113,7 @@ impl Crawler {
             let mut by_as: HashMap<Asn, usize> = HashMap::new();
             for (slot, &count) in counts.iter().enumerate() {
                 if count > 0 {
-                    by_as.insert(slot_asn[slot], count);
+                    by_as.insert(index.asn_of_slot(slot as u32), count);
                 }
             }
             synced_by_as.push(by_as);

@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asindex;
 pub mod crawler;
 pub mod lag;
 pub mod matrix;
 pub mod propagation;
 pub mod series;
 
+pub use asindex::AsSlotIndex;
 pub use crawler::{CrawlResult, Crawler};
 pub use lag::LagClass;
 pub use matrix::{LagMatrix, VulnerabilityWindow};

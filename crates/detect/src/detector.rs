@@ -1,0 +1,607 @@
+//! The pluggable detector suite.
+//!
+//! Every detector is pure integer / fixed-point arithmetic over the
+//! replayed observables — no floats, no clocks, no randomness — so the
+//! alert stream is byte-identical wherever and however the records are
+//! replayed. EWMA baselines use a `<< 8` fixed point updated as
+//! `ewma += (cur - ewma) >> shift`, and every thresholded detector
+//! demands `confirm_ticks` consecutive breaches before alerting, which
+//! suppresses the single-tick dips a freshly mined block causes while it
+//! propagates.
+
+use crate::observe::{StreamState, Tick};
+use bp_attacks::countermeasures::BLOCKAWARE_THRESHOLD_SECS;
+use bp_obs::trace::TraceKind;
+
+/// Fixed-point scale used by the EWMA baselines.
+const FP: i64 = 256;
+
+/// What a detector asserts when it fires; the engine stamps kind & time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// Affected node / AS slot, or `u32::MAX` for network-wide alerts.
+    pub node: u32,
+    /// Kind-specific score payload.
+    pub a: u64,
+    /// Kind-specific score payload.
+    pub b: u64,
+}
+
+/// A streaming partition detector, evaluated once per crawler tick.
+pub trait Detector {
+    /// Stable name used in counters, reports and `detection_roc.csv`.
+    fn name(&self) -> &'static str;
+    /// The alert kind this detector emits.
+    fn kind(&self) -> TraceKind;
+    /// Inspects the tick observables; `Some` fires one alert record.
+    fn observe(&mut self, tick: &Tick, state: &StreamState) -> Option<Alert>;
+}
+
+/// Tuning for the standard suite. The defaults hold every detector at
+/// zero false positives on the benign quick-profile crawl while keeping
+/// detection latency inside the attack window — see `detection_roc.csv`
+/// in EXPERIMENTS.md.
+///
+/// The constants are set against the simulator's benign physics, which
+/// are much rougher than a census intuition suggests: block propagation
+/// takes 10–25 crawl ticks to cover the network, so right after every
+/// mine most nodes are briefly "stale" by the paper's 600 s predicate
+/// and the synced count collapses to a handful of nodes. What separates
+/// an attack from that benign churn is *persistence* — benign staleness
+/// spikes drain within ~10 ticks as the block propagates, a partition
+/// parks there — and *train-complete inv accounting* (a mined block's
+/// announcements are only charged against it after its propagation
+/// train has had time to land).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectConfig {
+    /// Per-node staleness threshold (seconds); the paper's 600 s.
+    pub blockaware_threshold_secs: u64,
+    /// Stale fraction (per-mille of tracked nodes) that arms the
+    /// BlockAware alarm.
+    pub blockaware_min_stale_permille: u64,
+    /// Consecutive armed ticks before BlockAware alerts. Benign
+    /// propagation keeps the stale census above the floor for at most
+    /// ~10 ticks per mined block (measured on the quick profile); a
+    /// partition holds it there indefinitely.
+    pub blockaware_confirm_ticks: u64,
+    /// Ticks before EWMA-based detectors may alert (baseline settling).
+    pub warmup_ticks: u64,
+    /// EWMA decay: `ewma += (cur - ewma) >> ewma_shift`.
+    pub ewma_shift: u32,
+    /// Consecutive breach ticks required before an alert fires.
+    pub confirm_ticks: u64,
+    /// Staleness-band detector: alert when the deep-lag (≥5 blocks)
+    /// fraction exceeds baseline by this many per-mille.
+    pub stale_band_permille: u64,
+    /// Inv-collapse detector: the fixed age (in ticks past the mine) at
+    /// which a block's announcement train is scored. Full propagation
+    /// takes 15–25 ticks, far too slow for a fast detector, so trains
+    /// are compared *prefix against prefix*: every train is scored at
+    /// exactly this age, and benign prefixes are tight (±3% on the
+    /// quick profile) because propagation speed is a property of the
+    /// topology, not the block.
+    pub inv_train_ticks: u64,
+    /// Inv-collapse detector: alert when a completed train falls below
+    /// this per-mille of baseline.
+    pub inv_collapse_permille: u64,
+    /// Inv-collapse detector: completed trains needed to seed the
+    /// baseline before alerts may fire. Small on purpose — blocks are
+    /// ~10 minutes apart, so every warmup train costs real wall-clock,
+    /// and a single benign train already aggregates one announcement
+    /// per reachable node.
+    pub inv_warmup_trains: u64,
+    /// Inv-collapse detector: consecutive collapsed trains required
+    /// before alerting. 1 by default (a collapsed train is a
+    /// population-sized signal, and waiting for a second costs a full
+    /// block interval); raise it to ride out fork-race anomalies.
+    pub inv_confirm_trains: u64,
+    /// AS-skew detector: alert when the population share living in dark
+    /// AS slots exceeds this many per-mille.
+    pub skew_threshold_permille: u64,
+    /// AS-skew detector: a slot is dark when it has produced no synced
+    /// node for this many ticks. Must exceed the benign gap between
+    /// near-full-sync ticks (~21 ticks on the quick profile when blocks
+    /// pile up).
+    pub skew_dark_ticks: u64,
+    /// AS-skew detector: per-slot sync sightings only count on ticks
+    /// where the global synced fraction reaches this per-mille — mid-
+    /// propagation samples say nothing about which ASes are cut off.
+    pub skew_gate_permille: u64,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        Self {
+            blockaware_threshold_secs: BLOCKAWARE_THRESHOLD_SECS,
+            blockaware_min_stale_permille: 400,
+            blockaware_confirm_ticks: 15,
+            warmup_ticks: 10,
+            ewma_shift: 3,
+            confirm_ticks: 2,
+            stale_band_permille: 150,
+            inv_train_ticks: 5,
+            inv_collapse_permille: 600,
+            inv_warmup_trains: 2,
+            inv_confirm_trains: 1,
+            skew_threshold_permille: 60,
+            skew_dark_ticks: 30,
+            skew_gate_permille: 600,
+        }
+    }
+}
+
+/// The four standard detectors, in fixed evaluation (and alert) order.
+pub fn standard_suite(config: DetectConfig) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(BlockAwareDetector::new(config)),
+        Box::new(StaleBandDetector::new(config)),
+        Box::new(InvCollapseDetector::new(config)),
+        Box::new(AsSkewDetector::new(config)),
+    ]
+}
+
+/// The paper's BlockAware countermeasure recast as a network detector:
+/// a node is stale when it has not accepted a block for the threshold
+/// *while the network tip advanced past it* (`bp_attacks::
+/// countermeasures::blockaware_stale`, gated on lag > 0). The alarm
+/// arms when the stale fraction of tracked nodes reaches the configured
+/// per-mille and fires once it stays armed for
+/// `blockaware_confirm_ticks` consecutive ticks. Both gates are doing
+/// real work: the lag gate silences quiet inter-block stretches (the
+/// raw per-node predicate fires on `e^{-T/600}` of benign gaps), and
+/// the persistence gate silences propagation — a freshly mined block
+/// momentarily marks most of the network stale while its train walks
+/// the topology, but that census drains within ~10 ticks, whereas a
+/// partitioned population stays stale until the heal.
+#[derive(Debug)]
+pub struct BlockAwareDetector {
+    config: DetectConfig,
+    streak: u64,
+}
+
+impl BlockAwareDetector {
+    /// New detector with the given tuning.
+    pub fn new(config: DetectConfig) -> Self {
+        Self { config, streak: 0 }
+    }
+}
+
+impl Detector for BlockAwareDetector {
+    fn name(&self) -> &'static str {
+        "blockaware"
+    }
+
+    fn kind(&self) -> TraceKind {
+        TraceKind::DetectBlockAware
+    }
+
+    fn observe(&mut self, tick: &Tick, state: &StreamState) -> Option<Alert> {
+        let (stale, tracked) = state.stale_nodes(tick.t_ms, self.config.blockaware_threshold_secs);
+        if tracked == 0 {
+            return None;
+        }
+        let permille = stale * 1000 / tracked;
+        let armed = permille >= self.config.blockaware_min_stale_permille;
+        self.streak = if armed { self.streak + 1 } else { 0 };
+        (self.streak >= self.config.blockaware_confirm_ticks).then_some(Alert {
+            node: u32::MAX,
+            a: permille,
+            b: stale,
+        })
+    }
+}
+
+/// Watches the deep end of the block-staleness bands: the fraction of
+/// nodes five or more blocks behind. Benign crawls keep this band small
+/// and steady (churned-off nodes catching up); a partition starves one
+/// side, which sinks through the bands and parks there. Alerts when the
+/// deep-lag per-mille exceeds its EWMA baseline by the configured band
+/// for `confirm_ticks` consecutive ticks.
+#[derive(Debug)]
+pub struct StaleBandDetector {
+    config: DetectConfig,
+    ewma_fp: i64,
+    seen: u64,
+    streak: u64,
+}
+
+impl StaleBandDetector {
+    /// New detector with the given tuning.
+    pub fn new(config: DetectConfig) -> Self {
+        Self {
+            config,
+            ewma_fp: 0,
+            seen: 0,
+            streak: 0,
+        }
+    }
+}
+
+impl Detector for StaleBandDetector {
+    fn name(&self) -> &'static str {
+        "stale_ewma"
+    }
+
+    fn kind(&self) -> TraceKind {
+        TraceKind::DetectStaleEwma
+    }
+
+    fn observe(&mut self, tick: &Tick, state: &StreamState) -> Option<Alert> {
+        if tick.total == 0 {
+            return None;
+        }
+        let bands = state.lag_counts();
+        let deep = bands[3] + bands[4];
+        let cur = (deep * 1000 / tick.total) as i64;
+        let cur_fp = cur * FP;
+        self.seen += 1;
+        if self.seen == 1 {
+            self.ewma_fp = cur_fp;
+        }
+        let baseline_fp = self.ewma_fp;
+        let breached = cur_fp > baseline_fp + (self.config.stale_band_permille as i64) * FP;
+        // The baseline keeps learning only while the band looks benign;
+        // freezing it during a breach stops a long partition from
+        // normalizing itself into the baseline.
+        if !breached {
+            self.ewma_fp += (cur_fp - self.ewma_fp) >> self.config.ewma_shift;
+        }
+        if self.seen <= self.config.warmup_ticks {
+            self.streak = 0;
+            return None;
+        }
+        self.streak = if breached { self.streak + 1 } else { 0 };
+        (self.streak >= self.config.confirm_ticks).then_some(Alert {
+            node: u32::MAX,
+            a: cur as u64,
+            b: (baseline_fp / FP).max(0) as u64,
+        })
+    }
+}
+
+/// Watches per-block announcement trains. Both `mine` and `inv_relay`
+/// records carry the block's dense id in `a`, so every announcement is
+/// attributed to exactly the block it belongs to — no sliding window,
+/// no tail leakage, no rate estimator at all. A block's train is scored
+/// exactly once, `inv_train_ticks` after its mine tick. That age is
+/// deliberately much shorter than full propagation (15–25 ticks): the
+/// detector compares each train's fixed-age *prefix* against a prefix
+/// baseline, which is what makes sub-propagation-time detection
+/// possible at all. Benign prefixes are tight (±3% on the quick
+/// profile) because early-propagation speed is a property of the
+/// topology; a partition mutes the far side and the first post-cut
+/// prefix lands at roughly the cut fraction of baseline. Blocks mined
+/// before the stream's first sample tick are never scored — their age
+/// is unknowable (the pre-tick stretch is unbounded), and a train that
+/// matured during it would poison the prefix baseline with full-train
+/// sizes. Alerts when `inv_confirm_trains` consecutive scored trains
+/// fall below `inv_collapse_permille` of the EWMA baseline (frozen
+/// during breaches, so a long partition cannot normalize itself). This
+/// is the suite's fast detector: it fires one scoring age after the
+/// first post-cut block, within the paper's 600 s BlockAware
+/// threshold, where the staleness detectors must wait for nodes to age
+/// past their thresholds.
+#[derive(Debug)]
+pub struct InvCollapseDetector {
+    config: DetectConfig,
+    /// Watermark: dense block ids below this are already scored. Dense
+    /// ids are assigned in mine order, so completion order matches id
+    /// order and a single cursor suffices.
+    scored_from: u64,
+    ewma_fp: i64,
+    seen: u64,
+    streak: u64,
+}
+
+impl InvCollapseDetector {
+    /// New detector with the given tuning.
+    pub fn new(config: DetectConfig) -> Self {
+        Self {
+            config,
+            scored_from: 0,
+            ewma_fp: 0,
+            seen: 0,
+            streak: 0,
+        }
+    }
+}
+
+impl Detector for InvCollapseDetector {
+    fn name(&self) -> &'static str {
+        "inv_collapse"
+    }
+
+    fn kind(&self) -> TraceKind {
+        TraceKind::DetectInvCollapse
+    }
+
+    fn observe(&mut self, tick: &Tick, state: &StreamState) -> Option<Alert> {
+        let mut alert = None;
+        for (&dense, &(mine_tick, invs)) in state.inv_trains().range(self.scored_from..) {
+            if tick.seq < mine_tick + self.config.inv_train_ticks {
+                // Trains complete in mine order; the first still-open
+                // one ends this evaluation.
+                break;
+            }
+            self.scored_from = dense + 1;
+            if mine_tick == 0 {
+                // Mined before the first sample tick: age unknowable,
+                // never scored (see the type-level docs).
+                continue;
+            }
+            let cur_fp = invs as i64 * FP;
+            self.seen += 1;
+            if self.seen == 1 {
+                self.ewma_fp = cur_fp;
+            }
+            let baseline_fp = self.ewma_fp;
+            let floor_fp = baseline_fp * (self.config.inv_collapse_permille as i64) / 1000;
+            let breached = cur_fp < floor_fp;
+            if !breached {
+                self.ewma_fp += (cur_fp - self.ewma_fp) >> self.config.ewma_shift;
+            }
+            if self.seen <= self.config.inv_warmup_trains {
+                self.streak = 0;
+                continue;
+            }
+            self.streak = if breached { self.streak + 1 } else { 0 };
+            if self.streak >= self.config.inv_confirm_trains {
+                alert = Some(Alert {
+                    node: u32::MAX,
+                    a: invs,
+                    b: (baseline_fp / FP).max(0) as u64,
+                });
+            }
+        }
+        alert
+    }
+}
+
+/// Watches per-AS sync coverage (the crawler's Figure 8 join, carried
+/// into the trace by `node_as` records) for *dark slots*: ASes that
+/// have not produced a single synced node across `skew_dark_ticks`
+/// ticks. Sightings only count on gated ticks — ticks where the global
+/// synced fraction reaches `skew_gate_permille` — because a
+/// mid-propagation sample says nothing about which ASes are cut off
+/// (right after a mine, almost every AS has zero synced nodes for a
+/// while, benign or not). The score is the node-population share living
+/// in dark slots, in per-mille; a spatial cut turns exactly the cut
+/// ASes dark while benign operation re-lights every populated slot on
+/// each near-full sync. A partition wide enough to suppress gated ticks
+/// altogether (no side ever reaches the gate) turns *every* slot dark,
+/// which is the correct verdict too. Alerts carry the most-populated
+/// dark slot so the operator can name the AS.
+#[derive(Debug)]
+pub struct AsSkewDetector {
+    config: DetectConfig,
+    last_lit: Vec<u64>,
+    seen: u64,
+    streak: u64,
+}
+
+impl AsSkewDetector {
+    /// New detector with the given tuning.
+    pub fn new(config: DetectConfig) -> Self {
+        Self {
+            config,
+            last_lit: Vec::new(),
+            seen: 0,
+            streak: 0,
+        }
+    }
+}
+
+impl Detector for AsSkewDetector {
+    fn name(&self) -> &'static str {
+        "as_skew"
+    }
+
+    fn kind(&self) -> TraceKind {
+        TraceKind::DetectAsSkew
+    }
+
+    fn observe(&mut self, tick: &Tick, state: &StreamState) -> Option<Alert> {
+        let pop = state.slot_population();
+        let total_pop: u64 = pop.iter().sum();
+        if total_pop == 0 {
+            // No node→AS join in this trace: nothing to watch.
+            return None;
+        }
+        self.seen += 1;
+        // Slots start lit: darkness is measured from the stream's
+        // start, so a slot must stay unseen for the full dark window
+        // before it can contribute to the score.
+        self.last_lit.resize(pop.len(), 0);
+        let gated =
+            tick.total > 0 && tick.synced * 1000 / tick.total >= self.config.skew_gate_permille;
+        if gated {
+            for (slot, &count) in state.as_synced().iter().enumerate() {
+                if count > 0 {
+                    self.last_lit[slot] = self.seen;
+                }
+            }
+        }
+        let mut dark_pop = 0u64;
+        let mut worst_slot = 0u32;
+        let mut worst_pop = 0u64;
+        for (slot, &count) in pop.iter().enumerate() {
+            if count == 0 || self.seen - self.last_lit[slot] < self.config.skew_dark_ticks {
+                continue;
+            }
+            dark_pop += count;
+            if count > worst_pop {
+                worst_pop = count;
+                worst_slot = slot as u32;
+            }
+        }
+        let permille = dark_pop * 1000 / total_pop;
+        let breached = permille >= self.config.skew_threshold_permille;
+        if self.seen <= self.config.warmup_ticks {
+            self.streak = 0;
+            return None;
+        }
+        self.streak = if breached { self.streak + 1 } else { 0 };
+        (self.streak >= self.config.confirm_ticks).then_some(Alert {
+            node: worst_slot,
+            a: permille,
+            b: state.slot_asn()[worst_slot as usize],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_obs::trace::TraceRecord;
+
+    fn rec(time: u64, node: u32, kind: TraceKind, a: u64, b: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            node,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    /// Synthetic steady network: `n` nodes all accept each minute-block;
+    /// from `cut_at` on, the top half stops accepting.
+    fn run_suite(config: DetectConfig, ticks: u64, cut_at: u64) -> Vec<(u64, TraceKind)> {
+        let mut state = StreamState::new();
+        let mut suite = standard_suite(config);
+        let mut fired = Vec::new();
+        let n = 10u32;
+        // AS-coherent halves: nodes 0..5 in AS 100 (slot 0), 5..10 in
+        // AS 101 (slot 1) — the cut silences exactly slot 1.
+        for i in 0..n {
+            state.consume(&rec(
+                0,
+                i,
+                TraceKind::NodeAs,
+                100 + (i / 5) as u64,
+                (i / 5) as u64,
+            ));
+        }
+        for t in 0..ticks {
+            let ms = (t + 1) * 60_000;
+            let height = t + 1;
+            state.consume(&rec(ms - 500, 0, TraceKind::Mine, height, height));
+            let receivers = if t >= cut_at { n / 2 } else { n };
+            for i in 0..receivers {
+                state.consume(&rec(ms - 400, i, TraceKind::BlockAccept, height, height));
+                state.consume(&rec(ms - 400, i, TraceKind::InvRelay, height, 8));
+                state.consume(&rec(
+                    ms - 300,
+                    i,
+                    TraceKind::GetData,
+                    height,
+                    (i + 1) as u64 % n as u64,
+                ));
+            }
+            let tick = state
+                .consume(&rec(
+                    ms,
+                    n,
+                    TraceKind::CrawlSample,
+                    receivers as u64,
+                    height,
+                ))
+                .unwrap();
+            for d in suite.iter_mut() {
+                if d.observe(&tick, &state).is_some() {
+                    fired.push((t, d.kind()));
+                }
+            }
+        }
+        fired
+    }
+
+    #[test]
+    fn benign_steady_state_is_quiet() {
+        let fired = run_suite(DetectConfig::default(), 100, u64::MAX);
+        assert!(fired.is_empty(), "false positives: {fired:?}");
+    }
+
+    #[test]
+    fn a_half_cut_trips_the_suite() {
+        let config = DetectConfig::default();
+        let fired = run_suite(config, 100, 30);
+        for kind in TraceKind::DETECT {
+            assert!(
+                fired.iter().any(|&(_, k)| k == kind),
+                "{kind:?} never fired: {fired:?}"
+            );
+        }
+        // Nothing fires before the cut.
+        assert!(fired.iter().all(|&(t, _)| t >= 30), "{fired:?}");
+        // The inv-rate collapse is the fast path: it reacts to the
+        // first post-cut blocks, well before the staleness census has
+        // confirmed its persistence streak.
+        let first_inv = fired
+            .iter()
+            .find(|&&(_, k)| k == TraceKind::DetectInvCollapse)
+            .unwrap()
+            .0;
+        let first_blockaware = fired
+            .iter()
+            .find(|&&(_, k)| k == TraceKind::DetectBlockAware)
+            .unwrap()
+            .0;
+        assert!(first_inv < first_blockaware, "{fired:?}");
+    }
+
+    #[test]
+    fn blockaware_needs_an_advancing_tip() {
+        let mut state = StreamState::new();
+        let config = DetectConfig {
+            blockaware_confirm_ticks: 1,
+            ..DetectConfig::default()
+        };
+        let mut det = BlockAwareDetector::new(config);
+        for i in 0..4u32 {
+            state.consume(&rec(1000, i, TraceKind::BlockAccept, 1, 1));
+        }
+        // An hour of silence — no mining anywhere: no alarm.
+        let tick = state
+            .consume(&rec(3_600_000, 4, TraceKind::CrawlSample, 4, 1))
+            .unwrap();
+        assert!(det.observe(&tick, &state).is_none());
+        // The tip advances without them: alarm.
+        state.consume(&rec(3_600_000, 0, TraceKind::Mine, 2, 2));
+        state.consume(&rec(3_601_000, 0, TraceKind::BlockAccept, 2, 2));
+        let tick = state
+            .consume(&rec(4_202_000, 4, TraceKind::CrawlSample, 1, 2))
+            .unwrap();
+        let alert = det.observe(&tick, &state).expect("stale majority");
+        assert_eq!(alert.b, 3);
+        assert_eq!(alert.a, 750);
+    }
+
+    #[test]
+    fn blockaware_persistence_gate_outlasts_propagation_spikes() {
+        let config = DetectConfig::default();
+        let mut det = BlockAwareDetector::new(config);
+        let mut state = StreamState::new();
+        // Nodes 1..4 accepted block 1 long ago; node 0 keeps the tip
+        // advancing, so 750‰ of the census is armed at every tick.
+        for i in 0..4u32 {
+            state.consume(&rec(1000, i, TraceKind::BlockAccept, 1, 1));
+        }
+        state.consume(&rec(2_000_000, 0, TraceKind::Mine, 2, 2));
+        state.consume(&rec(2_000_100, 0, TraceKind::BlockAccept, 2, 2));
+        let mut fired_at = None;
+        for k in 0..20u64 {
+            let t = 2_700_000 + k * 60_000;
+            let tick = state
+                .consume(&rec(t, 4, TraceKind::CrawlSample, 1, 2))
+                .unwrap();
+            if det.observe(&tick, &state).is_some() {
+                fired_at = Some(k);
+                break;
+            }
+        }
+        // A spike shorter than the confirm streak never fires; the
+        // sustained census fires exactly at the streak length.
+        assert_eq!(fired_at, Some(config.blockaware_confirm_ticks - 1));
+    }
+}

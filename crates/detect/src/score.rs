@@ -1,0 +1,252 @@
+//! Scoring: detection latency vs false-positive rate.
+//!
+//! The simulation records ground truth the detectors never see:
+//! `partition_apply` / `partition_heal` trace events. This module turns
+//! them into attack windows and grades an alert stream against them —
+//! per detector, the latency from the cut to the first in-window alert,
+//! and the fraction of benign evaluation ticks that carried a false
+//! alert. The paper's BlockAware analysis (§VI) trades these two axes
+//! with a closed-form model (a false-alarm rate of e^-1 per honest
+//! block at the 600 s threshold); here the same trade-off is measured
+//! on simulated evidence.
+
+use crate::engine::DetectReport;
+use bp_obs::trace::{TraceKind, TraceRecord};
+use std::fmt::Write as _;
+
+/// One ground-truth attack window, from a `partition_apply` record to
+/// its matching `partition_heal` (or the end of the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackWindow {
+    /// When the partition was applied (ms).
+    pub apply_ms: u64,
+    /// When it was healed (ms); `u64::MAX` when it never was.
+    pub heal_ms: u64,
+}
+
+impl AttackWindow {
+    /// Whether `t_ms` falls into this window, extended by `grace_ms`
+    /// past the heal (recovering state may legitimately still alarm).
+    pub fn covers(&self, t_ms: u64, grace_ms: u64) -> bool {
+        t_ms >= self.apply_ms && t_ms <= self.heal_ms.saturating_add(grace_ms)
+    }
+}
+
+/// Extracts attack windows from a trace, pairing each `partition_apply`
+/// with the next `partition_heal`.
+pub fn attack_windows(records: &[TraceRecord]) -> Vec<AttackWindow> {
+    let mut windows = Vec::new();
+    let mut open: Option<u64> = None;
+    for r in records {
+        match r.kind {
+            TraceKind::PartitionApply if open.is_none() => {
+                open = Some(r.time);
+            }
+            TraceKind::PartitionHeal => {
+                if let Some(apply_ms) = open.take() {
+                    windows.push(AttackWindow {
+                        apply_ms,
+                        heal_ms: r.time,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(apply_ms) = open {
+        windows.push(AttackWindow {
+            apply_ms,
+            heal_ms: u64::MAX,
+        });
+    }
+    windows
+}
+
+/// One detector's grade against the ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorScore {
+    /// Detector name (suite order preserved).
+    pub detector: String,
+    /// Total alerts emitted.
+    pub alerts: u64,
+    /// Alerts inside an attack window (+grace).
+    pub true_alerts: u64,
+    /// Alerts outside every window — false positives.
+    pub false_alerts: u64,
+    /// Milliseconds from the first window's apply to the first in-window
+    /// alert; `None` when the detector never fired in a window.
+    pub latency_ms: Option<u64>,
+    /// Evaluation ticks outside every window (+grace) — the FPR
+    /// denominator.
+    pub benign_ticks: u64,
+    /// False-positive rate: false-alert ticks per mille of benign ticks.
+    pub fpr_permille: u64,
+}
+
+/// Grades a report against the ground truth carried by `records`.
+///
+/// `tick_times` are the evaluation instants (one per crawler tick, as
+/// the engine saw them); `grace_ms` extends each window past its heal.
+/// A detector emits at most one alert per tick, so alert counts and
+/// alert-tick counts coincide.
+pub fn score_detectors(
+    records: &[TraceRecord],
+    report: &DetectReport,
+    grace_ms: u64,
+) -> Vec<DetectorScore> {
+    let windows = attack_windows(records);
+    let tick_times: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == TraceKind::CrawlSample)
+        .map(|r| r.time)
+        .collect();
+    let benign_ticks = tick_times
+        .iter()
+        .filter(|&&t| !windows.iter().any(|w| w.covers(t, grace_ms)))
+        .count() as u64;
+
+    report
+        .alert_counts
+        .iter()
+        .map(|(name, _)| {
+            let kind = kind_of(name, &report.alerts);
+            let mine: Vec<&TraceRecord> = report
+                .alerts
+                .iter()
+                .filter(|r| Some(r.kind) == kind)
+                .collect();
+            let mut true_alerts = 0u64;
+            let mut false_alerts = 0u64;
+            let mut latency_ms = None;
+            for r in &mine {
+                if windows.iter().any(|w| w.covers(r.time, grace_ms)) {
+                    true_alerts += 1;
+                    if latency_ms.is_none() {
+                        if let Some(w) = windows.iter().find(|w| w.covers(r.time, grace_ms)) {
+                            latency_ms = Some(r.time.saturating_sub(w.apply_ms));
+                        }
+                    }
+                } else {
+                    false_alerts += 1;
+                }
+            }
+            let fpr_permille = (false_alerts * 1000).checked_div(benign_ticks).unwrap_or(0);
+            DetectorScore {
+                detector: name.clone(),
+                alerts: mine.len() as u64,
+                true_alerts,
+                false_alerts,
+                latency_ms,
+                benign_ticks,
+                fpr_permille,
+            }
+        })
+        .collect()
+}
+
+/// Resolves a suite entry's alert kind from the alerts it emitted. A
+/// detector that never fired has no kind on record; scoring still lists
+/// it (zero alerts, no latency).
+fn kind_of(name: &str, alerts: &[TraceRecord]) -> Option<TraceKind> {
+    let kind = match name {
+        "blockaware" => TraceKind::DetectBlockAware,
+        "stale_ewma" => TraceKind::DetectStaleEwma,
+        "inv_collapse" => TraceKind::DetectInvCollapse,
+        "as_skew" => TraceKind::DetectAsSkew,
+        _ => return alerts.first().map(|r| r.kind),
+    };
+    Some(kind)
+}
+
+/// Renders scores for one scenario as `detection_roc.csv` rows (no
+/// header): `scenario,detector,alerts,true_alerts,false_alerts,
+/// latency_secs,fpr_permille` with `latency_secs = -1` when the
+/// detector never fired inside a window.
+pub fn roc_rows(scenario: &str, scores: &[DetectorScore]) -> String {
+    let mut out = String::new();
+    for s in scores {
+        let latency = match s.latency_ms {
+            Some(ms) => (ms / 1000) as i64,
+            None => -1,
+        };
+        let _ = writeln!(
+            out,
+            "{scenario},{},{},{},{},{latency},{}",
+            s.detector, s.alerts, s.true_alerts, s.false_alerts, s.fpr_permille
+        );
+    }
+    out
+}
+
+/// The `detection_roc.csv` header matching [`roc_rows`].
+pub const ROC_HEADER: &str =
+    "scenario,detector,alerts,true_alerts,false_alerts,latency_secs,fpr_permille\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(time: u64, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            time,
+            node: u32::MAX,
+            kind,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn windows_pair_apply_with_heal() {
+        let records = vec![
+            rec(100, TraceKind::PartitionApply),
+            rec(900, TraceKind::PartitionHeal),
+            rec(2000, TraceKind::PartitionApply),
+        ];
+        let w = attack_windows(&records);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].apply_ms, 100);
+        assert_eq!(w[0].heal_ms, 900);
+        assert_eq!(w[1].heal_ms, u64::MAX);
+        assert!(w[0].covers(950, 100));
+        assert!(!w[0].covers(1001, 100));
+        assert!(!w[0].covers(99, 0));
+    }
+
+    #[test]
+    fn scoring_splits_true_and_false_alerts() {
+        let records = vec![
+            rec(60_000, TraceKind::CrawlSample),
+            rec(120_000, TraceKind::CrawlSample),
+            rec(150_000, TraceKind::PartitionApply),
+            rec(180_000, TraceKind::CrawlSample),
+            rec(240_000, TraceKind::CrawlSample),
+            rec(250_000, TraceKind::PartitionHeal),
+            rec(300_000, TraceKind::CrawlSample),
+        ];
+        let report = DetectReport {
+            alerts: vec![
+                rec(120_000, TraceKind::DetectBlockAware), // before the cut: false
+                rec(240_000, TraceKind::DetectBlockAware), // in window: true
+            ],
+            alert_counts: vec![("blockaware".into(), 2)],
+            ticks: 5,
+            records: 7,
+            inv_total: 0,
+            getdata_total: 0,
+        };
+        let scores = score_detectors(&records, &report, 0);
+        assert_eq!(scores.len(), 1);
+        let s = &scores[0];
+        assert_eq!(s.alerts, 2);
+        assert_eq!(s.true_alerts, 1);
+        assert_eq!(s.false_alerts, 1);
+        assert_eq!(s.latency_ms, Some(90_000));
+        // Benign ticks: 60k, 120k, 300k.
+        assert_eq!(s.benign_ticks, 3);
+        assert_eq!(s.fpr_permille, 333);
+
+        let csv = roc_rows("test", &scores);
+        assert_eq!(csv, "test,blockaware,2,1,1,90,333\n");
+    }
+}

@@ -1048,6 +1048,15 @@ impl Simulation {
         self.trace(TraceKind::CrawlSample, nodes, synced, best);
     }
 
+    /// Records one node→AS join into the flight recorder (no-op without
+    /// a tracer). Emitted once per node right after a tracer is
+    /// installed, so the trace alone carries the crawler's AS slot index
+    /// and per-AS consumers (`trace timeline --by-as`, `bp-detect`) need
+    /// no out-of-band sidecar.
+    pub fn trace_node_as(&mut self, node: u32, asn: u64, slot: u64) {
+        self.trace(TraceKind::NodeAs, node, asn, slot);
+    }
+
     /// User transactions reversed by canonical-chain reorgs so far —
     /// the paper's "all transactions belonging to legitimate users in
     /// those blocks will also be reversed".
@@ -1103,8 +1112,15 @@ impl Simulation {
         }
         self.partitioned = true;
         if self.tracer.is_some() {
-            let distinct = self.groups.iter().collect::<HashSet<_>>().len() as u64;
-            self.trace(TraceKind::PartitionApply, u32::MAX, distinct, 0);
+            // `a` = distinct groups, `b` = largest group size — enough
+            // for a trace consumer to judge how lopsided the cut is.
+            let mut sizes: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+            for &g in &self.groups {
+                *sizes.entry(g).or_insert(0) += 1;
+            }
+            let distinct = sizes.len() as u64;
+            let largest = sizes.values().copied().max().unwrap_or(0);
+            self.trace(TraceKind::PartitionApply, u32::MAX, distinct, largest);
         }
     }
 

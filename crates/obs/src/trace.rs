@@ -74,6 +74,9 @@ pub enum TraceCategory {
     Attack = 1,
     /// `bp-crawler` sampling events (time domain: simulated milliseconds).
     Crawler = 2,
+    /// `bp-detect` detector alerts (time domain: simulated milliseconds —
+    /// alerts fire on crawler sample ticks).
+    Detect = 3,
 }
 
 impl TraceCategory {
@@ -83,6 +86,7 @@ impl TraceCategory {
             TraceCategory::Net => "net",
             TraceCategory::Attack => "attack",
             TraceCategory::Crawler => "crawler",
+            TraceCategory::Detect => "detect",
         }
     }
 
@@ -92,6 +96,7 @@ impl TraceCategory {
             "net" => Some(TraceCategory::Net),
             "attack" => Some(TraceCategory::Attack),
             "crawler" => Some(TraceCategory::Crawler),
+            "detect" => Some(TraceCategory::Detect),
             _ => None,
         }
     }
@@ -101,6 +106,7 @@ impl TraceCategory {
             0 => Some(TraceCategory::Net),
             1 => Some(TraceCategory::Attack),
             2 => Some(TraceCategory::Crawler),
+            3 => Some(TraceCategory::Detect),
             _ => None,
         }
     }
@@ -116,6 +122,9 @@ pub enum Severity {
     Info = 1,
     /// Consensus- or topology-affecting events (reorgs, partitions).
     Warn = 2,
+    /// A detector fired: the trace evidence is consistent with an
+    /// ongoing partition.
+    Alert = 3,
 }
 
 impl Severity {
@@ -125,14 +134,24 @@ impl Severity {
             Severity::Debug => "debug",
             Severity::Info => "info",
             Severity::Warn => "warn",
+            Severity::Alert => "alert",
         }
     }
+
+    /// All severities, in discriminant order (used by summaries).
+    pub const ALL: [Severity; 4] = [
+        Severity::Debug,
+        Severity::Info,
+        Severity::Warn,
+        Severity::Alert,
+    ];
 
     fn from_u8(v: u8) -> Option<Self> {
         match v {
             0 => Some(Severity::Debug),
             1 => Some(Severity::Info),
             2 => Some(Severity::Warn),
+            3 => Some(Severity::Alert),
             _ => None,
         }
     }
@@ -161,7 +180,7 @@ pub enum TraceKind {
     /// `a` = reorg depth (blocks reversed), `b` = new best height.
     ReorgBegin = 5,
     /// A partition was applied. `node` = `u32::MAX`, `a` = number of
-    /// distinct groups, `b` = 0.
+    /// distinct groups, `b` = size of the largest group.
     PartitionApply = 6,
     /// The partition was healed. `node` = `u32::MAX`.
     PartitionHeal = 7,
@@ -187,11 +206,32 @@ pub enum TraceKind {
     /// Crawler sample tick. `node` = total node count, `a` = synced node
     /// count (lag 0), `b` = network best height.
     CrawlSample = 32,
+    /// Node→AS join, emitted once per node when a trace starts so the
+    /// trace alone carries the crawler's AS slot index. `node` = sim
+    /// node, `a` = AS number, `b` = AS slot (first-seen order).
+    NodeAs = 33,
+    /// BlockAware detector alert: nodes stale relative to an advancing
+    /// network tip. `node` = `u32::MAX`, `a` = stale fraction in
+    /// per-mille, `b` = stale node count.
+    DetectBlockAware = 48,
+    /// Staleness-band EWMA detector alert: the synced fraction collapsed
+    /// below its running baseline. `node` = `u32::MAX`, `a` = current
+    /// synced per-mille, `b` = EWMA baseline per-mille.
+    DetectStaleEwma = 49,
+    /// Inv-fan-out-collapse detector alert: mean peers notified per inv
+    /// dropped against baseline. `node` = `u32::MAX`, `a` = current mean
+    /// fan-out (milli-peers), `b` = EWMA baseline (milli-peers).
+    DetectInvCollapse = 50,
+    /// AS-skew detector alert: the per-AS synced-share distribution
+    /// drifted from baseline. `node` = most-deviating AS slot, `a` =
+    /// total-variation distance in per-mille, `b` = that slot's AS
+    /// number.
+    DetectAsSkew = 51,
 }
 
 impl TraceKind {
     /// All kinds, in discriminant order (used by summaries and tests).
-    pub const ALL: [TraceKind; 14] = [
+    pub const ALL: [TraceKind; 19] = [
         TraceKind::Mine,
         TraceKind::InvRelay,
         TraceKind::GetData,
@@ -206,6 +246,19 @@ impl TraceKind {
         TraceKind::GridSnapshot,
         TraceKind::ModelBisect,
         TraceKind::CrawlSample,
+        TraceKind::NodeAs,
+        TraceKind::DetectBlockAware,
+        TraceKind::DetectStaleEwma,
+        TraceKind::DetectInvCollapse,
+        TraceKind::DetectAsSkew,
+    ];
+
+    /// The alert kinds a detector may emit, in discriminant order.
+    pub const DETECT: [TraceKind; 4] = [
+        TraceKind::DetectBlockAware,
+        TraceKind::DetectStaleEwma,
+        TraceKind::DetectInvCollapse,
+        TraceKind::DetectAsSkew,
     ];
 
     /// Stable lowercase name used in JSONL output and CLI filters.
@@ -225,6 +278,11 @@ impl TraceKind {
             TraceKind::GridSnapshot => "grid_snapshot",
             TraceKind::ModelBisect => "model_bisect",
             TraceKind::CrawlSample => "crawl_sample",
+            TraceKind::NodeAs => "node_as",
+            TraceKind::DetectBlockAware => "detect_blockaware",
+            TraceKind::DetectStaleEwma => "detect_stale_ewma",
+            TraceKind::DetectInvCollapse => "detect_inv_collapse",
+            TraceKind::DetectAsSkew => "detect_as_skew",
         }
     }
 
@@ -249,18 +307,26 @@ impl TraceKind {
             | TraceKind::GridRelease
             | TraceKind::GridSnapshot
             | TraceKind::ModelBisect => TraceCategory::Attack,
-            TraceKind::CrawlSample => TraceCategory::Crawler,
+            TraceKind::CrawlSample | TraceKind::NodeAs => TraceCategory::Crawler,
+            TraceKind::DetectBlockAware
+            | TraceKind::DetectStaleEwma
+            | TraceKind::DetectInvCollapse
+            | TraceKind::DetectAsSkew => TraceCategory::Detect,
         }
     }
 
     /// The severity tag attached to this kind.
     pub fn severity(self) -> Severity {
         match self {
-            TraceKind::InvRelay | TraceKind::GetData => Severity::Debug,
+            TraceKind::InvRelay | TraceKind::GetData | TraceKind::NodeAs => Severity::Debug,
             TraceKind::ReorgBegin
             | TraceKind::PartitionApply
             | TraceKind::PartitionHeal
             | TraceKind::GridRelease => Severity::Warn,
+            TraceKind::DetectBlockAware
+            | TraceKind::DetectStaleEwma
+            | TraceKind::DetectInvCollapse
+            | TraceKind::DetectAsSkew => Severity::Alert,
             _ => Severity::Info,
         }
     }
@@ -778,16 +844,19 @@ pub fn filter_records(records: &[TraceRecord], filter: &TraceFilter) -> Vec<(u64
         .collect()
 }
 
-/// Renders a deterministic plain-text summary: totals, per-category and
-/// per-kind counts, and the busiest nodes.
+/// Renders a deterministic plain-text summary: totals, per-category,
+/// per-severity and per-kind counts, and the busiest nodes. Each kind
+/// line carries its severity tag, so the rollup reads per kind too.
 pub fn summary(records: &[TraceRecord]) -> String {
     let mut by_kind: BTreeMap<TraceKind, u64> = BTreeMap::new();
     let mut by_cat: BTreeMap<TraceCategory, u64> = BTreeMap::new();
+    let mut by_sev: BTreeMap<Severity, u64> = BTreeMap::new();
     let mut by_node: BTreeMap<u32, u64> = BTreeMap::new();
     let (mut t_min, mut t_max) = (u64::MAX, 0u64);
     for r in records {
         *by_kind.entry(r.kind).or_insert(0) += 1;
         *by_cat.entry(r.kind.category()).or_insert(0) += 1;
+        *by_sev.entry(r.kind.severity()).or_insert(0) += 1;
         *by_node.entry(r.node).or_insert(0) += 1;
         t_min = t_min.min(r.time);
         t_max = t_max.max(r.time);
@@ -801,9 +870,18 @@ pub fn summary(records: &[TraceRecord]) -> String {
     for (cat, n) in &by_cat {
         let _ = writeln!(out, "  {:<10} {n}", cat.name());
     }
+    let _ = writeln!(out, "by severity:");
+    for (sev, n) in &by_sev {
+        let _ = writeln!(out, "  {:<10} {n}", sev.name());
+    }
     let _ = writeln!(out, "by kind:");
     for (kind, n) in &by_kind {
-        let _ = writeln!(out, "  {:<16} {n}", kind.name());
+        let _ = writeln!(
+            out,
+            "  {:<20} {:<6} {n}",
+            kind.name(),
+            kind.severity().name()
+        );
     }
     // Busiest nodes: count descending, node id ascending on ties, top 10.
     let mut nodes: Vec<(u32, u64)> = by_node.into_iter().collect();
@@ -1151,6 +1229,31 @@ mod tests {
         assert!(s.contains("crawl_sample"));
         assert!(s.contains("mine"));
         assert!(s.contains("time span: 1000..2000"));
+    }
+
+    #[test]
+    fn summary_rolls_up_severities() {
+        let mut records = sample_records();
+        records.push(TraceRecord {
+            time: 2500,
+            node: u32::MAX,
+            kind: TraceKind::DetectStaleEwma,
+            a: 400,
+            b: 900,
+        });
+        let s = summary(&records);
+        // One debug (inv_relay), three info (mine, accept, sample), one
+        // alert (the detector record); each kind line carries its tag.
+        assert!(s.contains("by severity:"));
+        assert!(s.contains("  debug      1"));
+        assert!(s.contains("  info       3"));
+        assert!(s.contains("  alert      1"));
+        assert!(s.contains("detect_stale_ewma"));
+        let kind_line = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("inv_relay"))
+            .unwrap();
+        assert!(kind_line.contains("debug"));
     }
 
     #[test]

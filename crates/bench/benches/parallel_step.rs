@@ -1,0 +1,136 @@
+//! Microbenches for the conservative-window parallel executor: the
+//! serial calendar drain against the threaded epoch drain at 2/4/8
+//! workers, on the raw `ShardedQueue` (mechanism in isolation) and on
+//! full simulations over the quick and huge-slice topologies. Both
+//! paths produce the identical pop stream — the determinism suites pin
+//! that — so the only question this bench answers is wall time.
+//! Thread counts beyond the machine's core count lose, by design; the
+//! CI throughput floors run these on multi-core runners.
+//! `cargo bench -p bp-bench --bench parallel_step`.
+
+use btcpart::mining::PoolCensus;
+use btcpart::net::{NetConfig, SamplingMode, ShardedQueue, SimTime, Simulation};
+use btcpart::topology::{Snapshot, SnapshotConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Shards for every benchmark: enough for the widest worker count to
+/// have one shard each.
+const SHARDS: usize = 8;
+
+/// The paper profile's minimum cross-shard latency — the epoch width.
+const LOOKAHEAD_MS: u64 = 30;
+
+/// Events prefilled into the raw-queue drain benchmark: enough backlog
+/// that every epoch clears `EPOCH_MIN_BACKLOG` by a wide margin.
+const DRAIN_EVENTS: usize = 100_000;
+
+/// A deterministic prefill spread over 30 simulated seconds and all
+/// shards — about 100 events per 30 ms epoch window.
+fn prefill_plan() -> Vec<(u64, usize)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..DRAIN_EVENTS)
+        .map(|_| (rng.random_range(0..30_000), rng.random_range(0..SHARDS)))
+        .collect()
+}
+
+/// The raw mechanism: drain a prefilled 8-shard queue to empty, either
+/// through the classic serial pop loop or through repeated
+/// `begin_epoch` / pop / `commit_epoch` windows. The epoch path pays
+/// the scoped-spawn overhead per window and wins back the wheel's
+/// positioning, cascade and bucket-sort work in parallel.
+fn queue_epoch_drain(c: &mut Criterion) {
+    let plan = prefill_plan();
+    let build = || {
+        let mut q: ShardedQueue<u64> = ShardedQueue::new(SHARDS, LOOKAHEAD_MS);
+        for (i, &(at, shard)) in plan.iter().enumerate() {
+            q.schedule(SimTime(at), shard, i as u64);
+        }
+        q
+    };
+    let mut group = c.benchmark_group("parallel_step_queue");
+    group.sample_size(10);
+    group.bench_function("serial_drain", |b| {
+        b.iter(|| {
+            let mut q = build();
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_function(format!("epoch_drain_{workers}w"), |b| {
+            b.iter(|| {
+                let mut q = build();
+                while let Some(t0) = q.peek_time() {
+                    q.begin_epoch(SimTime(t0.0 + LOOKAHEAD_MS), workers);
+                    while q.epoch_pending() {
+                        black_box(q.pop());
+                    }
+                    q.commit_epoch(workers);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end epochs: a warmed simulation advanced 30 simulated seconds
+/// per iteration at each `net_threads`. The simulation keeps advancing
+/// across iterations — gossip is steady-state after warmup, so every
+/// iteration does equivalent work.
+fn sim_steps(c: &mut Criterion, name: &str, snap_config: SnapshotConfig) {
+    let snapshot = Snapshot::generate(snap_config);
+    let census = PoolCensus::paper_table_iv();
+    let mut group = c.benchmark_group(format!("parallel_step_{name}").as_str());
+    group.sample_size(10);
+    for net_threads in [1usize, 2, 4, 8] {
+        let net = NetConfig {
+            seed: 20_180_229,
+            shards: SHARDS,
+            net_threads,
+            sampling: SamplingMode::PartialShuffle,
+            ..NetConfig::paper()
+        };
+        let mut sim = Simulation::new(&snapshot, &census, net);
+        sim.run_for_secs(600);
+        group.bench_function(format!("run_{net_threads}t"), |b| {
+            b.iter(|| {
+                sim.run_for_secs(30);
+                black_box(sim.network_best());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The quick-profile population (~680 nodes at 5 % scale).
+fn sim_quick(c: &mut Criterion) {
+    sim_steps(
+        c,
+        "quick",
+        SnapshotConfig {
+            scale: 0.05,
+            ..SnapshotConfig::paper()
+        },
+    );
+}
+
+/// A slice of the million-node profile: the huge snapshot's shape
+/// (every node up, partial-shuffle sampling) at ~27k nodes, small
+/// enough to bench but dense enough that epochs dominate.
+fn sim_huge_slice(c: &mut Criterion) {
+    sim_steps(
+        c,
+        "huge_slice",
+        SnapshotConfig {
+            scale: 2.0,
+            ..SnapshotConfig::huge()
+        },
+    );
+}
+
+criterion_group!(benches, queue_epoch_drain, sim_quick, sim_huge_slice);
+criterion_main!(benches);

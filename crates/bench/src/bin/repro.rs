@@ -291,8 +291,9 @@ fn main() {
 
 /// `repro --scale huge`: the million-node gossip throughput bench. No
 /// artifact pipeline — one simulation driven straight through
-/// `--hours` of gossip. Writes `scale_gossip.csv` (deterministic,
-/// shard-invariant) to `--out`, and with `--metrics` the BENCH record
+/// `--hours` of gossip. Writes `scale_gossip.csv` (deterministic and
+/// shard-invariant; the trailing `threads` column echoes
+/// `--net-threads`) to `--out`, and with `--metrics` the BENCH record
 /// whose `scale` section the CI smoke job reads.
 fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
     if !opts.ids.is_empty() {
@@ -313,8 +314,8 @@ fn run_huge_bench(opts: &bp_bench::cli::CliOptions) {
     ]);
     let config = opts.config;
     eprintln!(
-        "# huge gossip bench: 1,000,000 nodes, {} h, {} shard(s), seed {}",
-        config.day_hours, config.shards, config.seed
+        "# huge gossip bench: 1,000,000 nodes, {} h, {} shard(s), {} net thread(s), seed {}",
+        config.day_hours, config.shards, config.net_threads, config.seed
     );
     let registry = opts.metrics.as_ref().map(|_| btcpart::obs::Registry::new());
     let report = bp_bench::scale::run_huge(&config, registry.as_ref());

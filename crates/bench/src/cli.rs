@@ -134,6 +134,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
                 config.shards = n;
             }
+            "--net-threads" => {
+                let n: usize = parse_value(arg, iter.next())?;
+                // Mirrors the NetConfig::validate bound so the error
+                // surfaces at parse time, not minutes into a run.
+                if n == 0 || n > 4096 {
+                    return Err(format!("--net-threads must be in 1..=4096, got {n}"));
+                }
+                config.net_threads = n;
+            }
             "--seed" => config.seed = parse_value(arg, iter.next())?,
             "--hours" => {
                 let hours: u64 = parse_value(arg, iter.next())?;
@@ -218,12 +227,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 /// Every flag `repro` understands, in display order. [`usage`] lists all
 /// of them; a test pins the two in sync with the parser.
-pub const FLAGS: [&str; 20] = [
+pub const FLAGS: [&str; 21] = [
     "--quick",
     "--scale",
     "--seed",
     "--hours",
     "--shards",
+    "--net-threads",
     "--jobs",
     "--timings",
     "--metrics",
@@ -246,7 +256,7 @@ pub fn usage() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--scale F|huge] [--seed S] [--hours H] [--shards N]\n\
-         \x20             [--jobs N] [--timings] [--metrics DIR] [--trace DIR]\n\
+         \x20             [--net-threads N] [--jobs N] [--timings] [--metrics DIR] [--trace DIR]\n\
          \x20             [--cache DIR] [--detect DIR] [--detect-matrix]\n\
          \x20             [--serve PORT | --serve-bench]\n\
          \x20             [--serve-conns N] [--serve-mode open|closed]\n\
@@ -259,6 +269,10 @@ pub fn usage() -> String {
          --seed S       snapshot / simulation seed\n\
          --hours H      one-day crawl hours (the general crawl gets 2×H)\n\
          --shards N     calendar-wheel shards in 1..=4096 (default 1); output is\n\
+         \x20              byte-identical at any value\n\
+         --net-threads N  conservative-window simulation workers in 1..=4096\n\
+         \x20              (default 1 = the classic serial drain); workers drain\n\
+         \x20              whole shards, so pair with --shards >= N; output is\n\
          \x20              byte-identical at any value\n\
          --jobs N       worker threads (default: one per core; output is identical)\n\
          --timings      print per-job wall times and write timings.csv to --out\n\
@@ -399,7 +413,9 @@ mod tests {
         for flag in FLAGS {
             let args = match flag {
                 "--scale" => argv(&[flag, "0.5"]),
-                "--seed" | "--hours" | "--jobs" | "--shards" => argv(&[flag, "1"]),
+                "--seed" | "--hours" | "--jobs" | "--shards" | "--net-threads" => {
+                    argv(&[flag, "1"])
+                }
                 "--metrics" | "--trace" | "--cache" | "--detect" | "--out" | "--serve-out" => {
                     argv(&[flag, "dir"])
                 }
@@ -439,6 +455,37 @@ mod tests {
             );
         }
         assert!(parse_args(&argv(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn net_threads_flag_parses_and_validates() {
+        let opts = parse_args(&argv(&["--quick", "--net-threads", "8", "all"])).unwrap();
+        assert_eq!(opts.config.net_threads, 8);
+        // Default: the classic serial drain.
+        assert_eq!(parse_args(&argv(&["all"])).unwrap().config.net_threads, 1);
+        // The NetConfig bound is enforced at parse time, naming the flag.
+        for bad in ["0", "4097"] {
+            let err = parse_args(&argv(&["--net-threads", bad])).unwrap_err();
+            assert!(
+                err.contains("--net-threads") && err.contains("1..=4096"),
+                "{err}"
+            );
+        }
+        assert!(parse_args(&argv(&["--net-threads"])).is_err());
+        // Composes with --shards and --scale huge for the CI identity
+        // and throughput checks.
+        let opts = parse_args(&argv(&[
+            "--scale",
+            "huge",
+            "--shards",
+            "8",
+            "--net-threads",
+            "8",
+        ]))
+        .unwrap();
+        assert!(opts.huge);
+        assert_eq!(opts.config.shards, 8);
+        assert_eq!(opts.config.net_threads, 8);
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub struct ReproConfig {
     /// is deliberately absent from the artifact-cache keys — a warm
     /// cache hits across shard counts.
     pub shards: usize,
+    /// Conservative-window worker count threaded into every simulation
+    /// (`repro --net-threads N`). Pure mechanism, exactly like `shards`:
+    /// artifacts, metrics and traces are byte-identical at any value, so
+    /// this field is likewise absent from the artifact-cache keys.
+    pub net_threads: usize,
 }
 
 impl ReproConfig {
@@ -51,6 +56,7 @@ impl ReproConfig {
             general_hours: 48,
             day_hours: 24,
             shards: 1,
+            net_threads: 1,
         }
     }
 
@@ -62,6 +68,7 @@ impl ReproConfig {
             general_hours: 4,
             day_hours: 2,
             shards: 1,
+            net_threads: 1,
         }
     }
 }
@@ -74,12 +81,14 @@ pub fn measurement_net_config(seed: u64) -> NetConfig {
     }
 }
 
-/// Builds a lab with the measurement network profile. The shard count
-/// rides along into the simulation's event queue; everything the lab
-/// computes is byte-identical at any `config.shards`.
+/// Builds a lab with the measurement network profile. The shard and
+/// worker counts ride along into the simulation's event queue;
+/// everything the lab computes is byte-identical at any
+/// `config.shards` / `config.net_threads`.
 pub fn measurement_lab(config: &ReproConfig) -> Lab {
     let net = NetConfig {
         shards: config.shards,
+        net_threads: config.net_threads,
         ..measurement_net_config(config.seed.wrapping_add(1))
     };
     Scenario::new()
@@ -267,6 +276,11 @@ pub fn generate_cached(
 /// pipeline-v6: adds the `serve` section (see [`serve::ServeReport`]),
 /// null for every run but `repro --serve-bench` — which in turn has no
 /// task DAG, so its `report` and `scale` are null.
+///
+/// pipeline-v7: adds the top-level `net_threads` field (the
+/// conservative-window worker count behind `repro --net-threads`) and
+/// the `threads` / `events_per_sec_per_thread` fields inside the
+/// `scale` section.
 pub fn bench_json(
     profile: &str,
     config: &ReproConfig,
@@ -276,11 +290,12 @@ pub fn bench_json(
     serve: Option<&serve::ServeReport>,
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v6\",\n");
+    let mut out = String::from("{\n  \"schema\": \"bp-bench/pipeline-v7\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile}\",");
     let _ = writeln!(out, "  \"scale_factor\": {},", config.scale);
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
     let _ = writeln!(out, "  \"shards\": {},", config.shards);
+    let _ = writeln!(out, "  \"net_threads\": {},", config.net_threads);
     match scale {
         None => out.push_str("  \"scale\": null,\n"),
         Some(s) => {

@@ -461,6 +461,51 @@ impl<E> EventQueue<E> {
     pub fn advance_to(&mut self, t: SimTime) {
         self.now = self.now.max(t);
     }
+
+    /// Drains every event strictly below `horizon` into `out`, in the
+    /// exact `(time, seq)` order [`Self::pop`] would yield them,
+    /// advancing the shard clock the same way. The epoch executor calls
+    /// this on every shard concurrently — each shard's sub-horizon run
+    /// is final because handlers only fire *after* the drain.
+    fn drain_below(&mut self, horizon: SimTime, out: &mut Vec<(SimTime, u64, E)>) {
+        while self.len > 0 {
+            if self.active.is_empty() && self.late.is_empty() {
+                // Cheap lower bound on the head without positioning:
+                // wheel events sit strictly beyond the current slot and
+                // the overflow heap is time-ordered. Epochs are narrower
+                // than a calendar slot, so this keeps idle shards O(1)
+                // per epoch instead of walking the ring every window.
+                let bound = if self.wheel_len > 0 {
+                    SimTime((self.cur_slot + 1) << SLOT_SHIFT)
+                } else if let Some(Reverse((t, _, _))) = self.overflow.peek() {
+                    *t
+                } else {
+                    unreachable!("len > 0 with every structure empty");
+                };
+                if bound >= horizon {
+                    return;
+                }
+            }
+            self.position();
+            let head_time = if self.next_is_active() {
+                self.active.front().expect("positioned").0
+            } else {
+                self.late.peek().expect("positioned").0 .0
+            };
+            if head_time >= horizon {
+                return;
+            }
+            let entry = if self.next_is_active() {
+                self.active.pop_front().expect("positioned")
+            } else {
+                let Reverse((at, seq, EventBox(event))) = self.late.pop().expect("positioned");
+                (at, seq, event)
+            };
+            self.len -= 1;
+            self.now = entry.0;
+            out.push(entry);
+        }
+    }
 }
 
 /// A payload-free replica of the [`EventQueue`] slot state machine.
@@ -570,7 +615,13 @@ pub struct MergeStats {
     /// Cross-shard schedules that landed inside `now + lookahead` —
     /// violations of the conservative-lookahead contract. Zero whenever
     /// every cross-shard delay honours the configured minimum latency.
+    /// Under the epoch executor this counts reinjections: mid-epoch
+    /// schedules that undercut the open horizon and took the serialized
+    /// slow path.
     pub horizon_breaches: u64,
+    /// Conservative-window epochs opened by [`ShardedQueue::begin_epoch`]
+    /// (the parallel executor; zero under the classic serial drain).
+    pub epochs: u64,
 }
 
 /// N [`EventQueue`] wheels (one per node-range shard) merged into the
@@ -611,6 +662,47 @@ pub struct ShardedQueue<E> {
     /// Whether `active`/`boundary` are valid.
     batch: bool,
     merge: MergeStats,
+    epoch: EpochState<E>,
+}
+
+/// Retention threshold for the per-shard epoch buffers, mirroring the
+/// wheel's [`SLOT_RETAIN_CAP`] policy: steady-state buffers keep their
+/// allocation across epochs, mega-wave footprints are released when the
+/// buffer drains. Epoch buffers are per *shard*, not per ring slot, so
+/// the threshold can be far more generous than the wheel's.
+const EPOCH_RETAIN_CAP: usize = 64 * 1024;
+
+/// In-flight state of one conservative-window epoch (see
+/// [`ShardedQueue::begin_epoch`]). The buffers persist across epochs so
+/// steady-state windows allocate nothing.
+#[derive(Debug)]
+struct EpochState<E> {
+    on: bool,
+    horizon: SimTime,
+    /// Per-shard drained runs, sorted *descending* by `(time, seq)` so
+    /// the merge head is `last()` and popping it moves the payload out
+    /// in O(1); empty between epochs.
+    runs: Vec<Vec<(SimTime, u64, E)>>,
+    /// Per-shard events scheduled mid-epoch at or beyond the horizon,
+    /// bulk-inserted into the shard wheels at the barrier commit.
+    staged: Vec<Vec<(SimTime, u64, E)>>,
+    /// Events scheduled mid-epoch *below* the horizon — breaches of the
+    /// conservative-lookahead promise. They join the live merge (the
+    /// serialized slow path) so the pop order stays exact for any delay
+    /// pattern; the wheels stay untouched until the commit.
+    reinject: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
+}
+
+impl<E> EpochState<E> {
+    fn new(shards: usize) -> Self {
+        Self {
+            on: false,
+            horizon: SimTime::ZERO,
+            runs: (0..shards).map(|_| Vec::new()).collect(),
+            staged: (0..shards).map(|_| Vec::new()).collect(),
+            reinject: BinaryHeap::new(),
+        }
+    }
 }
 
 impl<E> ShardedQueue<E> {
@@ -638,6 +730,7 @@ impl<E> ShardedQueue<E> {
             boundary: (SimTime(u64::MAX), u64::MAX),
             batch: false,
             merge: MergeStats::default(),
+            epoch: EpochState::new(shards),
         }
     }
 
@@ -691,6 +784,20 @@ impl<E> ShardedQueue<E> {
         self.seq += 1;
         self.len += 1;
         self.shadow.on_schedule(at);
+        if self.epoch.on {
+            if at < self.epoch.horizon {
+                // Lookahead-promise breach: the event lands inside the
+                // open window, so it joins the live merge instead of the
+                // barrier commit — exact order, serialized slow path.
+                self.merge.horizon_breaches += 1;
+                self.epoch
+                    .reinject
+                    .push(Reverse((at, seq, EventBox(event))));
+            } else {
+                self.epoch.staged[shard].push((at, seq, event));
+            }
+            return;
+        }
         if shard != self.active {
             if at.0 < self.now.0 + self.lookahead_ms {
                 self.merge.horizon_breaches += 1;
@@ -754,9 +861,17 @@ impl<E> ShardedQueue<E> {
     }
 
     /// Pops the globally next event, advancing the clock to its time.
+    ///
+    /// Inside an open epoch (between [`Self::begin_epoch`] and
+    /// [`Self::commit_epoch`]) this yields only events strictly below
+    /// the horizon — `None` once the epoch is exhausted, even when
+    /// later events remain in the wheels.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if self.len == 0 {
             return None;
+        }
+        if self.epoch.on {
+            return self.epoch_pop();
         }
         self.shadow.position();
         let (at, _) = self.head_key();
@@ -768,11 +883,166 @@ impl<E> ShardedQueue<E> {
         Some((popped_at, event))
     }
 
+    /// Opens a conservative-window epoch: every event strictly below
+    /// `horizon` is drained out of the shard wheels — by `workers`
+    /// scoped threads, one contiguous shard range each — into per-shard
+    /// sorted runs, parallelizing the wheel's positioning, cascade and
+    /// bucket-sort work. Until [`Self::commit_epoch`] closes the epoch,
+    /// [`Self::pop`] merges those runs (plus any mid-epoch reinjections)
+    /// in the global `(time, seq)` order, and [`Self::schedule`] stages
+    /// new events for the barrier commit instead of touching the wheels.
+    /// The pop/schedule stream the caller observes is byte-identical to
+    /// the non-epoch path for any `workers`.
+    ///
+    /// The caller picks `horizon ≤ head_time + lookahead` so that the
+    /// drained runs are final: handlers run only after the drain, and
+    /// anything they schedule inside the open window falls back to the
+    /// serialized reinjection heap (counted in
+    /// [`MergeStats::horizon_breaches`]) rather than corrupting order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if an epoch is already open.
+    pub fn begin_epoch(&mut self, horizon: SimTime, workers: usize)
+    where
+        E: Send,
+    {
+        debug_assert!(!self.epoch.on, "epoch already open");
+        self.epoch.on = true;
+        self.epoch.horizon = horizon;
+        self.merge.epochs += 1;
+        fn drain<E>(horizon: SimTime, qs: &mut [EventQueue<E>], rs: &mut [Vec<(SimTime, u64, E)>]) {
+            for (q, run) in qs.iter_mut().zip(rs.iter_mut()) {
+                q.drain_below(horizon, run);
+                // Descending, so the merge pops heads off the back.
+                run.reverse();
+            }
+        }
+        let workers = workers.clamp(1, self.shards.len());
+        let chunk = self.shards.len().div_ceil(workers);
+        let runs = &mut self.epoch.runs;
+        if workers == 1 {
+            drain(horizon, &mut self.shards, runs);
+        } else {
+            std::thread::scope(|scope| {
+                let mut chunks = self.shards.chunks_mut(chunk).zip(runs.chunks_mut(chunk));
+                let (head_q, head_r) = chunks.next().expect("at least one shard");
+                for (qs, rs) in chunks {
+                    scope.spawn(move || drain(horizon, qs, rs));
+                }
+                // The first chunk runs on the calling thread.
+                drain(horizon, head_q, head_r);
+            });
+        }
+        // Shard heads moved wholesale; the serial merge cache is stale.
+        self.batch = false;
+    }
+
+    /// Whether the open epoch still has events to pop. Callers drive the
+    /// epoch with `while q.epoch_pending() { q.pop() }` so queue-depth
+    /// sampling can happen at exactly the serial loop's pop points.
+    pub fn epoch_pending(&self) -> bool {
+        debug_assert!(self.epoch.on, "no epoch open");
+        self.epoch_head().is_some()
+    }
+
+    /// Closes the epoch: every staged event is bulk-inserted into its
+    /// shard wheel — by `workers` scoped threads again — under the
+    /// globally-stamped `(time, seq)` keys assigned at schedule time, so
+    /// subsequent pops observe exactly the single-wheel order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if no epoch is open or epoch events were left
+    /// unpopped.
+    pub fn commit_epoch(&mut self, workers: usize)
+    where
+        E: Send,
+    {
+        debug_assert!(self.epoch.on, "no epoch open");
+        debug_assert!(
+            self.epoch_head().is_none(),
+            "epoch closed with events left unpopped"
+        );
+        self.epoch.on = false;
+        fn commit<E>(qs: &mut [EventQueue<E>], ss: &mut [Vec<(SimTime, u64, E)>]) {
+            for (q, staged) in qs.iter_mut().zip(ss.iter_mut()) {
+                for (at, seq, event) in staged.drain(..) {
+                    q.schedule_keyed(at, seq, event);
+                }
+                if staged.capacity() > EPOCH_RETAIN_CAP {
+                    *staged = Vec::new();
+                }
+            }
+        }
+        let workers = workers.clamp(1, self.shards.len());
+        let chunk = self.shards.len().div_ceil(workers);
+        let staged = &mut self.epoch.staged;
+        if workers == 1 {
+            commit(&mut self.shards, staged);
+        } else {
+            std::thread::scope(|scope| {
+                let mut chunks = self.shards.chunks_mut(chunk).zip(staged.chunks_mut(chunk));
+                let (head_q, head_s) = chunks.next().expect("at least one shard");
+                for (qs, ss) in chunks {
+                    scope.spawn(move || commit(qs, ss));
+                }
+                commit(head_q, head_s);
+            });
+        }
+        for run in &mut self.epoch.runs {
+            debug_assert!(run.is_empty(), "epoch run left undrained");
+            if run.capacity() > EPOCH_RETAIN_CAP {
+                *run = Vec::new();
+            }
+        }
+        self.batch = false;
+    }
+
+    /// The `(time, seq)` head of the open epoch and where it lives:
+    /// `Some(shard)` for a drained run, `None` for the reinjection heap.
+    fn epoch_head(&self) -> Option<((SimTime, u64), Option<usize>)> {
+        let mut best: Option<((SimTime, u64), Option<usize>)> = None;
+        for (i, run) in self.epoch.runs.iter().enumerate() {
+            if let Some(&(at, seq, _)) = run.last() {
+                if best.is_none_or(|(k, _)| (at, seq) < k) {
+                    best = Some(((at, seq), Some(i)));
+                }
+            }
+        }
+        if let Some(Reverse((at, seq, _))) = self.epoch.reinject.peek() {
+            if best.is_none_or(|(k, _)| (*at, *seq) < k) {
+                best = Some(((*at, *seq), None));
+            }
+        }
+        best
+    }
+
+    /// Epoch-mode [`Self::pop`]: merge the per-shard runs with the
+    /// reinjection heap, preserving the shadow's op sequence exactly.
+    fn epoch_pop(&mut self) -> Option<(SimTime, E)> {
+        let (_, src) = self.epoch_head()?;
+        self.shadow.position();
+        let (at, _seq, event) = match src {
+            Some(i) => self.epoch.runs[i].pop().expect("head observed"),
+            None => {
+                let Reverse((at, seq, EventBox(event))) =
+                    self.epoch.reinject.pop().expect("head observed");
+                (at, seq, event)
+            }
+        };
+        self.len -= 1;
+        self.now = at;
+        self.shadow.on_pop();
+        Some((at, event))
+    }
+
     /// The time of the globally next event without popping it.
     ///
     /// Takes `&mut self` because shard wheels position lazily; the
     /// observable queue state is unchanged.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        debug_assert!(!self.epoch.on, "peek_time inside an open epoch");
         if self.len == 0 {
             return None;
         }
@@ -1135,6 +1405,60 @@ mod tests {
         assert_eq!(s.late, 1);
         assert_eq!(s.wheel, 1);
         assert_eq!(s.overflow, 1);
+    }
+
+    /// One conservative-window epoch: events below the horizon pop in
+    /// exact `(time, seq)` order; an event exactly *on* the horizon
+    /// stays in its wheel for the next window.
+    #[test]
+    fn epoch_pops_below_the_horizon_and_keeps_the_boundary_event() {
+        for workers in [1usize, 2, 8] {
+            let mut q: ShardedQueue<&str> = ShardedQueue::new(4, 30);
+            q.schedule(SimTime(10), 1, "b");
+            q.schedule(SimTime(5), 3, "a");
+            q.schedule(SimTime(10), 0, "c"); // tie: schedule order wins
+            q.schedule(SimTime(35), 2, "on-horizon");
+            q.schedule(SimTime(80), 2, "beyond");
+            q.begin_epoch(SimTime(35), workers);
+            assert_eq!(q.pop(), Some((SimTime(5), "a")));
+            assert_eq!(q.pop(), Some((SimTime(10), "b")));
+            assert_eq!(q.pop(), Some((SimTime(10), "c")));
+            assert!(!q.epoch_pending(), "horizon event leaked into the epoch");
+            assert_eq!(q.pop(), None, "epoch exhausted must yield None");
+            q.commit_epoch(workers);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some((SimTime(35), "on-horizon")));
+            assert_eq!(q.pop(), Some((SimTime(80), "beyond")));
+            assert_eq!(q.merge_stats().epochs, 1);
+        }
+    }
+
+    /// Mid-epoch schedules at or beyond the horizon are staged and only
+    /// become poppable after the barrier commit; schedules that undercut
+    /// the horizon reinject into the live merge (the breach slow path)
+    /// and pop in exact order within the same window.
+    #[test]
+    fn epoch_stages_commits_and_reinjects_in_exact_order() {
+        let mut q: ShardedQueue<&str> = ShardedQueue::new(2, 30);
+        q.schedule(SimTime(5), 0, "first");
+        q.schedule(SimTime(20), 1, "second");
+        q.begin_epoch(SimTime(35), 2);
+        assert_eq!(q.pop(), Some((SimTime(5), "first")));
+        // Handler-style reactions: one lands beyond the horizon
+        // (staged), one undercuts it (reinjected breach), one lands
+        // exactly between the reinjection and the drained run head.
+        q.schedule(SimTime(40), 1, "staged");
+        let breaches_before = q.merge_stats().horizon_breaches;
+        q.schedule(SimTime(12), 0, "breach");
+        assert_eq!(q.merge_stats().horizon_breaches, breaches_before + 1);
+        q.schedule(SimTime(12), 1, "breach-tie");
+        assert_eq!(q.pop(), Some((SimTime(12), "breach")));
+        assert_eq!(q.pop(), Some((SimTime(12), "breach-tie")));
+        assert_eq!(q.pop(), Some((SimTime(20), "second")));
+        assert_eq!(q.pop(), None, "staged event visible before commit");
+        q.commit_epoch(2);
+        assert_eq!(q.pop(), Some((SimTime(40), "staged")));
+        assert!(q.is_empty());
     }
 
     /// A burst far above [`SLOT_RETAIN_CAP`] must not leave its capacity

@@ -91,6 +91,14 @@ pub struct NetConfig {
     /// mechanism: results are byte-identical at every shard count; only
     /// the volatile merge counters differ.
     pub shards: usize,
+    /// Worker threads for the conservative-window epoch executor
+    /// (1 = the classic serial event loop). Pure mechanism, exactly like
+    /// `shards`: every observable — results, metrics, traces — is
+    /// byte-identical at any thread count; only wall time and the
+    /// volatile merge counters vary. Workers drain whole shards, so
+    /// threads beyond `shards` idle: pair `net_threads: N` with
+    /// `shards >= N`.
+    pub net_threads: usize,
     /// Construction sampler (see [`SamplingMode`]).
     pub sampling: SamplingMode,
     /// Outbound peer connections per node (Bitcoin default: 8).
@@ -139,6 +147,7 @@ impl NetConfig {
         Self {
             seed: 0xB17C017,
             shards: 1,
+            net_threads: 1,
             sampling: SamplingMode::Rejection,
             out_degree: 8,
             relay_mode: RelayMode::Diffusion,
@@ -161,6 +170,7 @@ impl NetConfig {
         Self {
             seed: 7,
             shards: 1,
+            net_threads: 1,
             sampling: SamplingMode::Rejection,
             out_degree: 8,
             relay_mode: RelayMode::Diffusion,
@@ -226,6 +236,12 @@ impl NetConfig {
         }
         if self.shards == 0 || self.shards > 4096 {
             return Err(format!("shards must be in 1..=4096, got {}", self.shards));
+        }
+        if self.net_threads == 0 || self.net_threads > 4096 {
+            return Err(format!(
+                "net_threads must be in 1..=4096, got {}",
+                self.net_threads
+            ));
         }
         Ok(())
     }
@@ -467,6 +483,15 @@ impl TrafficStats {
 
 /// Bucket bounds for the reorg-depth histogram (blocks).
 pub const REORG_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Minimum pending-event backlog before the epoch executor opens a
+/// threaded window; below it each event takes the classic serial step.
+/// A conservative window is only ~tens of milliseconds of simulated
+/// time, so during sparse stretches (overnight gaps between gossip
+/// waves) an epoch would fan worker threads out for a handful of
+/// events. The switch is invisible in every output: both paths pop and
+/// handle events in the identical global order.
+const EPOCH_MIN_BACKLOG: usize = 1024;
 
 /// Hot-path observability counters, kept as plain integers so recording
 /// costs one add and never touches the RNG stream — simulation results
@@ -981,6 +1006,7 @@ impl Simulation {
             &format!("{prefix}.queue.merge.horizon_breaches"),
             ms.horizon_breaches,
         );
+        reg.add_volatile(&format!("{prefix}.queue.merge.epochs"), ms.epochs);
         reg.add(&format!("{prefix}.relay.announce_calls"), m.announce_calls);
         reg.add(&format!("{prefix}.relay.invs_scheduled"), m.invs_scheduled);
         reg.merge_histogram(&format!("{prefix}.reorg.depth"), &m.reorg_depth);
@@ -1216,16 +1242,70 @@ impl Simulation {
 
     /// Runs the simulation until `deadline` (inclusive). The clock ends
     /// exactly at `deadline` even when no event lands on it.
+    ///
+    /// With `NetConfig::net_threads > 1` the run advances through the
+    /// conservative-window epoch executor instead of the classic serial
+    /// loop; the two produce byte-identical results (events pop, handlers
+    /// fire, and the RNG draws in exactly the same order either way).
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
+        if self.config.net_threads > 1 {
+            self.run_epochs_until(deadline);
+        } else {
+            while let Some(at) = self.queue.peek_time() {
+                if at > deadline {
+                    break;
+                }
+                self.metrics.queue_depth_hwm = self.metrics.queue_depth_hwm.max(self.queue.len());
+                let (_, event) = self.queue.pop().expect("peeked event exists");
+                self.handle(event);
             }
-            self.metrics.queue_depth_hwm = self.metrics.queue_depth_hwm.max(self.queue.len());
-            let (_, event) = self.queue.pop().expect("peeked event exists");
-            self.handle(event);
         }
         self.queue.advance_to(deadline);
+    }
+
+    /// The conservative-window epoch executor (`net_threads > 1`).
+    ///
+    /// Each iteration opens an epoch of width = the wheel's lookahead
+    /// (the minimum link latency): worker threads drain every shard's
+    /// wheel up to the horizon in parallel — the expensive positioning,
+    /// cascade and bucket-sort mechanics — and the logic pass then runs
+    /// the handlers serially in the merged global `(time, seq)` order,
+    /// so every RNG draw, trace record, metric increment and node
+    /// mutation happens exactly as in the serial loop. New schedules are
+    /// staged per shard and bulk-committed by the workers at the epoch
+    /// barrier; the rare schedule that undercuts the horizon (e.g. a
+    /// sub-lookahead mining interval) takes the queue's serialized
+    /// reinjection path, which keeps the order exact for any delay
+    /// pattern. Byte-identity to the serial loop holds by construction
+    /// at every `shards`/`net_threads` combination.
+    fn run_epochs_until(&mut self, deadline: SimTime) {
+        let workers = self.config.net_threads.min(self.queue.shard_count());
+        // `max(1)` keeps zero-lookahead configs progressing: their epoch
+        // is a single millisecond and mid-window schedules reinject.
+        let width = self.queue.lookahead_ms().max(1);
+        while let Some(t0) = self.queue.peek_time() {
+            if t0 > deadline {
+                break;
+            }
+            let horizon = SimTime(deadline.0.saturating_add(1).min(t0.0.saturating_add(width)));
+            if self.queue.len() < EPOCH_MIN_BACKLOG || horizon <= t0 {
+                // Sparse stretch (or a saturated clock): a scoped thread
+                // fan-out per window costs more than it saves, so take
+                // one classic serial step. The pop/handle order is the
+                // same either way.
+                self.metrics.queue_depth_hwm = self.metrics.queue_depth_hwm.max(self.queue.len());
+                let (_, event) = self.queue.pop().expect("peeked event exists");
+                self.handle(event);
+                continue;
+            }
+            self.queue.begin_epoch(horizon, workers);
+            while self.queue.epoch_pending() {
+                self.metrics.queue_depth_hwm = self.metrics.queue_depth_hwm.max(self.queue.len());
+                let (_, event) = self.queue.pop().expect("epoch head pending");
+                self.handle(event);
+            }
+            self.queue.commit_epoch(workers);
+        }
     }
 
     /// Runs for `secs` simulated seconds.
@@ -2241,6 +2321,58 @@ mod tests {
             None,
             "trace diverged across shard counts"
         );
+    }
+
+    #[test]
+    fn threaded_runs_are_byte_identical_to_serial() {
+        // The epoch executor is pure mechanism, exactly like sharding:
+        // handlers fire in the identical global (time, seq) order, so
+        // every observable — results, metrics (including the queue-depth
+        // high-water mark), the trace stream — must match the serial
+        // engine at any shards × net_threads combination.
+        let snap = tiny_snapshot();
+        let census = PoolCensus::paper_table_iv();
+        let config = NetConfig {
+            zombie_fraction: 0.1,
+            failure_rate: 0.05,
+            ..NetConfig::fast_test()
+        };
+        let mut serial = Simulation::new(&snap, &census, config.clone());
+        serial.set_tracer(Tracer::new());
+        serial.run_for_secs(1800);
+        let baseline = serial.take_tracer().unwrap().into_records();
+        for (shards, net_threads) in [(1usize, 2usize), (4, 2), (4, 8), (8, 3)] {
+            let mut threaded = Simulation::new(
+                &snap,
+                &census,
+                NetConfig {
+                    shards,
+                    net_threads,
+                    ..config.clone()
+                },
+            );
+            threaded.set_tracer(Tracer::new());
+            threaded.run_for_secs(1800);
+            assert_eq!(serial.network_best(), threaded.network_best());
+            assert_eq!(serial.lags(), threaded.lags());
+            assert_eq!(serial.stats(), threaded.stats());
+            assert_eq!(serial.traffic(), threaded.traffic());
+            assert_eq!(serial.metrics(), threaded.metrics());
+            assert_eq!(serial.queue_stats(), threaded.queue_stats());
+            let records = threaded.take_tracer().unwrap().into_records();
+            assert_eq!(
+                bp_obs::trace::first_divergence(&baseline, &records),
+                None,
+                "trace diverged at shards={shards} net_threads={net_threads}"
+            );
+            // The run was long/dense enough to actually open epochs (the
+            // backlog guard serial-steps sparse stretches), so the path
+            // under test really ran.
+            assert!(
+                threaded.merge_stats().epochs > 0,
+                "epoch executor never engaged at shards={shards} net_threads={net_threads}"
+            );
+        }
     }
 
     #[test]
